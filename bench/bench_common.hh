@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table bench binaries.
+ *
+ * Each binary regenerates one table or figure of the paper on the
+ * simulated machine and prints it in a comparable format.  Absolute
+ * numbers differ from the paper (the substrate is a scaled simulator,
+ * not the authors' 900 MHz Itanium 2 — see DESIGN.md); the shapes are
+ * the reproduction target.
+ */
+
+#ifndef ADORE_BENCH_BENCH_COMMON_HH
+#define ADORE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::bench
+{
+
+/** The paper's *restricted* compilation: no SWP, ADORE regs reserved. */
+inline CompileOptions
+restrictedOptions(OptLevel level)
+{
+    CompileOptions opts;
+    opts.level = level;
+    opts.softwarePipelining = false;
+    opts.reserveAdoreRegs = true;
+    return opts;
+}
+
+/** The paper's *original* compilation: SWP on, no registers reserved. */
+inline CompileOptions
+originalOptions(OptLevel level)
+{
+    CompileOptions opts;
+    opts.level = level;
+    opts.softwarePipelining = true;
+    opts.reserveAdoreRegs = false;
+    return opts;
+}
+
+inline RunMetrics
+runWorkload(const hir::Program &prog, const CompileOptions &compile,
+            bool adore)
+{
+    RunConfig cfg;
+    cfg.compile = compile;
+    cfg.adore = adore;
+    if (adore)
+        cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    return Experiment::run(prog, cfg);
+}
+
+inline void
+printHeader(const char *what)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", what);
+    std::printf("(simulated Itanium-2-class machine; see DESIGN.md for scaling)\n");
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace adore::bench
+
+#endif // ADORE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * google-benchmark micro benchmarks for the simulator's primitives:
+ * cache lookups, hierarchy loads, CPU interpretation throughput, trace
+ * selection, and slicing.  These guard the simulator's own performance
+ * (the figure benches simulate billions of instructions).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.hh"
+#include "harness/machine.hh"
+#include "isa/builder.hh"
+#include "program/code_buffer.hh"
+#include "runtime/slicer.hh"
+#include "runtime/trace_selector.hh"
+#include "support/rng.hh"
+#include "workloads/common.hh"
+
+namespace
+{
+
+using namespace adore;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache({"bench", 256 * 1024, 128, 8, 6});
+    Rng rng(1);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i)
+        addrs.push_back(rng.below(1 << 22));
+    std::size_t i = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        auto r = cache.access(addrs[i++ & 4095], now++);
+        if (!r.hit)
+            cache.fill(addrs[(i - 1) & 4095], now + 14, false);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyLoad(benchmark::State &state)
+{
+    HierarchyConfig cfg;
+    CacheHierarchy caches(cfg);
+    Rng rng(2);
+    Cycle now = 0;
+    for (auto _ : state) {
+        auto r = caches.load(rng.below(1 << 23), now, false);
+        now += r.latency;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyLoad);
+
+void
+BM_CpuInterpreterLoop(benchmark::State &state)
+{
+    // Steady-state interpretation speed of a hot ALU loop.
+    Machine machine;
+    CodeBuffer buf;
+    Bundle init;
+    init.add(build::movi(1, 0));
+    init.add(build::movi(2, 1'000'000'000));
+    buf.append(init);
+    auto head = buf.newLabel();
+    buf.bind(head);
+    Bundle body;
+    body.add(build::addi(3, 2, 3));
+    body.add(build::addi(4, 1, 4));
+    body.add(build::addi(1, 1, 1));
+    buf.append(body);
+    Bundle tail;
+    tail.add(build::cmp(Opcode::CmpLt, 1, 1, 2));
+    tail.add(build::br(1, 0));
+    buf.appendWithBranchTo(tail, head);
+    Bundle h;
+    h.add(build::halt());
+    buf.append(h);
+    buf.commitToText(machine.code());
+    machine.cpu().setPc(CodeImage::textBase);
+
+    std::uint64_t insns = 0;
+    for (auto _ : state) {
+        std::uint64_t before = machine.cpu().counters().retiredInsns;
+        for (int i = 0; i < 1000 && machine.cpu().step(); ++i) {
+        }
+        insns += machine.cpu().counters().retiredInsns - before;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insns));
+}
+BENCHMARK(BM_CpuInterpreterLoop);
+
+void
+BM_WorkloadCompile(benchmark::State &state)
+{
+    hir::Program prog = [] {
+        hir::Program p;
+        p.name = "bench";
+        int arr = workloads::fpStream(p, "a", 4096);
+        hir::LoopBody body;
+        body.refs.push_back(workloads::direct(arr, 1));
+        int loop = workloads::addLoop(p, "l", 4096, body);
+        workloads::phase(p, loop, 1);
+        workloads::addColdLoops(p, 8);
+        return p;
+    }();
+    for (auto _ : state) {
+        Machine machine;
+        DataLayout data(machine.memory());
+        Compiler compiler(machine.config().hier);
+        CompileOptions opts;
+        opts.level = OptLevel::O3;
+        auto report =
+            compiler.compile(prog, opts, machine.code(), data);
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_WorkloadCompile);
+
+void
+BM_TraceSelection(benchmark::State &state)
+{
+    // Selection cost over a realistic sample batch.
+    CodeImage code;
+    CodeBuffer buf;
+    auto head = buf.newLabel();
+    buf.bind(head);
+    Bundle body;
+    body.add(build::addi(3, 1, 3));
+    body.add(build::addi(1, 1, 1));
+    buf.append(body);
+    Bundle tail;
+    tail.add(build::cmp(Opcode::CmpLt, 1, 1, 2));
+    tail.add(build::br(1, 0));
+    buf.appendWithBranchTo(tail, head);
+    Bundle h;
+    h.add(build::halt());
+    buf.append(h);
+    Addr base = buf.commitToText(code);
+
+    std::vector<Sample> samples(1024);
+    for (auto &s : samples) {
+        s.pc = base;
+        for (auto &e : s.btb)
+            e = BtbEntry{true, base + isa::bundleBytes, base, true,
+                         false};
+    }
+
+    TraceSelector selector(code, TraceSelectorConfig{});
+    for (auto _ : state) {
+        auto traces = selector.select(samples);
+        benchmark::DoNotOptimize(traces);
+    }
+}
+BENCHMARK(BM_TraceSelection);
+
+void
+BM_DependenceSlicing(benchmark::State &state)
+{
+    Trace t;
+    t.isLoop = true;
+    Bundle b1;
+    b1.add(build::ld(8, 20, 16, 8));
+    b1.add(build::shladd(15, 20, 3, 25));
+    b1.padWithNops();
+    t.bundles.push_back(b1);
+    Bundle b2;
+    b2.add(build::ld(8, 21, 15));
+    b2.padWithNops();
+    t.bundles.push_back(b2);
+    t.origAddrs = {0x4000000, 0x4000010};
+
+    for (auto _ : state) {
+        DependenceSlicer slicer(t);
+        auto r = slicer.classify({1, 0});
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_DependenceSlicing);
+
+} // namespace
+
+BENCHMARK_MAIN();

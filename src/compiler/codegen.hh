@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The code generator: lowers an HIR program to mini-IA64 bundles.
+ *
+ * Lowering produces, per phase, an optional outer repeat loop wrapping
+ * each inner loop's preheader (cursor initialization) and body.  Bodies
+ * are scheduled loads-first-then-uses so independent misses overlap
+ * (the "miss penalties effectively overlapped through instruction
+ * scheduling" effect the paper observes in applu), packed greedily into
+ * legal bundles.
+ *
+ * Optional transforms:
+ *  - software pipelining: direct array loads are hoisted one iteration
+ *    ahead into staging registers, hiding up to a body-length of load
+ *    latency (the effect Fig. 10 measures);
+ *  - static prefetching (O3): for refs selected by StaticPrefetchPass, a
+ *    dedicated prefetch cursor running `distance` iterations ahead is
+ *    initialized in the preheader and advanced by an lfetch post-
+ *    increment in the body;
+ *  - register reservation: r27-r30 and p6 are never allocated, leaving
+ *    them to the ADORE runtime (paper Section 3.3).
+ */
+
+#ifndef ADORE_COMPILER_CODEGEN_HH
+#define ADORE_COMPILER_CODEGEN_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "compiler/hir.hh"
+#include "program/code_buffer.hh"
+
+namespace adore
+{
+
+class CodeGen
+{
+  public:
+    CodeGen(const hir::Program &prog, const CompileOptions &opts,
+            const HierarchyConfig &hw);
+
+    CompileReport generate(CodeImage &code, DataLayout &data);
+
+  private:
+    /** Per-loop register bookkeeping. */
+    struct LoopRegs
+    {
+        std::vector<std::uint8_t> intFree;
+        std::vector<std::uint8_t> fpFree;
+        std::uint8_t allocInt();
+        std::uint8_t allocFp();
+        bool intAvailable() const { return !intFree.empty(); }
+        bool fpAvailable() const { return !fpFree.empty(); }
+    };
+
+    /** Resolved data addresses. */
+    struct DataAddrs
+    {
+        std::vector<Addr> arrayBase;  ///< per ArrayDecl
+        std::vector<Addr> listHead;   ///< per ListDecl
+    };
+
+    void layoutData(DataLayout &data);
+
+    void emitPhase(const hir::Phase &phase);
+    void emitLoop(const hir::Loop &loop);
+
+    /** Append straight-line insns; loop-id annotate; greedy bundling. */
+    void flushPending();
+    void emit(Insn insn);
+    void emitBranchTo(Insn br_insn, CodeBuffer::LabelId label);
+
+    const hir::Program &prog_;
+    CompileOptions opts_;
+    HierarchyConfig hw_;
+
+    CodeBuffer buf_;
+    Bundle pending_;
+    int currentLoopId_ = -1;
+
+    DataAddrs addrs_;
+    CompileReport report_;
+    CodeBuffer::LabelId helperLabel_ = -1;
+    bool helperNeeded_ = false;
+    std::unordered_map<int, CodeBuffer::LabelId> loopHeadLabels_;
+};
+
+} // namespace adore
+
+#endif // ADORE_COMPILER_CODEGEN_HH

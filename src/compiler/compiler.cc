@@ -1,0 +1,16 @@
+#include "compiler/compiler.hh"
+
+#include "compiler/codegen.hh"
+
+namespace adore
+{
+
+CompileReport
+Compiler::compile(const hir::Program &prog, const CompileOptions &opts,
+                  CodeImage &code, DataLayout &data) const
+{
+    CodeGen cg(prog, opts, hw_);
+    return cg.generate(code, data);
+}
+
+} // namespace adore

@@ -1,0 +1,63 @@
+#include "compiler/static_prefetch.hh"
+
+#include "support/stats.hh"
+
+namespace adore
+{
+
+std::uint32_t
+StaticPrefetchPass::estimateBodyCycles(const hir::Loop &loop) const
+{
+    // Rough static schedule estimate: each ref costs ~2 instructions,
+    // each filler op 1; six instructions issue per cycle at best, plus
+    // one cycle of loop-control overhead.
+    std::size_t insns = loop.body.refs.size() * 2 +
+                        static_cast<std::size_t>(loop.body.extraFpOps) +
+                        static_cast<std::size_t>(loop.body.extraIntOps) + 3;
+    return static_cast<std::uint32_t>(1 + insns / 6);
+}
+
+LoopPrefetchPlan
+StaticPrefetchPass::plan(const hir::Program &prog,
+                         const hir::Loop &loop) const
+{
+    LoopPrefetchPlan out;
+
+    if (loop.trip < minTrip || loop.body.hasCall)
+        return out;
+
+    for (std::size_t i = 0; i < loop.body.refs.size(); ++i) {
+        const hir::ArrayRef &ref = loop.body.refs[i];
+        if (ref.indexArray >= 0 || ref.viaFpConversion)
+            continue;  // indirect: not handled by the ORC-like pass
+        if (ref.strideElems == 0)
+            continue;  // loop-invariant
+        if (ref.isStore)
+            continue;  // store misses are hidden by the store buffer
+        const hir::ArrayDecl &arr = prog.arrays[static_cast<std::size_t>(
+            ref.array)];
+        if (arr.isParam)
+            continue;  // possible aliasing: conservative
+        out.anyCandidate = true;
+        out.refIndices.push_back(static_cast<int>(i));
+    }
+
+    if (!out.anyCandidate)
+        return out;
+
+    // Profile-guided filter (Table 1): only loops that the sampling
+    // profile marks as containing a delinquent load are scheduled.
+    if (profile_ && !profile_->hotLoops.count(loop.id)) {
+        out.refIndices.clear();
+        return out;
+    }
+
+    out.scheduled = true;
+    out.distanceIters = static_cast<std::uint32_t>(ceilDiv(
+        hw_.memLatency, estimateBodyCycles(loop)));
+    if (out.distanceIters == 0)
+        out.distanceIters = 1;
+    return out;
+}
+
+} // namespace adore

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The Mowry-style static data-prefetching pass used at O3 (paper
+ * Section 4.2: "similar to Todd Mowry's algorithm ... requires accurate
+ * array bounds and locality information ... also generates unnecessary
+ * prefetches for loads that might at runtime hit well in the data
+ * caches").
+ *
+ * Selection rules (modelling ORC 2.0's behaviour as the paper reports
+ * it):
+ *  - only *direct* affine array references are prefetched; indirect and
+ *    pointer-chasing patterns are left alone ("We did not rewrite the
+ *    whole algorithm to more aggressively prefetch for ... pointer
+ *    chasing");
+ *  - references through parameter arrays are skipped — aliasing makes
+ *    the dependence analysis imprecise (the Fig. 1 observation);
+ *  - loop-invariant (stride 0) and very short loops are skipped;
+ *  - everything else with a compile-time-known stride is prefetched,
+ *    *without* knowing whether it will actually miss — exactly the
+ *    over-prefetching that Table 1's profile-guided filter removes.
+ *
+ * In profile-guided mode, a loop is scheduled only when the miss profile
+ * marks it as containing a delinquent load.
+ */
+
+#ifndef ADORE_COMPILER_STATIC_PREFETCH_HH
+#define ADORE_COMPILER_STATIC_PREFETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/compiler.hh"
+#include "compiler/hir.hh"
+
+namespace adore
+{
+
+struct LoopPrefetchPlan
+{
+    bool anyCandidate = false;   ///< the loop has affine candidates
+    bool scheduled = false;      ///< the pass decided to prefetch it
+    std::vector<int> refIndices; ///< which body refs get an lfetch
+    std::uint32_t distanceIters = 0;
+};
+
+class StaticPrefetchPass
+{
+  public:
+    StaticPrefetchPass(const HierarchyConfig &hw, const MissProfile *profile)
+        : hw_(hw), profile_(profile)
+    {
+    }
+
+    /** Minimum trip count before prefetching pays off. */
+    static constexpr std::uint64_t minTrip = 32;
+
+    LoopPrefetchPlan plan(const hir::Program &prog,
+                          const hir::Loop &loop) const;
+
+  private:
+    /** Estimated cycles per iteration used for the distance policy. */
+    std::uint32_t estimateBodyCycles(const hir::Loop &loop) const;
+
+    HierarchyConfig hw_;
+    const MissProfile *profile_;
+};
+
+} // namespace adore
+
+#endif // ADORE_COMPILER_STATIC_PREFETCH_HH

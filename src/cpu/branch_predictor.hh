@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal 2-bit-counter branch direction predictor.  Target prediction is
+ * assumed perfect (the BTB resolves targets); only direction mispredicts
+ * pay the pipeline-flush penalty.
+ */
+
+#ifndef ADORE_CPU_BRANCH_PREDICTOR_HH
+#define ADORE_CPU_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/insn.hh"
+
+namespace adore
+{
+
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(std::size_t entries = 1024)
+        : table_(entries, 2)  // weakly taken: loops start predicted taken
+    {
+    }
+
+    bool
+    predict(Addr pc) const
+    {
+        return table_[index(pc)] >= 2;
+    }
+
+    void
+    update(Addr pc, bool taken)
+    {
+        std::uint8_t &ctr = table_[index(pc)];
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+    }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return (pc >> 4) % table_.size();
+    }
+
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace adore
+
+#endif // ADORE_CPU_BRANCH_PREDICTOR_HH

@@ -1,0 +1,465 @@
+#include "cpu/cpu.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace adore
+{
+
+Cpu::Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
+         const CpuConfig &config)
+    : code_(code),
+      caches_(caches),
+      memory_(memory),
+      config_(config),
+      dear_(config.dearLatencyThreshold)
+{
+    p_[0] = true;  // p0 is hardwired true
+}
+
+void
+Cpu::setIntReg(int i, std::int64_t v)
+{
+    if (i != 0)
+        r_[static_cast<size_t>(i)] = v;
+}
+
+void
+Cpu::setFpReg(int i, double v)
+{
+    if (i != 0)
+        f_[static_cast<size_t>(i)] = v;
+}
+
+void
+Cpu::setPredReg(int i, bool v)
+{
+    if (i != 0)
+        p_[static_cast<size_t>(i)] = v;
+}
+
+void
+Cpu::addPeriodicHook(Cycle period, PeriodicHook hook)
+{
+    panic_if(period == 0, "zero-period hook");
+    hooks_.push_back({period, cycle_ + period, std::move(hook)});
+}
+
+void
+Cpu::waitUntil(Cycle ready_at)
+{
+    if (ready_at > cycle_) {
+        cycle_ = ready_at;
+        issuedThisCycle_ = 0;
+    }
+}
+
+void
+Cpu::waitForSources(const Insn &insn)
+{
+    Cycle ready = 0;
+    auto need_r = [&](std::uint8_t reg) {
+        ready = std::max(ready, rReady_[reg]);
+        if (intWrittenMask_ & (1u << reg))
+            splitIssueCharged_ = true;
+    };
+    auto need_f = [&](std::uint8_t reg) {
+        ready = std::max(ready, fReady_[reg]);
+        if (fpWrittenMask_ & (1u << reg))
+            splitIssueCharged_ = true;
+    };
+
+    switch (insn.op) {
+      case Opcode::Nop:
+      case Opcode::Movi:
+      case Opcode::Halt:
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+        need_r(insn.rs1);
+        need_r(insn.rs2);
+        break;
+      case Opcode::Addi:
+      case Opcode::Mov:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Setf:
+        need_r(insn.rs1);
+        break;
+      case Opcode::Shladd:
+        need_r(insn.rs1);
+        need_r(insn.rs2);
+        break;
+      case Opcode::Ld:
+      case Opcode::LdS:
+      case Opcode::Ldf:
+      case Opcode::Lfetch:
+        need_r(insn.rs1);
+        break;
+      case Opcode::St:
+        need_r(insn.rs1);
+        need_r(insn.rs2);
+        break;
+      case Opcode::Stf:
+        need_r(insn.rs1);
+        need_f(insn.fs2);
+        break;
+      case Opcode::Getf:
+        need_f(insn.fs1);
+        break;
+      case Opcode::Fma:
+        need_f(insn.fs1);
+        need_f(insn.fs2);
+        need_f(insn.fs3);
+        break;
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::Fsub:
+        need_f(insn.fs1);
+        need_f(insn.fs2);
+        break;
+      case Opcode::Br:
+      case Opcode::BrCall:
+      case Opcode::BrRet:
+        break;
+    }
+    waitUntil(ready);
+}
+
+void
+Cpu::execBranch(const Insn &insn, Addr insn_pc, Addr bundle_addr)
+{
+    Addr fallthrough = bundle_addr + isa::bundleBytes;
+    bool taken = false;
+    Addr target = 0;
+
+    switch (insn.op) {
+      case Opcode::Br:
+        taken = p_[insn.qp];
+        target = insn.target;
+        break;
+      case Opcode::BrCall:
+        taken = p_[insn.qp];
+        if (taken) {
+            b_[insn.count] = fallthrough;
+            target = insn.target;
+        }
+        break;
+      case Opcode::BrRet:
+        taken = p_[insn.qp];
+        target = b_[insn.count];
+        break;
+      case Opcode::Halt:
+        halted_ = true;
+        return;
+      default:
+        panic("execBranch on non-branch");
+    }
+
+    bool predicted_taken = predictor_.predict(insn_pc);
+    bool mispredicted = predicted_taken != taken;
+    predictor_.update(insn_pc, taken);
+
+    if (mispredicted) {
+        cycle_ += config_.mispredictPenalty;
+        issuedThisCycle_ = 0;
+        ++counters_.mispredicts;
+    } else if (taken) {
+        cycle_ += config_.takenBranchBubble;
+        issuedThisCycle_ = 0;
+    }
+
+    btb_.record(insn_pc, taken ? target : fallthrough, taken, mispredicted);
+
+    if (taken) {
+        ++counters_.takenBranches;
+        branchTaken_ = true;
+        nextPc_ = target;
+    }
+}
+
+void
+Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
+{
+    // Branches always reach the branch unit: a false qualifying
+    // predicate makes them not-taken, but the predictor and BTB still
+    // see them (and a wrong direction prediction still flushes).
+    if (insn.isBranch()) {
+        execBranch(insn, insn_pc, bundle_addr);
+        return;
+    }
+
+    // Qualifying predicate: a predicated-off instruction still retires
+    // but has no architectural or timing effect.
+    if (!p_[insn.qp])
+        return;
+
+    waitForSources(insn);
+
+    auto write_r = [&](std::uint8_t rd, std::int64_t v, Cycle ready) {
+        if (rd == 0)
+            return;
+        r_[rd] = v;
+        rReady_[rd] = ready;
+        intWrittenMask_ |= 1u << rd;
+    };
+    auto write_f = [&](std::uint8_t fd, double v, Cycle ready) {
+        if (fd == 0)
+            return;
+        f_[fd] = v;
+        fReady_[fd] = ready;
+        fpWrittenMask_ |= static_cast<std::uint16_t>(1u << fd);
+    };
+
+    switch (insn.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Add:
+        write_r(insn.rd, r_[insn.rs1] + r_[insn.rs2], cycle_);
+        break;
+      case Opcode::Sub:
+        write_r(insn.rd, r_[insn.rs1] - r_[insn.rs2], cycle_);
+        break;
+      case Opcode::Addi:
+        write_r(insn.rd, insn.imm + r_[insn.rs1], cycle_);
+        break;
+      case Opcode::Shladd:
+        write_r(insn.rd, (r_[insn.rs1] << insn.count) + r_[insn.rs2],
+                cycle_);
+        break;
+      case Opcode::Mov:
+        write_r(insn.rd, r_[insn.rs1], cycle_);
+        break;
+      case Opcode::Movi:
+        write_r(insn.rd, insn.imm, cycle_);
+        break;
+      case Opcode::And:
+        write_r(insn.rd, r_[insn.rs1] & r_[insn.rs2], cycle_);
+        break;
+      case Opcode::Or:
+        write_r(insn.rd, r_[insn.rs1] | r_[insn.rs2], cycle_);
+        break;
+      case Opcode::Xor:
+        write_r(insn.rd, r_[insn.rs1] ^ r_[insn.rs2], cycle_);
+        break;
+      case Opcode::Shl:
+        write_r(insn.rd, r_[insn.rs1] << insn.count, cycle_);
+        break;
+      case Opcode::Shr:
+        write_r(insn.rd,
+                static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(r_[insn.rs1]) >> insn.count),
+                cycle_);
+        break;
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe: {
+        bool res = false;
+        switch (insn.op) {
+          case Opcode::CmpLt: res = r_[insn.rs1] < r_[insn.rs2]; break;
+          case Opcode::CmpLe: res = r_[insn.rs1] <= r_[insn.rs2]; break;
+          case Opcode::CmpEq: res = r_[insn.rs1] == r_[insn.rs2]; break;
+          default: res = r_[insn.rs1] != r_[insn.rs2]; break;
+        }
+        if (insn.pd != 0)
+            p_[insn.pd] = res;
+        break;
+      }
+      case Opcode::Ld:
+      case Opcode::LdS: {
+        Addr ea = static_cast<Addr>(r_[insn.rs1]);
+        auto res = caches_.load(ea, cycle_, false);
+        std::uint64_t raw = memory_.read(ea, insn.size);
+        write_r(insn.rd, static_cast<std::int64_t>(raw),
+                cycle_ + res.latency);
+        if (insn.postinc)
+            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+        dear_.observeLoad(insn_pc, ea, res.latency, cycle_);
+        if (res.latency >= config_.dearLatencyThreshold)
+            ++counters_.dcacheLoadMisses;
+        break;
+      }
+      case Opcode::Ldf: {
+        Addr ea = static_cast<Addr>(r_[insn.rs1]);
+        auto res = caches_.load(ea, cycle_, true);
+        double v = insn.size == 4
+                       ? static_cast<double>(memory_.readF32(ea))
+                       : memory_.readF64(ea);
+        write_f(insn.fd, v, cycle_ + res.latency);
+        if (insn.postinc)
+            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+        dear_.observeLoad(insn_pc, ea, res.latency, cycle_);
+        if (res.latency >= config_.dearLatencyThreshold)
+            ++counters_.dcacheLoadMisses;
+        break;
+      }
+      case Opcode::St: {
+        Addr ea = static_cast<Addr>(r_[insn.rs1]);
+        memory_.write(ea, static_cast<std::uint64_t>(r_[insn.rs2]),
+                      insn.size);
+        caches_.store(ea, cycle_, false);
+        if (insn.postinc)
+            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+        break;
+      }
+      case Opcode::Stf: {
+        Addr ea = static_cast<Addr>(r_[insn.rs1]);
+        if (insn.size == 4)
+            memory_.writeF32(ea, static_cast<float>(f_[insn.fs2]));
+        else
+            memory_.writeF64(ea, f_[insn.fs2]);
+        caches_.store(ea, cycle_, true);
+        if (insn.postinc)
+            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+        break;
+      }
+      case Opcode::Lfetch: {
+        Addr ea = static_cast<Addr>(r_[insn.rs1]);
+        // count == 1 encodes the .nt1 hint: do not allocate in L1D.
+        caches_.prefetch(ea, cycle_, insn.count == 1);
+        if (insn.postinc)
+            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+        break;
+      }
+      case Opcode::Getf:
+        // Modelled as a fused fcvt.fx.trunc + getf.sig: the integer value
+        // of the FP register.  Opaque to the ADORE dependence slicer.
+        write_r(insn.rd, static_cast<std::int64_t>(f_[insn.fs1]), cycle_);
+        break;
+      case Opcode::Setf:
+        write_f(insn.fd, static_cast<double>(r_[insn.rs1]),
+                cycle_ + config_.fpOpLatency);
+        break;
+      case Opcode::Fma:
+        write_f(insn.fd, f_[insn.fs1] * f_[insn.fs2] + f_[insn.fs3],
+                cycle_ + config_.fpOpLatency);
+        break;
+      case Opcode::Fadd:
+        write_f(insn.fd, f_[insn.fs1] + f_[insn.fs2],
+                cycle_ + config_.fpOpLatency);
+        break;
+      case Opcode::Fmul:
+        write_f(insn.fd, f_[insn.fs1] * f_[insn.fs2],
+                cycle_ + config_.fpOpLatency);
+        break;
+      case Opcode::Fsub:
+        write_f(insn.fd, f_[insn.fs1] - f_[insn.fs2],
+                cycle_ + config_.fpOpLatency);
+        break;
+      case Opcode::Br:
+      case Opcode::BrCall:
+      case Opcode::BrRet:
+      case Opcode::Halt:
+        break;  // handled above
+    }
+}
+
+void
+Cpu::execBundle(const Bundle &bundle, Addr bundle_addr)
+{
+    intWrittenMask_ = 0;
+    fpWrittenMask_ = 0;
+    splitIssueCharged_ = false;
+    branchTaken_ = false;
+
+    for (int slot = 0; slot < bundle.size(); ++slot) {
+        const Insn &insn = bundle.slot(slot);
+        execInsn(insn, isa::insnAddr(bundle_addr, slot), bundle_addr);
+        ++counters_.retiredInsns;
+        if (halted_ || branchTaken_)
+            break;
+    }
+
+    // Split issue: an intra-bundle register dependence forces the bundle
+    // across a cycle boundary.
+    if (splitIssueCharged_) {
+        cycle_ += 1;
+        issuedThisCycle_ = 0;
+    }
+}
+
+void
+Cpu::runHooks()
+{
+    for (Hook &hook : hooks_) {
+        while (cycle_ >= hook.nextAt) {
+            hook.fn(cycle_);
+            hook.nextAt += hook.period;
+        }
+    }
+}
+
+void
+Cpu::maybeSample(Addr bundle_addr)
+{
+    if (!sampler_ || !sampler_->enabled())
+        return;
+    if (cycle_ < sampler_->nextSampleAt())
+        return;
+
+    Sample s;
+    s.pc = bundle_addr;
+    s.cycles = cycle_;
+    s.dcacheMissCount = counters_.dcacheLoadMisses;
+    s.retiredCount = counters_.retiredInsns;
+    s.btb = btb_.snapshot();
+    s.dear = dear_.read();
+    Cycle overhead = sampler_->takeSample(s);
+    cycle_ += overhead;
+}
+
+bool
+Cpu::step()
+{
+    if (halted_)
+        return false;
+
+    Addr bundle_addr = isa::bundleAddr(pc_);
+
+    // Instruction fetch through the L1I.
+    std::uint32_t fetch_stall = caches_.ifetch(bundle_addr, cycle_);
+    if (fetch_stall) {
+        cycle_ += fetch_stall;
+        issuedThisCycle_ = 0;
+    }
+
+    if (issuedThisCycle_ >= config_.bundlesPerCycle) {
+        cycle_ += 1;
+        issuedThisCycle_ = 0;
+    }
+
+    const Bundle &bundle = code_.fetch(bundle_addr);
+    nextPc_ = bundle_addr + isa::bundleBytes;
+    execBundle(bundle, bundle_addr);
+    ++issuedThisCycle_;
+
+    counters_.cycles = cycle_;
+    pc_ = nextPc_;
+
+    maybeSample(bundle_addr);
+    runHooks();
+    counters_.cycles = cycle_;
+
+    return !halted_;
+}
+
+Cpu::RunResult
+Cpu::run(Cycle max_cycles)
+{
+    while (!halted_ && cycle_ < max_cycles)
+        step();
+
+    counters_.cycles = cycle_;
+    return {halted_, cycle_, counters_.retiredInsns};
+}
+
+} // namespace adore

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The simulated Itanium-2-class CPU: an in-order, stall-on-use timing
+ * interpreter over the mini-IA64 ISA.
+ *
+ * Timing model:
+ *  - up to two bundles issue per cycle (the paper's "two bundles per
+ *    cycle" constraint, Section 1.3);
+ *  - per-register ready times implement stall-on-use: a load issues
+ *    without stalling, and a later reader of its destination stalls the
+ *    pipeline until the cache fill completes;
+ *  - an instruction that reads a register written earlier in the *same*
+ *    bundle pays a one-cycle split-issue penalty (the stop-bit cost);
+ *  - taken branches pay a one-cycle redirect bubble; direction
+ *    mispredicts pay a flush penalty;
+ *  - instruction fetch goes through the L1I; trace-pool execution
+ *    therefore has real I-cache effects (gcc's loss / vortex's gain).
+ *
+ * PMU integration: every retired load reports its latency to the DEAR;
+ * every retired branch is recorded in the BTB; a Sampler (when attached)
+ * snapshots the n-tuple every R cycles and charges sampling overhead.
+ * Periodic hooks let the ADORE runtime poll "every 100 ms" of simulated
+ * time without a host thread.
+ */
+
+#ifndef ADORE_CPU_CPU_HH
+#define ADORE_CPU_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cpu/branch_predictor.hh"
+#include "isa/bundle.hh"
+#include "mem/hierarchy.hh"
+#include "mem/main_memory.hh"
+#include "pmu/pmu.hh"
+#include "pmu/sampler.hh"
+#include "program/code_image.hh"
+
+namespace adore
+{
+
+struct CpuConfig
+{
+    int bundlesPerCycle = 2;
+    std::uint32_t takenBranchBubble = 1;
+    std::uint32_t mispredictPenalty = 6;
+    std::uint32_t fpOpLatency = 4;
+    std::uint32_t dearLatencyThreshold = 8;
+};
+
+class Cpu
+{
+  public:
+    Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
+        const CpuConfig &config = CpuConfig());
+
+    /// @name Architectural state
+    /// @{
+    std::int64_t intReg(int i) const { return r_[static_cast<size_t>(i)]; }
+    void setIntReg(int i, std::int64_t v);
+    double fpReg(int i) const { return f_[static_cast<size_t>(i)]; }
+    void setFpReg(int i, double v);
+    bool predReg(int i) const { return p_[static_cast<size_t>(i)]; }
+    void setPredReg(int i, bool v);
+    Addr pc() const { return pc_; }
+    void setPc(Addr pc) { pc_ = pc; }
+    /// @}
+
+    /** Attach the PMU sampler (nullptr detaches). */
+    void setSampler(Sampler *sampler) { sampler_ = sampler; }
+
+    /**
+     * Register a hook invoked whenever the cycle counter crosses a
+     * multiple of @p period (the ADORE optimizer-thread poll).
+     */
+    using PeriodicHook = std::function<void(Cycle)>;
+    void addPeriodicHook(Cycle period, PeriodicHook hook);
+
+    /** Charge overhead cycles to the main thread (signal handlers...). */
+    void chargeCycles(Cycle n) { cycle_ += n; }
+
+    struct RunResult
+    {
+        bool halted = false;
+        Cycle cycles = 0;
+        std::uint64_t retired = 0;
+    };
+
+    /**
+     * Run until Halt retires or @p max_cycles elapses.
+     */
+    RunResult run(Cycle max_cycles);
+
+    /** Execute one bundle. @return false once halted. */
+    bool step();
+
+    bool halted() const { return halted_; }
+    Cycle cycle() const { return cycle_; }
+
+    const PerfCounters &counters() const { return counters_; }
+    Dear &dear() { return dear_; }
+    BranchTraceBuffer &btb() { return btb_; }
+    CacheHierarchy &caches() { return caches_; }
+    MainMemory &memory() { return memory_; }
+    CodeImage &code() { return code_; }
+    const CpuConfig &config() const { return config_; }
+
+  private:
+    void execBundle(const Bundle &bundle, Addr bundle_addr);
+    void execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr);
+    void execBranch(const Insn &insn, Addr insn_pc, Addr bundle_addr);
+
+    /** Stall until @p ready_at; resets the issue counter when stalling. */
+    void waitUntil(Cycle ready_at);
+
+    /** Stall until every source register of @p insn is ready. */
+    void waitForSources(const Insn &insn);
+
+    void runHooks();
+    void maybeSample(Addr bundle_addr);
+
+    CodeImage &code_;
+    CacheHierarchy &caches_;
+    MainMemory &memory_;
+    CpuConfig config_;
+
+    // Architectural state.
+    std::array<std::int64_t, isa::numIntRegs> r_{};
+    std::array<double, isa::numFpRegs> f_{};
+    std::array<bool, isa::numPredRegs> p_{};
+    std::array<Addr, isa::numBranchRegs> b_{};
+    Addr pc_ = CodeImage::textBase;
+
+    // Timing state.
+    std::array<Cycle, isa::numIntRegs> rReady_{};
+    std::array<Cycle, isa::numFpRegs> fReady_{};
+    Cycle cycle_ = 0;
+    int issuedThisCycle_ = 0;
+    std::uint32_t intWrittenMask_ = 0;  ///< regs written in current bundle
+    std::uint16_t fpWrittenMask_ = 0;
+    bool splitIssueCharged_ = false;
+    Addr nextPc_ = 0;
+    bool branchTaken_ = false;
+    bool halted_ = false;
+
+    BranchPredictor predictor_;
+    PerfCounters counters_;
+    Dear dear_;
+    BranchTraceBuffer btb_;
+    Sampler *sampler_ = nullptr;
+
+    struct Hook
+    {
+        Cycle period;
+        Cycle nextAt;
+        PeriodicHook fn;
+    };
+    std::vector<Hook> hooks_;
+};
+
+} // namespace adore
+
+#endif // ADORE_CPU_CPU_HH

@@ -1,0 +1,194 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace adore
+{
+
+AdoreConfig
+Experiment::defaultAdoreConfig()
+{
+    AdoreConfig cfg;
+    cfg.sampler.interval = 4'000;
+    cfg.sampler.ssbSamples = 64;
+    cfg.uebMultiplier = 16;
+    cfg.pollPeriod = 64'000;
+    return cfg;
+}
+
+RunMetrics
+Experiment::run(const hir::Program &prog, const RunConfig &cfg)
+{
+    Machine machine(cfg.machine);
+    DataLayout data(machine.memory());
+    Compiler compiler(cfg.machine.hier);
+
+    RunMetrics out;
+    out.compileReport =
+        compiler.compile(prog, cfg.compile, machine.code(), data);
+    machine.cpu().setPc(out.compileReport.entry);
+
+    // The SWP-loop filter: ADORE must skip loops compiled with rotating
+    // registers (paper Section 4.3).
+    std::unordered_set<int> swp_loops;
+    for (const LoopCompileInfo &li : out.compileReport.loops)
+        if (li.softwarePipelined)
+            swp_loops.insert(li.loopId);
+
+    std::unique_ptr<AdoreRuntime> adore;
+    if (cfg.adore) {
+        AdoreConfig acfg = cfg.adoreConfig;
+        if (!swp_loops.empty()) {
+            CodeImage *code = &machine.code();
+            acfg.swpLoopFilter = [code, swp_loops](Addr pc) {
+                int id = code->loopIdAt(pc);
+                return id >= 0 && swp_loops.count(id) != 0;
+            };
+        }
+        adore = std::make_unique<AdoreRuntime>(machine.cpu(), acfg);
+        adore->attach();
+        out.adoreUsed = true;
+    }
+
+    // Optional CPI / DEAR time series (Figs. 8 and 9).
+    struct SeriesState
+    {
+        Cycle lastCycle = 0;
+        std::uint64_t lastRetired = 0;
+        std::uint64_t lastMisses = 0;
+    };
+    auto series_state = std::make_shared<SeriesState>();
+    if (cfg.seriesInterval > 0) {
+        Cpu *cpu = &machine.cpu();
+        TimeSeries *cpi_series = &out.cpiSeries;
+        TimeSeries *dear_series = &out.dearSeries;
+        machine.cpu().addPeriodicHook(
+            cfg.seriesInterval,
+            [cpu, cpi_series, dear_series, series_state](Cycle now) {
+                const PerfCounters &c = cpu->counters();
+                double d_insn = static_cast<double>(
+                    c.retiredInsns - series_state->lastRetired);
+                if (d_insn > 0) {
+                    double d_cyc = static_cast<double>(
+                        now - series_state->lastCycle);
+                    double d_miss = static_cast<double>(
+                        c.dcacheLoadMisses - series_state->lastMisses);
+                    cpi_series->add(now, d_cyc / d_insn);
+                    dear_series->add(now, d_miss / d_insn * 1000.0);
+                }
+                series_state->lastCycle = now;
+                series_state->lastRetired = c.retiredInsns;
+                series_state->lastMisses = c.dcacheLoadMisses;
+            });
+    }
+
+    auto result = machine.cpu().run(cfg.maxCycles);
+    if (!result.halted) {
+        warn("%s: run hit the %llu-cycle limit before Halt",
+             prog.name.c_str(),
+             static_cast<unsigned long long>(cfg.maxCycles));
+    }
+
+    out.halted = result.halted;
+    out.cycles = result.cycles;
+    out.retired = result.retired;
+    out.dearMisses = machine.cpu().counters().dcacheLoadMisses;
+    out.cpi = out.retired ? static_cast<double>(out.cycles) /
+                                static_cast<double>(out.retired)
+                          : 0.0;
+    out.dearPer1000 =
+        out.retired ? static_cast<double>(out.dearMisses) /
+                          static_cast<double>(out.retired) * 1000.0
+                    : 0.0;
+    out.memStats = machine.caches().stats();
+    out.l1iStats = machine.caches().l1i().stats();
+    if (adore) {
+        adore->detach();
+        out.adoreStats = adore->stats();
+    }
+    return out;
+}
+
+MissProfile
+Experiment::collectProfile(const hir::Program &prog,
+                           const CompileOptions &train_opts,
+                           double coverage)
+{
+    Machine machine;
+    DataLayout data(machine.memory());
+    Compiler compiler(machine.config().hier);
+    CompileReport report =
+        compiler.compile(prog, train_opts, machine.code(), data);
+    machine.cpu().setPc(report.entry);
+
+    // Plain perfmon-style sampling without any optimizer: collect every
+    // (deduplicated) DEAR event into per-pc totals.
+    struct PcAgg
+    {
+        Addr pc;
+        std::uint64_t totalLatency = 0;
+    };
+    std::unordered_map<Addr, std::uint64_t> totals;
+
+    SamplerConfig scfg;
+    scfg.interval = 4'000;
+    scfg.ssbSamples = 64;
+    Sampler sampler(scfg);
+    DearRecord prev{};
+    sampler.setOverflowHandler(
+        [&totals, &prev](const std::vector<Sample> &ssb) {
+            for (const Sample &s : ssb) {
+                const DearRecord &d = s.dear;
+                if (!d.valid)
+                    continue;
+                if (prev.valid && prev.pc == d.pc &&
+                    prev.missAddr == d.missAddr &&
+                    prev.latency == d.latency) {
+                    continue;
+                }
+                prev = d;
+                totals[d.pc] += d.latency;
+            }
+        });
+    machine.cpu().setSampler(&sampler);
+    sampler.setEnabled(true, 0);
+
+    machine.cpu().run(4'000'000'000ULL);
+
+    // Sort delinquent loads by decreasing total latency and take loads
+    // until the requested latency coverage is reached (Section 4.2).
+    std::vector<PcAgg> sorted;
+    std::uint64_t grand_total = 0;
+    for (const auto &[pc, lat] : totals) {
+        sorted.push_back({pc, lat});
+        grand_total += lat;
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PcAgg &a, const PcAgg &b) {
+                  if (a.totalLatency != b.totalLatency)
+                      return a.totalLatency > b.totalLatency;
+                  return a.pc < b.pc;
+              });
+
+    MissProfile profile;
+    std::uint64_t acc = 0;
+    for (const PcAgg &entry : sorted) {
+        if (grand_total > 0 &&
+            static_cast<double>(acc) >=
+                coverage * static_cast<double>(grand_total)) {
+            break;
+        }
+        acc += entry.totalLatency;
+        int loop_id = machine.code().loopIdAt(entry.pc);
+        if (loop_id >= 0)
+            profile.hotLoops.insert(loop_id);
+    }
+    return profile;
+}
+
+} // namespace adore

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Experiment harness: compiles an HIR workload at a given configuration,
+ * runs it on a fresh Machine with or without the ADORE runtime attached,
+ * and returns the metrics the paper's tables and figures are built from
+ * (cycles, CPI, DEAR miss rates, ADORE statistics, compile reports, and
+ * optional CPI / DEAR time series for the Fig. 8/9 curves).
+ */
+
+#ifndef ADORE_HARNESS_EXPERIMENT_HH
+#define ADORE_HARNESS_EXPERIMENT_HH
+
+#include <optional>
+
+#include "compiler/compiler.hh"
+#include "harness/machine.hh"
+#include "runtime/adore.hh"
+#include "support/stats.hh"
+
+namespace adore
+{
+
+struct RunConfig
+{
+    CompileOptions compile{};
+    bool adore = false;             ///< attach the dynamic optimizer
+    AdoreConfig adoreConfig{};
+    MachineConfig machine{};
+    Cycle maxCycles = 4'000'000'000ULL;
+    /** When nonzero, sample CPI / DEAR-per-1000-insn series at this
+     *  cycle interval (Figs. 8 and 9). */
+    Cycle seriesInterval = 0;
+};
+
+struct RunMetrics
+{
+    bool halted = false;
+    Cycle cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t dearMisses = 0;
+    double cpi = 0.0;
+    double dearPer1000 = 0.0;  ///< DEAR-qualifying misses / 1000 insns
+    CompileReport compileReport;
+    bool adoreUsed = false;
+    AdoreStats adoreStats;
+    HierarchyStats memStats;
+    CacheStats l1iStats;
+    TimeSeries cpiSeries;
+    TimeSeries dearSeries;
+
+    /** Wall-clock seconds at the paper's 900 MHz test machine. */
+    double
+    secondsAt900MHz() const
+    {
+        return static_cast<double>(cycles) / 900e6;
+    }
+};
+
+class Experiment
+{
+  public:
+    /** Compile and run @p prog under @p cfg on a fresh machine. */
+    static RunMetrics run(const hir::Program &prog, const RunConfig &cfg);
+
+    /**
+     * Training run for profile-guided static prefetching (Table 1):
+     * collect DEAR events over a full run of @p prog compiled with
+     * @p train_opts, sort delinquent loads by total latency, keep loads
+     * covering @p coverage of total latency, and return the set of
+     * source loops containing at least one of them.
+     */
+    static MissProfile collectProfile(const hir::Program &prog,
+                                      const CompileOptions &train_opts,
+                                      double coverage = 0.9);
+
+    /** Relative speedup of @p opt over @p base: base/opt - 1. */
+    static double
+    speedup(Cycle base_cycles, Cycle opt_cycles)
+    {
+        return opt_cycles
+                   ? static_cast<double>(base_cycles) /
+                             static_cast<double>(opt_cycles) -
+                         1.0
+                   : 0.0;
+    }
+
+    /** Default ADORE configuration matched to the scaled machine. */
+    static AdoreConfig defaultAdoreConfig();
+};
+
+} // namespace adore
+
+#endif // ADORE_HARNESS_EXPERIMENT_HH

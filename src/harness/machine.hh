@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Machine: the assembled simulated system — memory, caches, code image
+ * and CPU — in one ownable unit.  Each experiment run constructs a fresh
+ * Machine so state never leaks between configurations.
+ */
+
+#ifndef ADORE_HARNESS_MACHINE_HH
+#define ADORE_HARNESS_MACHINE_HH
+
+#include "cpu/cpu.hh"
+#include "mem/hierarchy.hh"
+#include "mem/main_memory.hh"
+#include "program/code_image.hh"
+
+namespace adore
+{
+
+struct MachineConfig
+{
+    HierarchyConfig hier{};
+    CpuConfig cpu{};
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config = MachineConfig())
+        : config_(config),
+          caches_(config.hier),
+          cpu_(code_, caches_, memory_, config.cpu)
+    {
+    }
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    MainMemory &memory() { return memory_; }
+    CacheHierarchy &caches() { return caches_; }
+    CodeImage &code() { return code_; }
+    Cpu &cpu() { return cpu_; }
+    const MachineConfig &config() const { return config_; }
+
+  private:
+    MachineConfig config_;
+    MainMemory memory_;
+    CacheHierarchy caches_;
+    CodeImage code_;
+    Cpu cpu_;
+};
+
+} // namespace adore
+
+#endif // ADORE_HARNESS_MACHINE_HH

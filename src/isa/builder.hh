@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Factory helpers for building decoded instructions.  Used by the compiler
+ * code generator, the ADORE prefetch generator, and the tests.
+ */
+
+#ifndef ADORE_ISA_BUILDER_HH
+#define ADORE_ISA_BUILDER_HH
+
+#include "isa/insn.hh"
+
+namespace adore::build
+{
+
+inline Insn
+nop()
+{
+    Insn i;
+    i.op = Opcode::Nop;
+    return i;
+}
+
+inline Insn
+add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    Insn i;
+    i.op = Opcode::Add;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+inline Insn
+sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    Insn i;
+    i.op = Opcode::Sub;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+/** adds rd = imm, rs1 */
+inline Insn
+addi(std::uint8_t rd, std::int64_t imm, std::uint8_t rs1)
+{
+    Insn i;
+    i.op = Opcode::Addi;
+    i.rd = rd;
+    i.imm = imm;
+    i.rs1 = rs1;
+    return i;
+}
+
+/** shladd rd = rs1 << count + rs2 */
+inline Insn
+shladd(std::uint8_t rd, std::uint8_t rs1, std::uint8_t count,
+       std::uint8_t rs2)
+{
+    Insn i;
+    i.op = Opcode::Shladd;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.count = count;
+    i.rs2 = rs2;
+    return i;
+}
+
+inline Insn
+mov(std::uint8_t rd, std::uint8_t rs1)
+{
+    Insn i;
+    i.op = Opcode::Mov;
+    i.rd = rd;
+    i.rs1 = rs1;
+    return i;
+}
+
+inline Insn
+movi(std::uint8_t rd, std::int64_t imm)
+{
+    Insn i;
+    i.op = Opcode::Movi;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+inline Insn
+cmp(Opcode op, std::uint8_t pd, std::uint8_t rs1, std::uint8_t rs2)
+{
+    Insn i;
+    i.op = op;
+    i.pd = pd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+inline Insn
+ld(std::uint8_t size, std::uint8_t rd, std::uint8_t base,
+   std::int32_t postinc = 0)
+{
+    Insn i;
+    i.op = Opcode::Ld;
+    i.size = size;
+    i.rd = rd;
+    i.rs1 = base;
+    i.postinc = postinc;
+    return i;
+}
+
+inline Insn
+lds(std::uint8_t size, std::uint8_t rd, std::uint8_t base,
+    std::int32_t postinc = 0)
+{
+    Insn i = ld(size, rd, base, postinc);
+    i.op = Opcode::LdS;
+    return i;
+}
+
+inline Insn
+st(std::uint8_t size, std::uint8_t base, std::uint8_t rs2,
+   std::int32_t postinc = 0)
+{
+    Insn i;
+    i.op = Opcode::St;
+    i.size = size;
+    i.rs1 = base;
+    i.rs2 = rs2;
+    i.postinc = postinc;
+    return i;
+}
+
+inline Insn
+ldf(std::uint8_t size, std::uint8_t fd, std::uint8_t base,
+    std::int32_t postinc = 0)
+{
+    Insn i;
+    i.op = Opcode::Ldf;
+    i.size = size;
+    i.fd = fd;
+    i.rs1 = base;
+    i.postinc = postinc;
+    return i;
+}
+
+inline Insn
+stf(std::uint8_t size, std::uint8_t base, std::uint8_t fs2,
+    std::int32_t postinc = 0)
+{
+    Insn i;
+    i.op = Opcode::Stf;
+    i.size = size;
+    i.rs1 = base;
+    i.fs2 = fs2;
+    i.postinc = postinc;
+    return i;
+}
+
+inline Insn
+lfetch(std::uint8_t base, std::int32_t postinc = 0)
+{
+    Insn i;
+    i.op = Opcode::Lfetch;
+    i.rs1 = base;
+    i.postinc = postinc;
+    return i;
+}
+
+inline Insn
+getf(std::uint8_t rd, std::uint8_t fs1)
+{
+    Insn i;
+    i.op = Opcode::Getf;
+    i.rd = rd;
+    i.fs1 = fs1;
+    return i;
+}
+
+inline Insn
+setf(std::uint8_t fd, std::uint8_t rs1)
+{
+    Insn i;
+    i.op = Opcode::Setf;
+    i.fd = fd;
+    i.rs1 = rs1;
+    return i;
+}
+
+inline Insn
+fma(std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2, std::uint8_t fs3)
+{
+    Insn i;
+    i.op = Opcode::Fma;
+    i.fd = fd;
+    i.fs1 = fs1;
+    i.fs2 = fs2;
+    i.fs3 = fs3;
+    return i;
+}
+
+inline Insn
+fbin(Opcode op, std::uint8_t fd, std::uint8_t fs1, std::uint8_t fs2)
+{
+    Insn i;
+    i.op = op;
+    i.fd = fd;
+    i.fs1 = fs1;
+    i.fs2 = fs2;
+    return i;
+}
+
+inline Insn
+br(std::uint8_t qp, Addr target)
+{
+    Insn i;
+    i.op = Opcode::Br;
+    i.qp = qp;
+    i.target = target;
+    return i;
+}
+
+inline Insn
+brAlways(Addr target)
+{
+    return br(0, target);
+}
+
+inline Insn
+brCall(std::uint8_t breg, Addr target)
+{
+    Insn i;
+    i.op = Opcode::BrCall;
+    i.count = breg;
+    i.target = target;
+    return i;
+}
+
+inline Insn
+brRet(std::uint8_t breg)
+{
+    Insn i;
+    i.op = Opcode::BrRet;
+    i.count = breg;
+    return i;
+}
+
+inline Insn
+halt()
+{
+    Insn i;
+    i.op = Opcode::Halt;
+    return i;
+}
+
+} // namespace adore::build
+
+#endif // ADORE_ISA_BUILDER_HH

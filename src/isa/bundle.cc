@@ -1,0 +1,140 @@
+#include "isa/bundle.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace adore
+{
+
+bool
+Bundle::tryAdd(Insn insn)
+{
+    if (full())
+        return false;
+    // A branch must be the last slot: once a branch is present nothing may
+    // follow it.
+    if (hasBranch())
+        return false;
+
+    SlotKind kind = insn.slot;
+    if (!Insn::opAllowsSlot(insn.op, kind))
+        kind = naturalSlot(insn.op);
+
+    // For A-type ops prefer an I slot, keeping M capacity for memory ops.
+    if (Insn::opAllowsSlot(insn.op, SlotKind::I) &&
+        Insn::opAllowsSlot(insn.op, SlotKind::M)) {
+        kind = canAccept(SlotKind::I) ? SlotKind::I : SlotKind::M;
+    }
+
+    if (!canAccept(kind))
+        return false;
+
+    insn.slot = kind;
+    slots_[static_cast<size_t>(n_)] = insn;
+    ++n_;
+    return true;
+}
+
+void
+Bundle::add(Insn insn)
+{
+    panic_if(!tryAdd(insn), "illegal bundle slot assignment for %s",
+             mnemonic(insn).c_str());
+}
+
+void
+Bundle::padWithNops()
+{
+    while (n_ < numSlots) {
+        Insn nop;
+        nop.op = Opcode::Nop;
+        nop.slot = canAccept(SlotKind::I) ? SlotKind::I : SlotKind::M;
+        slots_[static_cast<size_t>(n_)] = nop;
+        ++n_;
+    }
+}
+
+int
+Bundle::countKind(SlotKind kind) const
+{
+    int c = 0;
+    for (int i = 0; i < n_; ++i) {
+        const Insn &insn = slots_[static_cast<size_t>(i)];
+        if (!insn.isNop() && insn.slot == kind)
+            ++c;
+    }
+    return c;
+}
+
+int
+Bundle::freeSlotFor(SlotKind kind) const
+{
+    // A nop occupies a slot whose kind was fixed at padding time; an
+    // instruction of kind K can replace a nop when doing so keeps the
+    // bundle template legal.
+    for (int i = 0; i < n_; ++i) {
+        const Insn &insn = slots_[static_cast<size_t>(i)];
+        if (!insn.isNop())
+            continue;
+        // Never place anything after a branch slot (branches are last, so
+        // a nop before the branch is fine).
+        int limit = kind == SlotKind::M ? 2 : 1;
+        int occupied = countKind(kind);
+        if (kind == SlotKind::B)
+            continue;  // the scheduler never inserts branches
+        if (occupied < limit)
+            return i;
+    }
+    return -1;
+}
+
+bool
+Bundle::canAccept(SlotKind kind) const
+{
+    if (full())
+        return false;
+    switch (kind) {
+      case SlotKind::M:
+        return countKind(SlotKind::M) < 2;
+      case SlotKind::I:
+        return true;
+      case SlotKind::F:
+        return countKind(SlotKind::F) < 1;
+      case SlotKind::B:
+        return countKind(SlotKind::B) < 1;
+    }
+    return false;
+}
+
+bool
+Bundle::hasBranch() const
+{
+    return branchSlot() >= 0;
+}
+
+int
+Bundle::branchSlot() const
+{
+    for (int i = 0; i < n_; ++i) {
+        if (slots_[static_cast<size_t>(i)].isBranch())
+            return i;
+    }
+    return -1;
+}
+
+std::string
+Bundle::toString() const
+{
+    std::ostringstream os;
+    os << "{ ";
+    for (int i = 0; i < n_; ++i) {
+        if (i)
+            os << " ; ";
+        os << disassemble(slots_[static_cast<size_t>(i)]);
+    }
+    os << " }";
+    return os.str();
+}
+
+} // namespace adore

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Instruction bundles: three slots with template legality rules.
+ *
+ * The template model is a simplification of the IA64 template set (MII,
+ * MMI, MFI, MMF, MIB, MMB, MFB, ...): a bundle may hold at most two M
+ * slots, at most one F slot, and at most one B slot, which must be the
+ * final occupied slot.  This preserves the constraint the paper leans on
+ * ("two extra memory operations per iteration would exceed the two bundles
+ * per cycle limit", Section 1.3) without modelling every template.
+ */
+
+#ifndef ADORE_ISA_BUNDLE_HH
+#define ADORE_ISA_BUNDLE_HH
+
+#include <array>
+#include <string>
+
+#include "isa/insn.hh"
+
+namespace adore
+{
+
+class Bundle
+{
+  public:
+    static constexpr int numSlots = 3;
+
+    Bundle() = default;
+
+    /**
+     * Try to add @p insn in the next free slot, choosing a legal slot kind
+     * automatically for A-type (M-or-I) instructions.
+     *
+     * @return true when the instruction was placed.
+     */
+    bool tryAdd(Insn insn);
+
+    /** Add, panicking when the bundle cannot legally take the insn. */
+    void add(Insn insn);
+
+    /** Pad the remaining slots with nops so the bundle has three slots. */
+    void padWithNops();
+
+    int size() const { return n_; }
+    bool empty() const { return n_ == 0; }
+    bool full() const { return n_ == numSlots; }
+
+    const Insn &slot(int i) const { return slots_[static_cast<size_t>(i)]; }
+    Insn &slot(int i) { return slots_[static_cast<size_t>(i)]; }
+
+    /** Count of occupied slots of a given kind (nops excluded). */
+    int countKind(SlotKind kind) const;
+
+    /**
+     * Index of a slot that holds a nop legally replaceable by an
+     * instruction of kind @p kind, or -1.  Used by the prefetch scheduler
+     * to place lfetch into otherwise-wasted M slots (paper Section 3.5).
+     */
+    int freeSlotFor(SlotKind kind) const;
+
+    /** Whether adding one more instruction of @p kind would be legal. */
+    bool canAccept(SlotKind kind) const;
+
+    /** True when some occupied slot is a taken-path branch. */
+    bool hasBranch() const;
+
+    /** Index of the first branch slot, or -1. */
+    int branchSlot() const;
+
+    std::string toString() const;
+
+  private:
+    std::array<Insn, numSlots> slots_{};
+    int n_ = 0;
+};
+
+} // namespace adore
+
+#endif // ADORE_ISA_BUNDLE_HH

@@ -1,0 +1,245 @@
+#include "isa/insn.hh"
+
+#include <cstdio>
+
+namespace adore
+{
+
+bool
+Insn::isFp() const
+{
+    switch (op) {
+      case Opcode::Ldf:
+      case Opcode::Stf:
+      case Opcode::Fma:
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::Fsub:
+      case Opcode::Setf:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Insn::opAllowsSlot(Opcode op, SlotKind kind)
+{
+    switch (op) {
+      case Opcode::Nop:
+        return true;  // nop.m / nop.i / nop.f / nop.b all exist
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Addi:
+      case Opcode::Shladd:
+      case Opcode::Mov:
+      case Opcode::Movi:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+        return kind == SlotKind::M || kind == SlotKind::I;
+      case Opcode::Ld:
+      case Opcode::LdS:
+      case Opcode::St:
+      case Opcode::Ldf:
+      case Opcode::Stf:
+      case Opcode::Lfetch:
+      case Opcode::Getf:
+      case Opcode::Setf:
+        return kind == SlotKind::M;
+      case Opcode::Fma:
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::Fsub:
+        return kind == SlotKind::F;
+      case Opcode::Br:
+      case Opcode::BrCall:
+      case Opcode::BrRet:
+      case Opcode::Halt:
+        return kind == SlotKind::B;
+    }
+    return false;
+}
+
+SlotKind
+naturalSlot(Opcode op)
+{
+    if (Insn::opAllowsSlot(op, SlotKind::M) &&
+        !Insn::opAllowsSlot(op, SlotKind::I)) {
+        return SlotKind::M;
+    }
+    if (Insn::opAllowsSlot(op, SlotKind::F))
+        return SlotKind::F;
+    if (Insn::opAllowsSlot(op, SlotKind::B))
+        return SlotKind::B;
+    return SlotKind::I;
+}
+
+std::string
+mnemonic(const Insn &insn)
+{
+    switch (insn.op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Addi: return "adds";
+      case Opcode::Shladd: return "shladd";
+      case Opcode::Mov: return "mov";
+      case Opcode::Movi: return "movl";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr.u";
+      case Opcode::CmpLt: return "cmp.lt";
+      case Opcode::CmpLe: return "cmp.le";
+      case Opcode::CmpEq: return "cmp.eq";
+      case Opcode::CmpNe: return "cmp.ne";
+      case Opcode::Ld: return "ld" + std::to_string(insn.size);
+      case Opcode::LdS: return "ld" + std::to_string(insn.size) + ".s";
+      case Opcode::St: return "st" + std::to_string(insn.size);
+      case Opcode::Ldf: return insn.size == 4 ? "ldfs" : "ldfd";
+      case Opcode::Stf: return insn.size == 4 ? "stfs" : "stfd";
+      case Opcode::Lfetch: return "lfetch";
+      case Opcode::Getf: return "getf.sig";
+      case Opcode::Setf: return "setf.sig";
+      case Opcode::Fma: return "fma";
+      case Opcode::Fadd: return "fadd";
+      case Opcode::Fmul: return "fmul";
+      case Opcode::Fsub: return "fsub";
+      case Opcode::Br: return "br.cond";
+      case Opcode::BrCall: return "br.call";
+      case Opcode::BrRet: return "br.ret";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const Insn &insn)
+{
+    char buf[160];
+    std::string m = mnemonic(insn);
+    std::string qp =
+        insn.qp ? "(p" + std::to_string(insn.qp) + ") " : "";
+
+    auto r = [](int n) { return "r" + std::to_string(n); };
+    auto f = [](int n) { return "f" + std::to_string(n); };
+
+    std::string body;
+    switch (insn.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        body = m;
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+        body = m + " " + r(insn.rd) + " = " + r(insn.rs1) + ", " +
+               r(insn.rs2);
+        break;
+      case Opcode::Addi:
+        std::snprintf(buf, sizeof(buf), "%s %s = %lld, %s", m.c_str(),
+                      r(insn.rd).c_str(),
+                      static_cast<long long>(insn.imm),
+                      r(insn.rs1).c_str());
+        body = buf;
+        break;
+      case Opcode::Shladd:
+        std::snprintf(buf, sizeof(buf), "%s %s = %s, %d, %s", m.c_str(),
+                      r(insn.rd).c_str(), r(insn.rs1).c_str(), insn.count,
+                      r(insn.rs2).c_str());
+        body = buf;
+        break;
+      case Opcode::Shl:
+      case Opcode::Shr:
+        std::snprintf(buf, sizeof(buf), "%s %s = %s, %d", m.c_str(),
+                      r(insn.rd).c_str(), r(insn.rs1).c_str(), insn.count);
+        body = buf;
+        break;
+      case Opcode::Mov:
+        body = m + " " + r(insn.rd) + " = " + r(insn.rs1);
+        break;
+      case Opcode::Movi:
+        std::snprintf(buf, sizeof(buf), "%s %s = %lld", m.c_str(),
+                      r(insn.rd).c_str(),
+                      static_cast<long long>(insn.imm));
+        body = buf;
+        break;
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+        std::snprintf(buf, sizeof(buf), "%s p%d = %s, %s", m.c_str(),
+                      insn.pd, r(insn.rs1).c_str(), r(insn.rs2).c_str());
+        body = buf;
+        break;
+      case Opcode::Ld:
+      case Opcode::LdS:
+        body = m + " " + r(insn.rd) + " = [" + r(insn.rs1) + "]";
+        if (insn.postinc)
+            body += ", " + std::to_string(insn.postinc);
+        break;
+      case Opcode::St:
+        body = m + " [" + r(insn.rs1) + "] = " + r(insn.rs2);
+        if (insn.postinc)
+            body += ", " + std::to_string(insn.postinc);
+        break;
+      case Opcode::Ldf:
+        body = m + " " + f(insn.fd) + " = [" + r(insn.rs1) + "]";
+        if (insn.postinc)
+            body += ", " + std::to_string(insn.postinc);
+        break;
+      case Opcode::Stf:
+        body = m + " [" + r(insn.rs1) + "] = " + f(insn.fs2);
+        if (insn.postinc)
+            body += ", " + std::to_string(insn.postinc);
+        break;
+      case Opcode::Lfetch:
+        body = m + " [" + r(insn.rs1) + "]";
+        if (insn.postinc)
+            body += ", " + std::to_string(insn.postinc);
+        break;
+      case Opcode::Getf:
+        body = m + " " + r(insn.rd) + " = " + f(insn.fs1);
+        break;
+      case Opcode::Setf:
+        body = m + " " + f(insn.fd) + " = " + r(insn.rs1);
+        break;
+      case Opcode::Fma:
+        body = m + " " + f(insn.fd) + " = " + f(insn.fs1) + ", " +
+               f(insn.fs2) + ", " + f(insn.fs3);
+        break;
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::Fsub:
+        body = m + " " + f(insn.fd) + " = " + f(insn.fs1) + ", " +
+               f(insn.fs2);
+        break;
+      case Opcode::Br:
+        std::snprintf(buf, sizeof(buf), "%s 0x%llx", m.c_str(),
+                      static_cast<unsigned long long>(insn.target));
+        body = buf;
+        break;
+      case Opcode::BrCall:
+        std::snprintf(buf, sizeof(buf), "%s b%d = 0x%llx", m.c_str(),
+                      insn.count,
+                      static_cast<unsigned long long>(insn.target));
+        body = buf;
+        break;
+      case Opcode::BrRet:
+        body = m + " b" + std::to_string(insn.count);
+        break;
+    }
+    return qp + body;
+}
+
+} // namespace adore

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The simulated mini-IA64 instruction set.
+ *
+ * This is a reduced model of the Itanium ISA with exactly the features the
+ * paper's mechanisms depend on: explicit three-slot bundles with M/I/F/B
+ * slot types, post-increment memory addressing, qualifying predicates,
+ * non-faulting speculative loads (ld.s), software prefetch (lfetch), and a
+ * register file with four integer registers (r27-r30) and one predicate
+ * register (p6) reservable for the dynamic optimizer (paper Section 3.3).
+ *
+ * Instructions are stored decoded (no binary encoding) — the CodeImage is
+ * addressed in 16-byte bundle units so that patching, trace addresses, and
+ * binary-size accounting behave like the real machine.
+ */
+
+#ifndef ADORE_ISA_INSN_HH
+#define ADORE_ISA_INSN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace adore
+{
+
+using Addr = std::uint64_t;
+
+/** Architectural register file sizes. */
+namespace isa
+{
+constexpr int numIntRegs = 32;    ///< r0 (always zero) .. r31
+constexpr int numFpRegs = 16;     ///< f0 (always 0.0) .. f15
+constexpr int numPredRegs = 8;    ///< p0 (always true) .. p7
+constexpr int numBranchRegs = 4;  ///< b0 .. b3
+
+/** Registers the static compiler reserves for ADORE (paper Section 3.3). */
+constexpr std::uint8_t reservedIntRegFirst = 27;
+constexpr std::uint8_t reservedIntRegLast = 30;
+constexpr std::uint8_t reservedPredReg = 6;
+
+/** A bundle occupies 16 bytes; instruction pc = bundle addr | slot index. */
+constexpr Addr bundleBytes = 16;
+
+constexpr Addr
+bundleAddr(Addr pc)
+{
+    return pc & ~static_cast<Addr>(0xf);
+}
+
+constexpr int
+slotOf(Addr pc)
+{
+    return static_cast<int>(pc & 0x3);
+}
+
+constexpr Addr
+insnAddr(Addr bundle_addr, int slot)
+{
+    return bundle_addr | static_cast<Addr>(slot);
+}
+} // namespace isa
+
+/** Slot (execution-unit) type of an instruction. */
+enum class SlotKind : std::uint8_t { M, I, F, B };
+
+enum class Opcode : std::uint8_t
+{
+    Nop,
+
+    // A-type integer ALU (issues in an M or I slot).
+    Add,     ///< rd = rs1 + rs2
+    Sub,     ///< rd = rs1 - rs2
+    Addi,    ///< rd = imm + rs1          (IA64 adds)
+    Shladd,  ///< rd = (rs1 << count) + rs2
+    Mov,     ///< rd = rs1
+    Movi,    ///< rd = imm                (IA64 movl)
+    And,     ///< rd = rs1 & rs2
+    Or,      ///< rd = rs1 | rs2
+    Xor,     ///< rd = rs1 ^ rs2
+    Shl,     ///< rd = rs1 << count
+    Shr,     ///< rd = rs1 >> count (logical)
+    CmpLt,   ///< pd = (rs1 < rs2), signed
+    CmpLe,   ///< pd = (rs1 <= rs2), signed
+    CmpEq,   ///< pd = (rs1 == rs2)
+    CmpNe,   ///< pd = (rs1 != rs2)
+
+    // M-type memory operations (post-increment via 'postinc').
+    Ld,      ///< rd = mem[rs1]; rs1 += postinc
+    LdS,     ///< speculative non-faulting load (ld.s)
+    St,      ///< mem[rs1] = rs2; rs1 += postinc
+    Ldf,     ///< fd = mem[rs1] (fp); rs1 += postinc; bypasses L1D
+    Stf,     ///< mem[rs1] = fs2; rs1 += postinc
+    Lfetch,  ///< prefetch line at [rs1]; rs1 += postinc; never faults
+    Getf,    ///< rd = significand bits of fs1 (fp -> int transfer)
+    Setf,    ///< fd = rs1 (int -> fp transfer)
+
+    // F-type floating point.
+    Fma,     ///< fd = fs1 * fs2 + fs3
+    Fadd,    ///< fd = fs1 + fs2
+    Fmul,    ///< fd = fs1 * fs2
+    Fsub,    ///< fd = fs1 - fs2
+
+    // B-type branches (always the last slot of a bundle).
+    Br,      ///< if (p[qp]) goto target
+    BrCall,  ///< b[count] = next pc; goto target
+    BrRet,   ///< goto b[count]
+    Halt,    ///< terminate the program (simulator artifact)
+};
+
+/**
+ * One decoded instruction.  Fields unused by a given opcode are zero.
+ */
+struct Insn
+{
+    Opcode op = Opcode::Nop;
+    SlotKind slot = SlotKind::I;
+    std::uint8_t qp = 0;    ///< qualifying predicate; p0 is always true
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint8_t fd = 0;
+    std::uint8_t fs1 = 0;
+    std::uint8_t fs2 = 0;
+    std::uint8_t fs3 = 0;
+    std::uint8_t pd = 0;    ///< predicate destination (compares)
+    std::uint8_t size = 8;  ///< memory access size in bytes
+    std::uint8_t count = 0; ///< shift count / branch register index
+    std::int32_t postinc = 0;
+    std::int64_t imm = 0;
+    Addr target = 0;        ///< branch target (bundle address)
+
+    /**
+     * Source-loop annotation, carried by the compiler for profile-guided
+     * prefetching (Table 1); -1 when the instruction belongs to no loop.
+     * Not architectural.
+     */
+    std::int32_t loopId = -1;
+
+    bool isNop() const { return op == Opcode::Nop; }
+
+    bool
+    isMemRef() const
+    {
+        switch (op) {
+          case Opcode::Ld:
+          case Opcode::LdS:
+          case Opcode::St:
+          case Opcode::Ldf:
+          case Opcode::Stf:
+          case Opcode::Lfetch:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    bool
+    isLoad() const
+    {
+        return op == Opcode::Ld || op == Opcode::LdS || op == Opcode::Ldf;
+    }
+
+    bool
+    isBranch() const
+    {
+        return op == Opcode::Br || op == Opcode::BrCall ||
+               op == Opcode::BrRet || op == Opcode::Halt;
+    }
+
+    bool isFp() const;
+
+    /** Slot types this opcode may legally occupy. */
+    static bool opAllowsSlot(Opcode op, SlotKind kind);
+};
+
+/** Natural (required or default) slot kind for an opcode. */
+SlotKind naturalSlot(Opcode op);
+
+/** Short mnemonic, e.g. "ld8" or "lfetch". */
+std::string mnemonic(const Insn &insn);
+
+/** Full disassembly of one instruction. */
+std::string disassemble(const Insn &insn);
+
+} // namespace adore
+
+#endif // ADORE_ISA_INSN_HH

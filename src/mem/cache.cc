@@ -1,0 +1,126 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace adore
+{
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    fatal_if(config.lineBytes == 0 ||
+                 (config.lineBytes & (config.lineBytes - 1)) != 0,
+             "%s: line size must be a power of two", config.name.c_str());
+    fatal_if(config.assoc == 0, "%s: associativity must be positive",
+             config.name.c_str());
+    fatal_if(config.sizeBytes % (config.lineBytes * config.assoc) != 0,
+             "%s: size not divisible by way size", config.name.c_str());
+
+    numSets_ = config.sizeBytes / (config.lineBytes * config.assoc);
+    fatal_if((numSets_ & (numSets_ - 1)) != 0,
+             "%s: set count must be a power of two", config.name.c_str());
+    lineShift_ =
+        static_cast<std::uint32_t>(std::countr_zero(config.lineBytes));
+    lines_.resize(static_cast<std::size_t>(numSets_) * config.assoc);
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    Addr line = addr >> lineShift_;
+    std::uint32_t set = static_cast<std::uint32_t>(line) & (numSets_ - 1);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+Cache::LookupResult
+Cache::access(Addr addr, Cycle now)
+{
+    ++stats_.accesses;
+    Line *line = find(addr);
+    if (!line) {
+        ++stats_.misses;
+        return {false, 0};
+    }
+    ++stats_.hits;
+    if (line->readyAt > now)
+        ++stats_.inFlightHits;
+    line->lastUse = ++useClock_;
+    return {true, line->readyAt};
+}
+
+Cache::LookupResult
+Cache::probe(Addr addr) const
+{
+    const Line *line = find(addr);
+    if (!line)
+        return {false, 0};
+    return {true, line->readyAt};
+}
+
+void
+Cache::fill(Addr addr, Cycle ready_at, bool prefetch)
+{
+    Addr tag = addr >> lineShift_;
+    std::uint32_t set = static_cast<std::uint32_t>(tag) & (numSets_ - 1);
+    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
+
+    // Already present (e.g. racing prefetch + demand): keep the earlier
+    // completion time.
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            if (ready_at < base[w].readyAt)
+                base[w].readyAt = ready_at;
+            return;
+        }
+    }
+
+    Line *victim = &base[0];
+    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid)
+        ++stats_.evictions;
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->readyAt = ready_at;
+    victim->lastUse = ++useClock_;
+    if (prefetch)
+        ++stats_.prefetchFills;
+    else
+        ++stats_.demandFills;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    Line *line = find(addr);
+    if (line)
+        line->valid = false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace adore

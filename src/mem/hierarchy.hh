@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The full cache/memory hierarchy of the simulated machine: L1I, L1D
+ * (integer loads only — FP accesses bypass it, as on Itanium 2), unified
+ * L2 and L3, and a finite-bandwidth memory bus.
+ *
+ * Timing contract: every access returns a latency in cycles relative to
+ * @p now.  Fills are timestamped, so demand accesses that race an
+ * in-flight fill pay only the residual latency.  Memory fills serialize on
+ * the bus (start = max(now, busFreeAt)), which caps achievable prefetch
+ * bandwidth — the effect that limits `swim` in the paper's evaluation.
+ */
+
+#ifndef ADORE_MEM_HIERARCHY_HH
+#define ADORE_MEM_HIERARCHY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/cache.hh"
+
+namespace adore
+{
+
+/** Which level serviced an access. */
+enum class MemLevel : std::uint8_t { L1 = 1, L2 = 2, L3 = 3, Memory = 4 };
+
+struct MemAccessResult
+{
+    std::uint32_t latency = 1;  ///< cycles until the value is usable
+    MemLevel level = MemLevel::L1;
+};
+
+struct HierarchyConfig
+{
+    CacheConfig l1i{"L1I", 16 * 1024, 64, 4, 1};
+    CacheConfig l1d{"L1D", 16 * 1024, 64, 4, 1};
+    CacheConfig l2{"L2", 256 * 1024, 128, 8, 6};
+    CacheConfig l3{"L3", 1536 * 1024, 128, 12, 14};
+    std::uint32_t memLatency = 160;      ///< cycles to first use
+    /** Bus cycles per line fill: 128 B at ~6.4 GB/s on a 900 MHz clock
+     *  is ~18 cycles — the finite bandwidth that caps prefetching. */
+    std::uint32_t busOccupancy = 18;
+    std::uint32_t prefetchQueueDepth = 5;  ///< outstanding prefetch cap
+};
+
+struct HierarchyStats
+{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t prefetchesIssued = 0;
+    std::uint64_t prefetchesDropped = 0;   ///< throttled (queue full)
+    std::uint64_t prefetchesUseless = 0;   ///< line already resident
+    std::uint64_t ifetchMisses = 0;
+};
+
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /**
+     * Demand data load.  @p fp loads bypass L1D.
+     * @return latency until the loaded value is ready and the servicing
+     *         level.
+     */
+    MemAccessResult load(Addr addr, Cycle now, bool fp);
+
+    /**
+     * Data store: write-allocate, non-blocking (the store buffer hides
+     * the latency); still moves lines and consumes bus bandwidth.
+     */
+    void store(Addr addr, Cycle now, bool fp);
+
+    /**
+     * Software prefetch (lfetch).  Never faults, never stalls.  Fills
+     * L2/L3 (plus L1D for integer-side prefetches).  Dropped when the
+     * outstanding-fill queue is saturated.
+     */
+    void prefetch(Addr addr, Cycle now, bool fp);
+
+    /**
+     * Instruction fetch of the bundle at @p addr.
+     * @return extra stall cycles (0 on an L1I hit).
+     */
+    std::uint32_t ifetch(Addr addr, Cycle now);
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &l3() const { return l3_; }
+    const HierarchyStats &stats() const { return stats_; }
+    const HierarchyConfig &config() const { return config_; }
+
+    void clearStats();
+
+    /** Drop all cached lines (used between experiment runs). */
+    void flushAll();
+
+  private:
+    /**
+     * Resolve a miss below L2: probe L3, then memory; schedule fills.
+     * @return absolute cycle at which the line's data is available.
+     */
+    Cycle resolveBelowL2(Addr addr, Cycle now, bool prefetch_fill);
+
+    /** Schedule a memory fill on the bus; returns data-ready time. */
+    Cycle scheduleMemoryFill(Cycle now);
+
+    HierarchyConfig config_;
+    HierarchyStats stats_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache l3_;
+    Cycle busFreeAt_ = 0;
+};
+
+} // namespace adore
+
+#endif // ADORE_MEM_HIERARCHY_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The simulated Itanium performance-monitoring unit (paper Section 2.1).
+ *
+ * Modelled components:
+ *  - accumulative counters: CPU cycles, retired instructions, and the
+ *    D-cache load-miss count (loads whose latency meets the DEAR
+ *    qualification threshold);
+ *  - DEAR (Data Event Address Registers): the most recent data-cache load
+ *    miss with latency >= 8 cycles, holding the load pc, the miss address
+ *    and the measured latency;
+ *  - BTB (Branch Trace Buffer): a circular file recording the most recent
+ *    4 branch outcomes with source/target addresses.
+ */
+
+#ifndef ADORE_PMU_PMU_HH
+#define ADORE_PMU_PMU_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/insn.hh"
+#include "mem/cache.hh"
+
+namespace adore
+{
+
+struct PerfCounters
+{
+    Cycle cycles = 0;
+    std::uint64_t retiredInsns = 0;
+    std::uint64_t dcacheLoadMisses = 0;  ///< loads with latency >= threshold
+    std::uint64_t takenBranches = 0;
+    std::uint64_t mispredicts = 0;
+};
+
+/** One DEAR capture: the latest qualifying data-cache load miss. */
+struct DearRecord
+{
+    bool valid = false;
+    Addr pc = 0;        ///< instruction address of the load
+    Addr missAddr = 0;  ///< data address that missed
+    std::uint32_t latency = 0;
+};
+
+/**
+ * The DEAR monitors *one* load at a time: it arms on an issuing load
+ * (pseudo-randomly, since it cannot track every load in flight), stays
+ * busy until that load completes, and latches the event if the latency
+ * met the qualification threshold.  This hardware behaviour is what
+ * makes DEAR samples rotate fairly over all delinquent loads of a loop
+ * body instead of aliasing onto whichever load retires last.
+ */
+class Dear
+{
+  public:
+    explicit Dear(std::uint32_t latency_threshold = 8)
+        : threshold_(latency_threshold)
+    {
+    }
+
+    /** Called by the CPU for every executed load. */
+    void
+    observeLoad(Addr pc, Addr addr, std::uint32_t latency, Cycle now)
+    {
+        if (now < busyUntil_)
+            return;  // still monitoring an earlier load
+        // Arm on roughly one of three candidate loads.
+        lfsr_ = lfsr_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        if ((lfsr_ >> 33) % 3 != 0)
+            return;
+        busyUntil_ = now + latency;
+        if (latency < threshold_)
+            return;
+        record_.valid = true;
+        record_.pc = pc;
+        record_.missAddr = addr;
+        record_.latency = latency;
+    }
+
+    const DearRecord &read() const { return record_; }
+    std::uint32_t threshold() const { return threshold_; }
+
+  private:
+    std::uint32_t threshold_;
+    DearRecord record_;
+    Cycle busyUntil_ = 0;
+    std::uint64_t lfsr_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/** One BTB entry: a retired branch outcome. */
+struct BtbEntry
+{
+    bool valid = false;
+    Addr source = 0;  ///< pc of the branch instruction
+    Addr target = 0;  ///< branch target (meaningful when taken)
+    bool taken = false;
+    bool mispredicted = false;
+};
+
+/**
+ * The Branch Trace Buffer: the most recent 4 branch outcomes, oldest
+ * first when snapshotted.
+ */
+class BranchTraceBuffer
+{
+  public:
+    static constexpr int capacity = 4;
+
+    void
+    record(Addr source, Addr target, bool taken, bool mispredicted)
+    {
+        entries_[head_] = {true, source, target, taken, mispredicted};
+        head_ = (head_ + 1) % capacity;
+    }
+
+    /** Snapshot in age order (oldest first). */
+    std::array<BtbEntry, capacity>
+    snapshot() const
+    {
+        std::array<BtbEntry, capacity> out;
+        for (int i = 0; i < capacity; ++i)
+            out[static_cast<std::size_t>(i)] =
+                entries_[(head_ + i) % capacity];
+        return out;
+    }
+
+    void
+    clear()
+    {
+        for (auto &e : entries_)
+            e = BtbEntry();
+        head_ = 0;
+    }
+
+  private:
+    std::array<BtbEntry, capacity> entries_{};
+    int head_ = 0;
+};
+
+} // namespace adore
+
+#endif // ADORE_PMU_PMU_HH

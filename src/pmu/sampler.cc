@@ -1,0 +1,45 @@
+#include "pmu/sampler.hh"
+
+namespace adore
+{
+
+void
+Sampler::setOverflowHandler(OverflowHandler handler)
+{
+    handler_ = std::move(handler);
+}
+
+Cycle
+Sampler::takeSample(const Sample &sample)
+{
+    if (!enabled_)
+        return 0;
+
+    ssb_.push_back(sample);
+    ssb_.back().index = samplesTaken_;
+    ++samplesTaken_;
+    nextSampleAt_ = sample.cycles + config_.interval;
+
+    Cycle overhead = config_.interruptCycles;
+
+    if (ssb_.size() >= config_.ssbSamples) {
+        ++overflows_;
+        overhead += static_cast<Cycle>(config_.copyCyclesPerSample) *
+                    ssb_.size();
+        if (handler_)
+            handler_(ssb_);
+        ssb_.clear();
+    }
+    return overhead;
+}
+
+std::vector<Sample>
+UserEventBuffer::flatten() const
+{
+    std::vector<Sample> out;
+    for (const auto &w : windows_)
+        out.insert(out.end(), w.begin(), w.end());
+    return out;
+}
+
+} // namespace adore

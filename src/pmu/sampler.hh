@@ -1,0 +1,167 @@
+/**
+ * @file
+ * PMU sampling à la perfmon (paper Section 2.1/2.2): every R cycles the
+ * "kernel" appends an n-tuple sample
+ *   <index, pc, cycles, d-cache miss count, retired count, BTB, DEAR>
+ * into the System Sample Buffer (SSB).  When the SSB fills, a
+ * buffer-overflow "signal" fires: the registered handler (installed by
+ * dyn_open) copies the samples into the larger circular User Event Buffer
+ * (UEB) organized as W profile windows.
+ *
+ * Overhead accounting: both the per-sample PMU interrupt and the per-
+ * overflow copy charge cycles to the main thread; these constants are the
+ * scaled-down analogues of the paper's "sampling interval no less than
+ * 100,000 cycles/sample" guidance and produce the 1-2% overhead of
+ * Fig. 11.
+ */
+
+#ifndef ADORE_PMU_SAMPLER_HH
+#define ADORE_PMU_SAMPLER_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "pmu/pmu.hh"
+
+namespace adore
+{
+
+/** One PMU sample (the n-tuple of paper Section 2.1). */
+struct Sample
+{
+    std::uint64_t index = 0;
+    Addr pc = 0;
+    Cycle cycles = 0;
+    std::uint64_t dcacheMissCount = 0;
+    std::uint64_t retiredCount = 0;
+    std::array<BtbEntry, BranchTraceBuffer::capacity> btb{};
+    DearRecord dear;
+};
+
+struct SamplerConfig
+{
+    Cycle interval = 4000;          ///< R: cycles per sample
+    std::uint32_t ssbSamples = 64;  ///< N: SSB capacity in samples
+    std::uint32_t interruptCycles = 50;  ///< charged per sample
+    std::uint32_t copyCyclesPerSample = 2;  ///< charged per overflow copy
+};
+
+class Sampler
+{
+  public:
+    /**
+     * Overflow handler: receives the full SSB contents; returns nothing —
+     * copy overhead is charged by the sampler itself.
+     */
+    using OverflowHandler = std::function<void(const std::vector<Sample> &)>;
+
+    explicit Sampler(const SamplerConfig &config) : config_(config) {}
+
+    void setOverflowHandler(OverflowHandler handler);
+
+    /** Enable/disable sampling (dyn_open / dyn_close). */
+    void
+    setEnabled(bool enabled, Cycle now = 0)
+    {
+        enabled_ = enabled;
+        if (enabled)
+            nextSampleAt_ = now + config_.interval;
+    }
+
+    bool enabled() const { return enabled_; }
+
+    Cycle nextSampleAt() const { return nextSampleAt_; }
+
+    /**
+     * Record one sample; called by the CPU when the cycle counter crosses
+     * the sampling interval.
+     * @return overhead cycles to charge to the main thread.
+     */
+    Cycle takeSample(const Sample &sample);
+
+    const SamplerConfig &config() const { return config_; }
+    std::uint64_t samplesTaken() const { return samplesTaken_; }
+    std::uint64_t overflows() const { return overflows_; }
+
+    /** Cycle span covered by one full SSB (one profile window). */
+    Cycle
+    windowCycles() const
+    {
+        return static_cast<Cycle>(config_.interval) * config_.ssbSamples;
+    }
+
+    /** Double the sampling window (paper: phase detector enlarges the
+     *  profile window when no stable phase emerges). */
+    void doubleWindow() { config_.ssbSamples *= 2; }
+
+  private:
+    SamplerConfig config_;
+    bool enabled_ = false;
+    std::vector<Sample> ssb_;
+    OverflowHandler handler_;
+    Cycle nextSampleAt_ = 0;
+    std::uint64_t samplesTaken_ = 0;
+    std::uint64_t overflows_ = 0;
+};
+
+/**
+ * The User Event Buffer: a circular buffer of the most recent W profile
+ * windows (SIZE_UEB = SIZE_SSB * W, paper Section 2.3).
+ */
+class UserEventBuffer
+{
+  public:
+    explicit UserEventBuffer(std::uint32_t window_multiplier = 16)
+        : w_(window_multiplier)
+    {
+    }
+
+    /** Append one profile window (one SSB's worth of samples). */
+    void
+    pushWindow(std::vector<Sample> samples)
+    {
+        windows_.push_back(std::move(samples));
+        ++totalWindows_;
+        while (windows_.size() > w_)
+            windows_.pop_front();
+    }
+
+    /** Number of windows ever received (monotonic). */
+    std::uint64_t totalWindows() const { return totalWindows_; }
+
+    /** Number of windows currently retained (<= W). */
+    std::size_t retainedWindows() const { return windows_.size(); }
+
+    /** Retained window @p i, 0 = oldest retained. */
+    const std::vector<Sample> &
+    window(std::size_t i) const
+    {
+        return windows_[i];
+    }
+
+    /** Most recent window. */
+    const std::vector<Sample> &latest() const { return windows_.back(); }
+
+    /** All retained samples flattened, oldest first. */
+    std::vector<Sample> flatten() const;
+
+    void
+    clear()
+    {
+        windows_.clear();
+    }
+
+    std::uint32_t multiplier() const { return w_; }
+
+  private:
+    std::uint32_t w_;
+    std::deque<std::vector<Sample>> windows_;
+    std::uint64_t totalWindows_ = 0;
+};
+
+} // namespace adore
+
+#endif // ADORE_PMU_SAMPLER_HH

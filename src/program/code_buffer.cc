@@ -1,0 +1,98 @@
+#include "program/code_buffer.hh"
+
+#include "support/logging.hh"
+
+namespace adore
+{
+
+CodeBuffer::LabelId
+CodeBuffer::newLabel()
+{
+    return nextLabel_++;
+}
+
+void
+CodeBuffer::bind(LabelId label)
+{
+    panic_if(bound_.count(label), "label %d bound twice", label);
+    pendingLabels_.push_back(label);
+}
+
+void
+CodeBuffer::append(const Bundle &bundle)
+{
+    for (LabelId label : pendingLabels_)
+        bound_[label] = bundles_.size();
+    pendingLabels_.clear();
+    bundles_.push_back(bundle);
+    bundles_.back().padWithNops();
+}
+
+void
+CodeBuffer::appendWithBranchTo(const Bundle &bundle, LabelId label)
+{
+    int slot = bundle.branchSlot();
+    panic_if(slot < 0, "appendWithBranchTo: bundle has no branch");
+    append(bundle);
+    fixups_.push_back({bundles_.size() - 1, slot, label});
+}
+
+void
+CodeBuffer::appendLinear(const std::vector<Insn> &insns)
+{
+    Bundle current;
+    for (const Insn &insn : insns) {
+        if (!current.tryAdd(insn)) {
+            append(current);
+            current = Bundle();
+            current.add(insn);
+        }
+    }
+    if (!current.empty())
+        append(current);
+}
+
+Addr
+CodeBuffer::labelAddr(LabelId label, Addr base) const
+{
+    auto it = bound_.find(label);
+    panic_if(it == bound_.end(), "unbound label %d", label);
+    return base + it->second * isa::bundleBytes;
+}
+
+Addr
+CodeBuffer::commitAt(CodeImage &image, Addr base, bool pool)
+{
+    panic_if(!pendingLabels_.empty(),
+             "labels bound past the final bundle");
+
+    // Resolve fixups against the final base address.
+    for (const Fixup &fx : fixups_) {
+        Bundle &bundle = bundles_[fx.bundleIndex];
+        bundle.slot(fx.slot).target = labelAddr(fx.label, base);
+    }
+
+    for (std::size_t i = 0; i < bundles_.size(); ++i) {
+        Addr addr = base + i * isa::bundleBytes;
+        if (pool)
+            image.writeBundle(addr, bundles_[i]);
+        else
+            image.appendText(bundles_[i]);
+    }
+    return base;
+}
+
+Addr
+CodeBuffer::commitToText(CodeImage &image)
+{
+    return commitAt(image, image.textEnd(), false);
+}
+
+Addr
+CodeBuffer::commitToPool(CodeImage &image)
+{
+    Addr base = image.allocTrace(bundles_.size());
+    return commitAt(image, base, true);
+}
+
+} // namespace adore

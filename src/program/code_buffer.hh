@@ -1,0 +1,91 @@
+/**
+ * @file
+ * CodeBuffer: a bundle assembly buffer with labels and branch fixups.
+ *
+ * Both the static code generator and the ADORE trace optimizer build code
+ * into a CodeBuffer first; it is then committed to the CodeImage text
+ * segment or to a trace-pool allocation, resolving label references to
+ * final bundle addresses.
+ */
+
+#ifndef ADORE_PROGRAM_CODE_BUFFER_HH
+#define ADORE_PROGRAM_CODE_BUFFER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/bundle.hh"
+#include "program/code_image.hh"
+
+namespace adore
+{
+
+class CodeBuffer
+{
+  public:
+    using LabelId = int;
+
+    /** Create a fresh label (unbound). */
+    LabelId newLabel();
+
+    /** Bind @p label to the *next* bundle appended. */
+    void bind(LabelId label);
+
+    /** Append a complete bundle. */
+    void append(const Bundle &bundle);
+
+    /**
+     * Append a bundle whose branch slot targets @p label; the target is
+     * fixed up at commit time.  The branch must be the bundle's last
+     * occupied slot.
+     */
+    void appendWithBranchTo(const Bundle &bundle, LabelId label);
+
+    /**
+     * Convenience: pack a straight-line instruction sequence greedily into
+     * bundles (respecting template legality) and append them.
+     */
+    void appendLinear(const std::vector<Insn> &insns);
+
+    std::size_t size() const { return bundles_.size(); }
+    bool empty() const { return bundles_.empty(); }
+
+    const Bundle &bundleAt(std::size_t i) const { return bundles_[i]; }
+    Bundle &bundleAt(std::size_t i) { return bundles_[i]; }
+
+    /**
+     * Commit to the text segment of @p image.
+     * @return address of the first committed bundle.
+     */
+    Addr commitToText(CodeImage &image);
+
+    /**
+     * Commit to a fresh trace-pool allocation in @p image.
+     * @return address of the first committed bundle.
+     */
+    Addr commitToPool(CodeImage &image);
+
+    /** Address a label would resolve to if committed at @p base. */
+    Addr labelAddr(LabelId label, Addr base) const;
+
+  private:
+    Addr commitAt(CodeImage &image, Addr base, bool pool);
+
+    struct Fixup
+    {
+        std::size_t bundleIndex;
+        int slot;
+        LabelId label;
+    };
+
+    std::vector<Bundle> bundles_;
+    std::vector<Fixup> fixups_;
+    std::unordered_map<LabelId, std::size_t> bound_;  ///< label -> bundle idx
+    std::vector<LabelId> pendingLabels_;
+    LabelId nextLabel_ = 0;
+};
+
+} // namespace adore
+
+#endif // ADORE_PROGRAM_CODE_BUFFER_HH

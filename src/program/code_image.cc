@@ -1,0 +1,128 @@
+#include "program/code_image.hh"
+
+#include "isa/builder.hh"
+#include "support/logging.hh"
+
+namespace adore
+{
+
+Addr
+CodeImage::appendText(const Bundle &bundle)
+{
+    Addr addr = textBase + text_.size() * isa::bundleBytes;
+    text_.push_back(bundle);
+    text_.back().padWithNops();
+    return addr;
+}
+
+Addr
+CodeImage::allocTrace(std::size_t bundles)
+{
+    Addr addr = poolBase + pool_.size() * isa::bundleBytes;
+    pool_.resize(pool_.size() + bundles);
+    return addr;
+}
+
+void
+CodeImage::writeBundle(Addr addr, const Bundle &bundle)
+{
+    panic_if(!contains(addr), "writeBundle outside image: 0x%llx",
+             static_cast<unsigned long long>(addr));
+    Bundle padded = bundle;
+    padded.padWithNops();
+    if (addr >= poolBase)
+        pool_[(addr - poolBase) / isa::bundleBytes] = padded;
+    else
+        text_[(addr - textBase) / isa::bundleBytes] = padded;
+}
+
+const Bundle &
+CodeImage::fetch(Addr addr) const
+{
+    if (addr >= poolBase) {
+        std::size_t idx = (addr - poolBase) / isa::bundleBytes;
+        panic_if(idx >= pool_.size(), "fetch outside pool: 0x%llx",
+                 static_cast<unsigned long long>(addr));
+        return pool_[idx];
+    }
+    std::size_t idx = (addr - textBase) / isa::bundleBytes;
+    panic_if(addr < textBase || idx >= text_.size(),
+             "fetch outside text: 0x%llx",
+             static_cast<unsigned long long>(addr));
+    return text_[idx];
+}
+
+bool
+CodeImage::contains(Addr addr) const
+{
+    if (addr >= poolBase)
+        return (addr - poolBase) / isa::bundleBytes < pool_.size();
+    return addr >= textBase &&
+           (addr - textBase) / isa::bundleBytes < text_.size();
+}
+
+bool
+CodeImage::inText(Addr addr) const
+{
+    return addr >= textBase && addr < poolBase && contains(addr);
+}
+
+void
+CodeImage::patch(Addr orig_addr, Addr trace_addr)
+{
+    panic_if(!inText(orig_addr), "patch target not in text: 0x%llx",
+             static_cast<unsigned long long>(orig_addr));
+    panic_if(savedBundles_.count(orig_addr),
+             "bundle at 0x%llx already patched",
+             static_cast<unsigned long long>(orig_addr));
+
+    savedBundles_.emplace(orig_addr, fetch(orig_addr));
+
+    Bundle redirect;
+    redirect.add(build::brAlways(trace_addr));
+    redirect.padWithNops();
+    writeBundle(orig_addr, redirect);
+}
+
+void
+CodeImage::unpatch(Addr orig_addr)
+{
+    auto it = savedBundles_.find(orig_addr);
+    panic_if(it == savedBundles_.end(), "unpatch of unpatched 0x%llx",
+             static_cast<unsigned long long>(orig_addr));
+    writeBundle(orig_addr, it->second);
+    savedBundles_.erase(it);
+}
+
+bool
+CodeImage::isPatched(Addr orig_addr) const
+{
+    return savedBundles_.count(orig_addr) != 0;
+}
+
+Addr
+CodeImage::textEnd() const
+{
+    return textBase + text_.size() * isa::bundleBytes;
+}
+
+Addr
+CodeImage::poolEnd() const
+{
+    return poolBase + pool_.size() * isa::bundleBytes;
+}
+
+int
+CodeImage::loopIdAt(Addr pc) const
+{
+    Addr baddr = isa::bundleAddr(pc);
+    if (!contains(baddr))
+        return -1;
+    const Bundle &bundle = fetch(baddr);
+    int slot = isa::slotOf(pc);
+    if (slot < bundle.size())
+        return bundle.slot(slot).loopId;
+    return -1;
+}
+
+} // namespace adore

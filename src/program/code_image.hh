@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The simulated process text: a bundle-addressed code space with two
+ * regions — the static text segment produced by the compiler and the
+ * shared-memory *trace pool* that dyn_open creates for optimized traces
+ * (paper Section 2.2).
+ *
+ * Patching follows Section 2.5: the first bundle of a selected trace in
+ * the original code is replaced by a single-branch bundle that jumps into
+ * the trace pool; the replaced bundle is saved so the optimizer can
+ * unpatch later by writing it back.
+ */
+
+#ifndef ADORE_PROGRAM_CODE_IMAGE_HH
+#define ADORE_PROGRAM_CODE_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/bundle.hh"
+
+namespace adore
+{
+
+class CodeImage
+{
+  public:
+    /** Text segment base (matches a typical Linux/IA64 layout flavor). */
+    static constexpr Addr textBase = 0x4000000;
+    /** Trace pool base: far from text, as a separate shared mapping. */
+    static constexpr Addr poolBase = 0x10000000;
+
+    /** Append a bundle to the text segment; returns its address. */
+    Addr appendText(const Bundle &bundle);
+
+    /** Reserve @p bundles consecutive pool slots; returns base address. */
+    Addr allocTrace(std::size_t bundles);
+
+    /** Overwrite a bundle anywhere in the image. */
+    void writeBundle(Addr addr, const Bundle &bundle);
+
+    /** Fetch the bundle at @p addr (must exist). */
+    const Bundle &fetch(Addr addr) const;
+
+    bool contains(Addr addr) const;
+    static bool inPool(Addr addr) { return addr >= poolBase; }
+    bool inText(Addr addr) const;
+
+    /**
+     * Patch: replace the bundle at @p orig_addr with an unconditional
+     * branch to @p trace_addr, saving the original for unpatch().
+     */
+    void patch(Addr orig_addr, Addr trace_addr);
+
+    /** Restore the saved bundle at @p orig_addr. */
+    void unpatch(Addr orig_addr);
+
+    bool isPatched(Addr orig_addr) const;
+
+    std::size_t textBundles() const { return text_.size(); }
+    std::size_t poolBundles() const { return pool_.size(); }
+
+    /** Static binary size in bytes (Table 1's binary-size column). */
+    std::size_t textBytes() const { return text_.size() * isa::bundleBytes; }
+
+    Addr textEnd() const;
+    Addr poolEnd() const;
+
+    /** pc -> source loop id (-1 when none), from insn annotations. */
+    int loopIdAt(Addr pc) const;
+
+  private:
+    std::vector<Bundle> text_;
+    std::vector<Bundle> pool_;
+    std::unordered_map<Addr, Bundle> savedBundles_;
+};
+
+} // namespace adore
+
+#endif // ADORE_PROGRAM_CODE_IMAGE_HH

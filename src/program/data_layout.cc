@@ -1,0 +1,75 @@
+#include "program/data_layout.hh"
+
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace adore
+{
+
+Addr
+DataLayout::alloc(const std::string &name, std::uint64_t bytes,
+                  std::uint64_t align)
+{
+    panic_if(align == 0 || (align & (align - 1)) != 0,
+             "alignment must be a power of two");
+    cursor_ = (cursor_ + align - 1) & ~(align - 1);
+    Addr base = cursor_;
+    cursor_ += bytes;
+    panic_if(regions_.count(name), "data region '%s' allocated twice",
+             name.c_str());
+    regions_.emplace(name, base);
+    return base;
+}
+
+Addr
+DataLayout::addrOf(const std::string &name) const
+{
+    auto it = regions_.find(name);
+    panic_if(it == regions_.end(), "unknown data region '%s'",
+             name.c_str());
+    return it->second;
+}
+
+Addr
+DataLayout::allocIndexArray(const std::string &name, std::uint64_t count,
+                            std::uint64_t range, Rng &rng)
+{
+    Addr base = alloc(name, count * 8);
+    for (std::uint64_t i = 0; i < count; ++i)
+        memory_.writeU64(base + i * 8, rng.below(range));
+    return base;
+}
+
+Addr
+DataLayout::allocLinkedList(const std::string &name, std::uint64_t count,
+                            std::uint64_t node_bytes,
+                            std::uint64_t next_offset, double jumble,
+                            Rng &rng)
+{
+    panic_if(count == 0, "empty linked list");
+    panic_if(next_offset + 8 > node_bytes, "next pointer outside node");
+    panic_if(jumble < 0.0 || jumble > 1.0, "jumble outside [0,1]");
+
+    Addr base = alloc(name, count * node_bytes);
+
+    std::vector<std::uint64_t> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    if (jumble > 0.0) {
+        for (std::uint64_t i = 0; i + 1 < count; ++i) {
+            if (rng.real() < jumble) {
+                std::uint64_t j = i + rng.below(count - i);
+                std::swap(order[i], order[j]);
+            }
+        }
+    }
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Addr node = base + order[i] * node_bytes;
+        Addr next = i + 1 < count ? base + order[i + 1] * node_bytes : 0;
+        memory_.writeU64(node + next_offset, next);
+    }
+    return base + order[0] * node_bytes;
+}
+
+} // namespace adore

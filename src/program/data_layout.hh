@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DataLayout: a bump allocator for the simulated process data segment,
+ * plus helpers for the data shapes the workloads need (index vectors for
+ * indirect references, linked lists with regular or shuffled node order
+ * for pointer chasing).
+ */
+
+#ifndef ADORE_PROGRAM_DATA_LAYOUT_HH
+#define ADORE_PROGRAM_DATA_LAYOUT_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/main_memory.hh"
+#include "support/rng.hh"
+
+namespace adore
+{
+
+class DataLayout
+{
+  public:
+    static constexpr Addr dataBase = 0x20000000;
+
+    explicit DataLayout(MainMemory &memory) : memory_(memory) {}
+
+    /** Allocate @p bytes aligned to @p align; returns the base address. */
+    Addr alloc(const std::string &name, std::uint64_t bytes,
+               std::uint64_t align = 64);
+
+    /** Address of a previously-allocated region. */
+    Addr addrOf(const std::string &name) const;
+
+    /** Total bytes allocated so far. */
+    std::uint64_t bytesUsed() const { return cursor_ - dataBase; }
+
+    /**
+     * Allocate an i64 index array of @p count entries mapping into
+     * [0, @p range) — the `a[k]` of an indirect reference `b[a[k]]`.
+     * @p rng shuffles so the target stream has no spatial locality.
+     */
+    Addr allocIndexArray(const std::string &name, std::uint64_t count,
+                         std::uint64_t range, Rng &rng);
+
+    /**
+     * Allocate a singly-linked list of @p count nodes of @p node_bytes
+     * each.  The next pointer lives at offset @p next_offset.
+     *
+     * @p jumble controls layout regularity: 0.0 lays nodes out in
+     * traversal order (constant inter-node stride — the "partially
+     * regular strides" the paper's induction-pointer prefetch
+     * exploits); 1.0 is a full random permutation; values in between
+     * randomly displace that fraction of nodes, so a delta-based
+     * prefetch is right roughly (1-jumble)^k for a k-ahead guess.
+     *
+     * @return address of the head node.
+     */
+    Addr allocLinkedList(const std::string &name, std::uint64_t count,
+                         std::uint64_t node_bytes,
+                         std::uint64_t next_offset, double jumble,
+                         Rng &rng);
+
+    MainMemory &memory() { return memory_; }
+
+  private:
+    MainMemory &memory_;
+    Addr cursor_ = dataBase;
+    std::unordered_map<std::string, Addr> regions_;
+};
+
+} // namespace adore
+
+#endif // ADORE_PROGRAM_DATA_LAYOUT_HH

@@ -1,0 +1,326 @@
+#include "runtime/adore.hh"
+
+#include <algorithm>
+
+#include "isa/builder.hh"
+#include "runtime/slicer.hh"
+#include "support/logging.hh"
+
+namespace adore
+{
+
+AdoreRuntime::AdoreRuntime(Cpu &cpu, const AdoreConfig &config)
+    : cpu_(cpu),
+      config_(config),
+      sampler_(config.sampler),
+      ueb_(config.uebMultiplier),
+      phaseDetector_(config.phase),
+      traceSelector_(cpu.code(), config.traceSelect),
+      prefetchGen_(config.prefetchGen)
+{
+}
+
+void
+AdoreRuntime::attach()
+{
+    panic_if(attached_, "AdoreRuntime attached twice");
+    attached_ = true;
+
+    sampler_.setOverflowHandler([this](const std::vector<Sample> &ssb) {
+        ueb_.pushWindow(ssb);
+    });
+    phaseDetector_.setDoubleWindowCallback([this] {
+        sampler_.doubleWindow();
+        ++stats_.windowDoublings;
+    });
+
+    cpu_.setSampler(&sampler_);
+    sampler_.setEnabled(true, cpu_.cycle());
+    cpu_.addPeriodicHook(config_.pollPeriod,
+                         [this](Cycle now) { onPoll(now); });
+}
+
+void
+AdoreRuntime::detach()
+{
+    sampler_.setEnabled(false);
+}
+
+void
+AdoreRuntime::onPoll(Cycle now)
+{
+    // Consume any profile windows that arrived since the last poll.
+    while (windowsConsumed_ < ueb_.totalWindows()) {
+        std::uint64_t behind = ueb_.totalWindows() - windowsConsumed_;
+        if (behind > ueb_.retainedWindows()) {
+            // Older windows fell off the circular buffer.
+            windowsConsumed_ = ueb_.totalWindows() -
+                               ueb_.retainedWindows();
+            behind = ueb_.retainedWindows();
+        }
+        const std::vector<Sample> &window =
+            ueb_.window(ueb_.retainedWindows() - behind);
+        ++windowsConsumed_;
+        ++stats_.windowsProcessed;
+
+        PhaseDetector::Event event = phaseDetector_.onWindow(window, now);
+        switch (event) {
+          case PhaseDetector::Event::None:
+            break;
+          case PhaseDetector::Event::PhaseChange:
+            ++stats_.phaseChanges;
+            break;
+          case PhaseDetector::Event::StablePhase: {
+            ++stats_.phasesDetected;
+            const PhaseInfo &phase = phaseDetector_.current();
+            if (CodeImage::inPool(phase.pcCenter)) {
+                // Already running out of the trace pool: skip to avoid
+                // re-optimization (Section 2.3) — but keep monitoring:
+                // when enabled, a batch whose in-pool CPI regressed
+                // past the pre-optimization level is unpatched.
+                ++stats_.phasesSkippedInPool;
+                if (verbose() && !batches_.empty()) {
+                    inform("in-pool phase cpi=%.2f vs before=%.2f",
+                           phase.cpi, batches_.back().cpiBefore);
+                }
+                if (config_.revertUnprofitableTraces &&
+                    !batches_.empty() && !batches_.back().reverted &&
+                    phase.cpi > batches_.back().cpiBefore *
+                                    config_.revertCpiRatio) {
+                    revertBatch(batches_.back());
+                }
+            } else if (!phase.highMissRate) {
+                ++stats_.phasesSkippedLowMiss;
+            } else {
+                optimizePhase(now);
+            }
+            break;
+          }
+        }
+    }
+}
+
+std::unordered_map<Addr, AdoreRuntime::DearAgg>
+AdoreRuntime::aggregateDear(const std::vector<Sample> &samples) const
+{
+    std::unordered_map<Addr, DearAgg> agg;
+    DearRecord prev{};
+    for (const Sample &sample : samples) {
+        const DearRecord &d = sample.dear;
+        if (!d.valid)
+            continue;
+        // The DEAR latches the most recent event; identical consecutive
+        // captures are the same event observed twice.
+        if (prev.valid && prev.pc == d.pc && prev.missAddr == d.missAddr &&
+            prev.latency == d.latency) {
+            continue;
+        }
+        prev = d;
+        DearAgg &a = agg[d.pc];
+        a.totalLatency += d.latency;
+        ++a.count;
+    }
+    return agg;
+}
+
+Addr
+AdoreRuntime::commitTrace(const Trace &trace,
+                          const std::vector<Bundle> &init_bundles)
+{
+    CodeImage &code = cpu_.code();
+    std::size_t total = init_bundles.size() + trace.bundles.size() + 1;
+    Addr base = code.allocTrace(total);
+    Addr body_start =
+        base + init_bundles.size() * isa::bundleBytes;
+
+    for (std::size_t i = 0; i < init_bundles.size(); ++i)
+        code.writeBundle(base + i * isa::bundleBytes, init_bundles[i]);
+
+    for (std::size_t i = 0; i < trace.bundles.size(); ++i) {
+        Bundle bundle = trace.bundles[i];
+        if (trace.isLoop &&
+            static_cast<int>(i) == trace.backedgeBundle) {
+            // Retarget the backedge at the in-pool body start (the
+            // init code runs only on trace entry).
+            bundle.slot(trace.backedgeSlot).target = body_start;
+        }
+        if (std::find(trace.elidedBranches.begin(),
+                      trace.elidedBranches.end(),
+                      static_cast<int>(i)) != trace.elidedBranches.end()) {
+            int bslot = bundle.branchSlot();
+            if (bslot >= 0) {
+                Insn nop = build::nop();
+                nop.slot = SlotKind::B;
+                bundle.slot(bslot) = nop;
+            }
+        }
+        code.writeBundle(body_start + i * isa::bundleBytes, bundle);
+    }
+
+    // Exit bundle: resume original code after the trace.
+    Bundle exit_bundle;
+    exit_bundle.add(build::brAlways(trace.fallthroughAddr()));
+    code.writeBundle(body_start + trace.bundles.size() * isa::bundleBytes,
+                     exit_bundle);
+
+    code.patch(trace.startAddr, base);
+    return base;
+}
+
+void
+AdoreRuntime::revertBatch(OptimizedBatch &batch)
+{
+    for (Addr head : batch.patchedHeads) {
+        if (cpu_.code().isPatched(head)) {
+            cpu_.code().unpatch(head);
+            ++stats_.tracesUnpatched;
+        }
+        blacklist_.insert(head);
+    }
+    batch.reverted = true;
+    ++stats_.phasesReverted;
+    cpu_.chargeCycles(config_.patchCyclesPerTrace);
+}
+
+void
+AdoreRuntime::optimizePhase(Cycle now)
+{
+    (void)now;
+    std::vector<Sample> samples = ueb_.flatten();
+    std::vector<Trace> traces = traceSelector_.select(samples);
+    auto dear = aggregateDear(samples);
+
+    OptimizedBatch batch;
+    batch.cpiBefore = phaseDetector_.current().cpi;
+
+    bool any_patched = false;
+    bool any_prefetched = false;
+
+    for (Trace &trace : traces) {
+        ++stats_.tracesSelected;
+        if (trace.isLoop)
+            ++stats_.loopTraces;
+
+        if (!trace.isLoop &&
+            trace.bundles.size() < config_.minNonLoopTraceBundles) {
+            continue;  // too small to gain anything from relayout
+        }
+
+        if (cpu_.code().isPatched(trace.startAddr)) {
+            ++stats_.tracesSkippedPatched;
+            continue;
+        }
+        if (blacklist_.count(trace.startAddr)) {
+            continue;  // previously reverted as nonprofitable
+        }
+        if (config_.swpLoopFilter &&
+            config_.swpLoopFilter(trace.startAddr)) {
+            // Software-pipelined loop with rotating registers: the
+            // current optimizer cannot insert prefetches there
+            // (Section 4.3).
+            ++stats_.tracesSkippedSwp;
+            continue;
+        }
+        // Traces that already contain compiler-generated lfetch (O3
+        // binaries): the static pass covers the direct references, so
+        // only indirect / pointer-chasing loads remain for the runtime
+        // prefetcher.  When nothing remains, the trace is skipped
+        // entirely (Section 4.3's "already have compiler generated
+        // lfetch").
+        bool has_static_lfetch = trace.containsLfetch();
+
+        if (!config_.insertPrefetches)
+            continue;
+
+        PrefetchGenResult gen;
+        if (trace.isLoop) {
+            // Delinquent loads of this trace, hottest first (top-3).
+            std::vector<DelinquentLoad> loads;
+            DependenceSlicer slicer(trace);
+            for (const auto &[pc, agg] : dear) {
+                int bidx = trace.bundleIndexOfOrigPc(pc);
+                if (bidx < 0)
+                    continue;
+                DelinquentLoad dl;
+                dl.origPc = pc;
+                dl.pos = {bidx, isa::slotOf(pc)};
+                dl.totalLatency = agg.totalLatency;
+                dl.sampleCount = agg.count;
+                const Bundle &bundle =
+                    trace.bundles[static_cast<std::size_t>(bidx)];
+                if (dl.pos.slot >= bundle.size() ||
+                    !bundle.slot(dl.pos.slot).isLoad()) {
+                    continue;
+                }
+                dl.slice = slicer.classify(dl.pos);
+                loads.push_back(dl);
+            }
+            std::sort(loads.begin(), loads.end(),
+                      [](const DelinquentLoad &a, const DelinquentLoad &b) {
+                          if (a.totalLatency != b.totalLatency)
+                              return a.totalLatency > b.totalLatency;
+                          return a.origPc < b.origPc;
+                      });
+            if (loads.size() > static_cast<std::size_t>(
+                                   config_.maxPrefetchLoadsPerTrace)) {
+                loads.resize(static_cast<std::size_t>(
+                    config_.maxPrefetchLoadsPerTrace));
+            }
+
+            if (verbose()) {
+                inform("trace @0x%llx: %zu bundles, %zu delinquent loads",
+                       static_cast<unsigned long long>(trace.startAddr),
+                       trace.bundles.size(), loads.size());
+                for (const DelinquentLoad &dl : loads) {
+                    inform("  load pc=0x%llx pattern=%s avg_lat=%u "
+                           "total_lat=%llu stride=%lld",
+                           static_cast<unsigned long long>(dl.origPc),
+                           refPatternName(dl.slice.pattern),
+                           dl.avgLatency(),
+                           static_cast<unsigned long long>(
+                               dl.totalLatency),
+                           static_cast<long long>(
+                               dl.slice.strideBytes));
+                }
+            }
+
+            // Issue-limited body estimate: two bundles per cycle plus
+            // loop-control overhead.
+            auto body_cycles = static_cast<std::uint32_t>(
+                1 + trace.bundles.size() / 2);
+            gen = prefetchGen_.generate(trace, loads, body_cycles,
+                                        has_static_lfetch);
+
+            stats_.directPrefetches += gen.directPrefetches;
+            stats_.indirectPrefetches += gen.indirectPrefetches;
+            stats_.pointerPrefetches += gen.pointerPrefetches;
+            stats_.loadsSkippedNoRegs += gen.loadsSkippedNoRegs;
+            stats_.loadsSkippedUnknown += gen.loadsSkippedUnknown;
+            stats_.bundlesInserted += gen.bundlesInserted;
+            stats_.slotsFilled += gen.slotsFilled;
+            if (gen.totalPrefetchedLoads() > 0)
+                any_prefetched = true;
+        }
+
+        if (has_static_lfetch && gen.totalPrefetchedLoads() == 0) {
+            // Fully covered by the compiler: nothing to add.
+            ++stats_.tracesSkippedLfetch;
+            continue;
+        }
+
+        commitTrace(trace, gen.initBundles);
+        batch.patchedHeads.push_back(trace.startAddr);
+        ++stats_.tracesPatched;
+        any_patched = true;
+        cpu_.chargeCycles(config_.patchCyclesPerTrace);
+    }
+
+    if (any_patched) {
+        ++stats_.phasesOptimized;
+        batches_.push_back(std::move(batch));
+    }
+    if (any_prefetched)
+        ++stats_.phasesPrefetched;
+}
+
+} // namespace adore

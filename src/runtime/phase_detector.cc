@@ -1,0 +1,136 @@
+#include "runtime/phase_detector.hh"
+
+#include <cmath>
+
+#include "support/stats.hh"
+
+namespace adore
+{
+
+PhaseDetector::PhaseDetector(const PhaseDetectorConfig &config)
+    : config_(config)
+{
+}
+
+void
+PhaseDetector::setDoubleWindowCallback(std::function<void()> cb)
+{
+    doubleWindowCb_ = std::move(cb);
+}
+
+WindowSummary
+PhaseDetector::summarize(const std::vector<Sample> &window)
+{
+    WindowSummary out;
+    if (window.size() < 2)
+        return out;
+
+    const Sample &first = window.front();
+    const Sample &last = window.back();
+    double insns = static_cast<double>(last.retiredCount) -
+                   static_cast<double>(first.retiredCount);
+    double cycles = static_cast<double>(last.cycles) -
+                    static_cast<double>(first.cycles);
+    double misses = static_cast<double>(last.dcacheMissCount) -
+                    static_cast<double>(first.dcacheMissCount);
+    if (insns > 0) {
+        out.cpi = cycles / insns;
+        out.dpi = misses / insns;
+    }
+
+    // PCcenter: arithmetic mean of sample pcs, with 3-sigma noise
+    // rejection (paper: "the algorithm removes noise").
+    std::vector<double> pcs;
+    pcs.reserve(window.size());
+    for (const Sample &s : window)
+        pcs.push_back(static_cast<double>(s.pc));
+    out.pcCenter = WindowStats::compute(pcs, true).mean;
+    out.endCycle = last.cycles;
+    return out;
+}
+
+bool
+PhaseDetector::windowsLookStable() const
+{
+    if (recent_.size() < static_cast<std::size_t>(config_.stableWindows))
+        return false;
+
+    std::vector<double> cpis, dpis, centers;
+    std::size_t start = recent_.size() -
+                        static_cast<std::size_t>(config_.stableWindows);
+    for (std::size_t i = start; i < recent_.size(); ++i) {
+        cpis.push_back(recent_[i].cpi);
+        dpis.push_back(recent_[i].dpi);
+        centers.push_back(recent_[i].pcCenter);
+    }
+
+    WindowStats cpi_stats = WindowStats::compute(cpis);
+    WindowStats dpi_stats = WindowStats::compute(dpis);
+    WindowStats pc_stats = WindowStats::compute(centers);
+
+    if (cpi_stats.cv > config_.cpiCvThreshold)
+        return false;
+    // Near-zero miss rates are "stable at zero": the cv is meaningless.
+    if (dpi_stats.mean > config_.dpiMinForOptimization / 4 &&
+        dpi_stats.cv > config_.dpiCvThreshold) {
+        return false;
+    }
+    if (pc_stats.stddev > config_.pcStdThreshold)
+        return false;
+    return true;
+}
+
+PhaseDetector::Event
+PhaseDetector::onWindow(const std::vector<Sample> &window, Cycle now)
+{
+    WindowSummary summary = summarize(window);
+    recent_.push_back(summary);
+    while (recent_.size() >
+           static_cast<std::size_t>(config_.stableWindows)) {
+        recent_.pop_front();
+    }
+
+    if (stable_) {
+        bool still_stable = windowsLookStable();
+        double center_shift = std::fabs(
+            summary.pcCenter - static_cast<double>(current_.pcCenter));
+        if (!still_stable ||
+            center_shift > config_.newPhaseCenterShift) {
+            stable_ = false;
+            windowsSinceStable_ = 0;
+            return Event::PhaseChange;
+        }
+        return Event::None;
+    }
+
+    if (windowsLookStable()) {
+        std::vector<double> cpis, dpis, centers;
+        for (const WindowSummary &w : recent_) {
+            cpis.push_back(w.cpi);
+            dpis.push_back(w.dpi);
+            centers.push_back(w.pcCenter);
+        }
+        stable_ = true;
+        ++phasesDetected_;
+        current_.id = phasesDetected_;
+        current_.cpi = WindowStats::compute(cpis).mean;
+        current_.dpi = WindowStats::compute(dpis).mean;
+        current_.pcCenter = static_cast<Addr>(
+            WindowStats::compute(centers).mean);
+        current_.detectedAt = now;
+        current_.highMissRate =
+            current_.dpi >= config_.dpiMinForOptimization;
+        windowsSinceStable_ = 0;
+        return Event::StablePhase;
+    }
+
+    ++windowsSinceStable_;
+    if (windowsSinceStable_ >= config_.doubleWindowAfter) {
+        windowsSinceStable_ = 0;
+        if (doubleWindowCb_)
+            doubleWindowCb_();
+    }
+    return Event::None;
+}
+
+} // namespace adore

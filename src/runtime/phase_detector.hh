@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Coarse-grain phase detection (paper Section 2.3).
+ *
+ * Every profile window (one SSB's worth of samples) is summarized by
+ * three values: CPI, DPI (D-cache load misses per instruction), and
+ * PCcenter (the arithmetic mean of the window's sample pcs).  A stable
+ * phase is signalled when several consecutive windows show low relative
+ * deviation in all three; high deviation signals a phase change.  Noise
+ * samples are rejected before computing the deviations.  When no stable
+ * phase emerges for a long time, the detector asks the sampler to double
+ * the profile-window size (the window may be too small to cover a large
+ * phase).
+ */
+
+#ifndef ADORE_RUNTIME_PHASE_DETECTOR_HH
+#define ADORE_RUNTIME_PHASE_DETECTOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "pmu/sampler.hh"
+
+namespace adore
+{
+
+struct PhaseDetectorConfig
+{
+    /** Consecutive low-deviation windows required for stability. */
+    int stableWindows = 4;
+    double cpiCvThreshold = 0.12;
+    double dpiCvThreshold = 0.40;
+    /** Max PCcenter standard deviation (bytes) for a stable phase. */
+    double pcStdThreshold = 1024.0;
+    /** Minimum DPI (misses/instruction) worth optimizing for. */
+    double dpiMinForOptimization = 0.0004;
+    /** PCcenter shift (bytes) that distinguishes two phases. */
+    double newPhaseCenterShift = 512.0;
+    /** Windows without stability before doubling the profile window. */
+    int doubleWindowAfter = 16;
+};
+
+/** Per-window summary: the three phase-detection metrics. */
+struct WindowSummary
+{
+    double cpi = 0.0;
+    double dpi = 0.0;
+    double pcCenter = 0.0;
+    Cycle endCycle = 0;
+};
+
+struct PhaseInfo
+{
+    std::uint64_t id = 0;
+    double cpi = 0.0;
+    double dpi = 0.0;
+    Addr pcCenter = 0;
+    Cycle detectedAt = 0;
+    bool highMissRate = false;
+};
+
+class PhaseDetector
+{
+  public:
+    enum class Event
+    {
+        None,         ///< still searching / still in the same phase
+        StablePhase,  ///< a new stable phase was just detected
+        PhaseChange,  ///< the current stable phase ended
+    };
+
+    explicit PhaseDetector(const PhaseDetectorConfig &config);
+
+    /** Summarize one profile window's samples. */
+    static WindowSummary summarize(const std::vector<Sample> &window);
+
+    /** Feed the next profile window; returns the detected event. */
+    Event onWindow(const std::vector<Sample> &window, Cycle now);
+
+    bool inStablePhase() const { return stable_; }
+    const PhaseInfo &current() const { return current_; }
+    std::uint64_t phasesDetected() const { return phasesDetected_; }
+
+    /** Install a callback invoked when the window should be doubled. */
+    void setDoubleWindowCallback(std::function<void()> cb);
+
+  private:
+    bool windowsLookStable() const;
+
+    PhaseDetectorConfig config_;
+    std::deque<WindowSummary> recent_;
+    std::vector<Sample> lastWindowTail_;  ///< carry for delta computation
+    Sample prevWindowLast_{};
+    bool havePrev_ = false;
+
+    bool stable_ = false;
+    PhaseInfo current_;
+    std::uint64_t phasesDetected_ = 0;
+    int windowsSinceStable_ = 0;
+    std::function<void()> doubleWindowCb_;
+};
+
+} // namespace adore
+
+#endif // ADORE_RUNTIME_PHASE_DETECTOR_HH

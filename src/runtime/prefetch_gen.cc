@@ -1,0 +1,319 @@
+#include "runtime/prefetch_gen.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "isa/builder.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+namespace adore
+{
+
+/**
+ * Slot-level scheduler: places generated instructions into free (nop)
+ * slots of the trace body, inserting fresh bundles only when no legal
+ * slot exists.  Tracks every live InsnPos so bundle insertions keep
+ * later loads' positions valid.
+ */
+struct PrefetchGenerator::Scheduler
+{
+    Trace &trace;
+    PrefetchGenResult &result;
+    std::vector<InsnPos *> tracked;
+
+    Scheduler(Trace &t, PrefetchGenResult &r) : trace(t), result(r) {}
+
+    void track(InsnPos *pos) { tracked.push_back(pos); }
+
+    static bool
+    bundleHasBranch(const Bundle &bundle)
+    {
+        return bundle.branchSlot() >= 0;
+    }
+
+    /** Try to overwrite a nop slot of @p bundle with @p insn. */
+    static bool
+    tryPlaceInBundle(Bundle &bundle, const Insn &insn)
+    {
+        if (bundleHasBranch(bundle))
+            return false;
+        SlotKind kind;
+        if (Insn::opAllowsSlot(insn.op, SlotKind::I)) {
+            kind = SlotKind::I;
+        } else if (Insn::opAllowsSlot(insn.op, SlotKind::M)) {
+            if (bundle.countKind(SlotKind::M) >= 2)
+                return false;
+            kind = SlotKind::M;
+        } else {
+            return false;
+        }
+        for (int s = 0; s < bundle.size(); ++s) {
+            if (bundle.slot(s).isNop()) {
+                Insn placed = insn;
+                placed.slot = kind;
+                bundle.slot(s) = placed;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    insertBundleAt(int idx, const Bundle &bundle)
+    {
+        Bundle padded = bundle;
+        padded.padWithNops();
+        trace.bundles.insert(trace.bundles.begin() + idx, padded);
+        trace.origAddrs.insert(trace.origAddrs.begin() + idx, 0);
+        if (trace.backedgeBundle >= idx)
+            ++trace.backedgeBundle;
+        for (int &e : trace.elidedBranches)
+            if (e >= idx)
+                ++e;
+        for (InsnPos *pos : tracked)
+            if (pos->bundle >= idx)
+                ++pos->bundle;
+        ++result.bundlesInserted;
+    }
+
+    /** Index of the first body bundle we must not spill past: the
+     *  backedge bundle (or end of trace). */
+    int
+    bodyLimit() const
+    {
+        return trace.backedgeBundle >= 0
+                   ? trace.backedgeBundle
+                   : static_cast<int>(trace.bundles.size());
+    }
+
+    /**
+     * Place @p insn in a bundle with index in [min_bundle, bodyLimit());
+     * falls back to inserting a new bundle at bodyLimit() (just before
+     * the backedge) or at min_bundle when required.
+     * @return the bundle index used.
+     */
+    int
+    placeFrom(const Insn &insn, int min_bundle)
+    {
+        int limit = bodyLimit();
+        for (int b = std::max(0, min_bundle); b < limit; ++b) {
+            if (tryPlaceInBundle(trace.bundles[static_cast<std::size_t>(b)],
+                                 insn)) {
+                ++result.slotsFilled;
+                return b;
+            }
+        }
+        int at = std::max(std::min(limit, static_cast<int>(
+                                              trace.bundles.size())),
+                          min_bundle);
+        at = std::min(at, static_cast<int>(trace.bundles.size()));
+        Bundle fresh;
+        fresh.add(insn);
+        insertBundleAt(at, fresh);
+        return at;
+    }
+
+    /**
+     * Place @p insn strictly before bundle @p max_bundle (used for the
+     * pointer snapshot that must precede the pointer update).
+     * @return the bundle index used.
+     */
+    int
+    placeBefore(const Insn &insn, int max_bundle)
+    {
+        for (int b = 0; b < max_bundle; ++b) {
+            if (tryPlaceInBundle(trace.bundles[static_cast<std::size_t>(b)],
+                                 insn)) {
+                ++result.slotsFilled;
+                return b;
+            }
+        }
+        Bundle fresh;
+        fresh.add(insn);
+        int at = std::max(0, max_bundle);
+        insertBundleAt(at, fresh);
+        return at;
+    }
+};
+
+std::uint32_t
+PrefetchGenerator::distanceIters(std::uint32_t avg_latency,
+                                 std::uint32_t body_cycles) const
+{
+    std::uint32_t iters = static_cast<std::uint32_t>(
+        ceilDiv(avg_latency, std::max<std::uint32_t>(1, body_cycles)));
+    return std::clamp<std::uint32_t>(iters, 1, config_.maxDistanceIters);
+}
+
+PrefetchGenResult
+PrefetchGenerator::generate(Trace &trace,
+                            const std::vector<DelinquentLoad> &loads,
+                            std::uint32_t body_cycles,
+                            bool skip_direct) const
+{
+    PrefetchGenResult result;
+    Scheduler sched(trace, result);
+
+    // Local mutable copies whose positions survive bundle insertion.
+    std::vector<DelinquentLoad> work = loads;
+    for (DelinquentLoad &dl : work) {
+        sched.track(&dl.pos);
+        sched.track(&dl.slice.recurrentDefPos);
+    }
+
+    std::uint8_t next_reg = config_.firstReservedReg;
+    auto regs_left = [&] {
+        return static_cast<int>(config_.lastReservedReg) - next_reg + 1;
+    };
+
+    std::vector<Insn> init_insns;
+
+    for (DelinquentLoad &dl : work) {
+        if (dl.avgLatency() == 0)
+            continue;
+        const SliceResult &slice = dl.slice;
+        std::uint32_t dist = distanceIters(dl.avgLatency(), body_cycles);
+
+        switch (slice.pattern) {
+          case RefPattern::Unknown:
+            ++result.loadsSkippedUnknown;
+            break;
+
+          case RefPattern::Direct: {
+            if (skip_direct)
+                break;  // the compiler's lfetch already covers it
+            if (regs_left() < 1) {
+                ++result.loadsSkippedNoRegs;
+                break;
+            }
+            std::uint8_t r = next_reg++;
+            std::int64_t dist_bytes =
+                static_cast<std::int64_t>(dist) * slice.strideBytes;
+            // Small integer strides: align the distance to the L1D line
+            // (FP bypasses L1, Section 3.3).
+            if (!slice.fp && slice.strideBytes > 0 &&
+                slice.strideBytes <
+                    static_cast<std::int64_t>(config_.l1LineBytes)) {
+                std::int64_t line =
+                    static_cast<std::int64_t>(config_.l1LineBytes);
+                dist_bytes = ceilDiv(static_cast<std::uint64_t>(
+                                         dist_bytes),
+                                     static_cast<std::uint64_t>(line)) *
+                             line;
+            }
+            init_insns.push_back(
+                build::addi(r, dist_bytes, slice.baseReg));
+            // One lfetch both prefetches and advances the stride
+            // (Section 3.4's redundancy folding).
+            Insn pf = build::lfetch(
+                r, static_cast<std::int32_t>(slice.strideBytes));
+            if (slice.fp)
+                pf.count = 1;  // .nt1
+            sched.placeFrom(pf, 0);
+            ++result.directPrefetches;
+            break;
+          }
+
+          case RefPattern::Indirect: {
+            if (regs_left() < 4) {
+                ++result.loadsSkippedNoRegs;
+                break;
+            }
+            std::uint8_t r_adv = next_reg++;
+            std::uint8_t r_val = next_reg++;
+            std::uint8_t r_addr = next_reg++;
+            std::uint8_t r_l1 = next_reg++;
+
+            std::int64_t l1_stride = slice.level1StrideBytes;
+            std::int64_t d2_bytes =
+                static_cast<std::int64_t>(dist) * l1_stride;
+            std::int64_t d1_bytes =
+                d2_bytes *
+                static_cast<std::int64_t>(config_.indirectLevel1AheadFactor);
+
+            init_insns.push_back(
+                build::addi(r_adv, d2_bytes, slice.level1Cursor));
+            init_insns.push_back(
+                build::addi(r_l1, d1_bytes, slice.level1Cursor));
+
+            // Body: ld.s advanced index; regenerate the transform on
+            // reserved registers; prefetch both levels.
+            Insn lds = build::lds(slice.level1Size, r_val, r_adv,
+                                  static_cast<std::int32_t>(l1_stride));
+            int at = sched.placeFrom(lds, 0);
+
+            std::uint8_t prev = r_val;
+            for (Insn t : slice.transform) {
+                t.rs1 = prev;
+                t.rd = r_addr;
+                prev = r_addr;
+                at = sched.placeFrom(t, at + 1);
+            }
+
+            Insn pf2 = build::lfetch(prev);
+            if (slice.fp)
+                pf2.count = 1;
+            sched.placeFrom(pf2, at + 1);
+
+            Insn pf1 = build::lfetch(
+                r_l1, static_cast<std::int32_t>(l1_stride));
+            sched.placeFrom(pf1, 0);
+            ++result.indirectPrefetches;
+            break;
+          }
+
+          case RefPattern::PointerChase: {
+            if (regs_left() < 1) {
+                ++result.loadsSkippedNoRegs;
+                break;
+            }
+            if (!slice.recurrentDefPos.valid()) {
+                ++result.loadsSkippedUnknown;
+                break;
+            }
+            std::uint8_t r = next_reg++;
+            std::uint8_t p = slice.recurrentReg;
+
+            std::uint32_t ahead_log2 = static_cast<std::uint32_t>(
+                std::bit_width(std::max<std::uint32_t>(1, dist) - 1));
+            ahead_log2 =
+                std::min(ahead_log2, config_.maxChaseAheadLog2);
+
+            // Snapshot the pointer before its in-body update...
+            sched.placeBefore(build::mov(r, p),
+                              slice.recurrentDefPos.bundle);
+            // ...then compute the amplified delta and prefetch ahead
+            // along the traversal path (Fig. 6C).
+            int at = sched.placeFrom(build::sub(r, p, r),
+                                     slice.recurrentDefPos.bundle + 1);
+            at = sched.placeFrom(
+                build::shladd(r, r, static_cast<std::uint8_t>(ahead_log2),
+                              p),
+                at + 1);
+            sched.placeFrom(build::lfetch(r), at + 1);
+            ++result.pointerPrefetches;
+            break;
+          }
+        }
+    }
+
+    // Pack the trace-entry (initialization) code into bundles.
+    Bundle cur;
+    for (const Insn &insn : init_insns) {
+        if (!cur.tryAdd(insn)) {
+            cur.padWithNops();
+            result.initBundles.push_back(cur);
+            cur = Bundle();
+            cur.add(insn);
+        }
+    }
+    if (!cur.empty()) {
+        cur.padWithNops();
+        result.initBundles.push_back(cur);
+    }
+
+    return result;
+}
+
+} // namespace adore

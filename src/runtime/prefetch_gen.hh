@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Runtime prefetch generation and scheduling (paper Sections 3.3-3.5).
+ *
+ * For each delinquent load classified by the DependenceSlicer, prefetch
+ * code is generated following Fig. 6:
+ *
+ *  - direct: one reserved register is initialized in trace-entry code to
+ *    base + distance and advanced by the lfetch's own post-increment —
+ *    the redundancy-folding optimization of Section 3.4 (one lfetch does
+ *    both prefetching and stride advancing);
+ *  - indirect: an advanced index cursor feeds a speculative non-faulting
+ *    ld.s, the captured address transform is regenerated on reserved
+ *    registers, and both levels are prefetched with the level-1 lfetch
+ *    running further ahead than the level-2 one;
+ *  - pointer chasing: induction-pointer prefetching — the pointer is
+ *    snapshotted at the body top, the per-iteration delta computed after
+ *    the pointer advances, amplified by an iterations-ahead count
+ *    (shladd), and used to prefetch down the traversal path.
+ *
+ * The prefetch distance is ceil(average miss latency / loop body
+ * cycles); for small integer strides it is aligned to the L1D line size
+ * (not for FP, which bypasses L1).  Generated instructions are scheduled
+ * into otherwise-wasted empty slots where possible (Section 3.5); only
+ * when no legal slot exists are new bundles inserted.
+ *
+ * Only the four reserved integer registers (r27-r30) are available:
+ * loads are processed in decreasing total-latency order and dropped when
+ * registers run out (the applu limitation the paper reports).
+ */
+
+#ifndef ADORE_RUNTIME_PREFETCH_GEN_HH
+#define ADORE_RUNTIME_PREFETCH_GEN_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/slicer.hh"
+#include "runtime/trace.hh"
+
+namespace adore
+{
+
+struct PrefetchGenConfig
+{
+    std::uint8_t firstReservedReg = isa::reservedIntRegFirst;
+    std::uint8_t lastReservedReg = isa::reservedIntRegLast;
+    std::uint32_t l1LineBytes = 64;
+    std::uint32_t maxDistanceIters = 512;
+    std::uint32_t indirectLevel1AheadFactor = 2;
+    std::uint32_t maxChaseAheadLog2 = 3;
+};
+
+/** A delinquent load aggregated from DEAR samples (paper Section 3.1). */
+struct DelinquentLoad
+{
+    Addr origPc = 0;
+    InsnPos pos;
+    std::uint64_t totalLatency = 0;
+    std::uint64_t sampleCount = 0;
+    SliceResult slice;
+
+    std::uint32_t
+    avgLatency() const
+    {
+        return sampleCount ? static_cast<std::uint32_t>(totalLatency /
+                                                        sampleCount)
+                           : 0;
+    }
+};
+
+struct PrefetchGenResult
+{
+    std::vector<Bundle> initBundles;  ///< trace-entry code (runs once)
+    int directPrefetches = 0;
+    int indirectPrefetches = 0;
+    int pointerPrefetches = 0;
+    int loadsSkippedNoRegs = 0;
+    int loadsSkippedUnknown = 0;
+    int bundlesInserted = 0;      ///< new body bundles (schedule misses)
+    int slotsFilled = 0;          ///< prefetch insns placed in free slots
+
+    int
+    totalPrefetchedLoads() const
+    {
+        return directPrefetches + indirectPrefetches + pointerPrefetches;
+    }
+};
+
+class PrefetchGenerator
+{
+  public:
+    explicit PrefetchGenerator(const PrefetchGenConfig &config = {})
+        : config_(config)
+    {
+    }
+
+    /**
+     * Generate prefetch code for @p loads (already sorted by decreasing
+     * total latency and clipped to the top-k) into @p trace's body.
+     *
+     * @param body_cycles estimated issue-limited cycles per iteration.
+     * @param skip_direct do not prefetch direct-pattern loads: used for
+     *        traces that already contain compiler-generated lfetch (the
+     *        static pass covers exactly the direct refs, so only
+     *        indirect / pointer-chasing patterns are still worth runtime
+     *        treatment — the O3 behaviour of Section 4.3).
+     */
+    PrefetchGenResult generate(Trace &trace,
+                               const std::vector<DelinquentLoad> &loads,
+                               std::uint32_t body_cycles,
+                               bool skip_direct = false) const;
+
+  private:
+    struct Scheduler;
+
+    std::uint32_t distanceIters(std::uint32_t avg_latency,
+                                std::uint32_t body_cycles) const;
+
+    PrefetchGenConfig config_;
+};
+
+} // namespace adore
+
+#endif // ADORE_RUNTIME_PREFETCH_GEN_HH

@@ -1,0 +1,300 @@
+#include "runtime/slicer.hh"
+
+#include "support/logging.hh"
+
+namespace adore
+{
+
+const char *
+refPatternName(RefPattern pattern)
+{
+    switch (pattern) {
+      case RefPattern::Direct: return "direct";
+      case RefPattern::Indirect: return "indirect";
+      case RefPattern::PointerChase: return "pointer-chasing";
+      case RefPattern::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+DependenceSlicer::DependenceSlicer(const Trace &trace)
+    : trace_(trace),
+      defs_(isa::numIntRegs),
+      defPositions_(isa::numIntRegs)
+{
+    for (std::size_t b = 0; b < trace.bundles.size(); ++b) {
+        const Bundle &bundle = trace.bundles[b];
+        for (int s = 0; s < bundle.size(); ++s) {
+            const Insn &insn = bundle.slot(s);
+            InsnPos pos{static_cast<int>(b), s};
+            auto note = [&](std::uint8_t reg) {
+                if (reg == 0 || reg >= isa::numIntRegs)
+                    return;
+                defs_[reg].push_back({pos, &insn});
+                defPositions_[reg].push_back(pos);
+            };
+            switch (insn.op) {
+              case Opcode::Add:
+              case Opcode::Sub:
+              case Opcode::Addi:
+              case Opcode::Shladd:
+              case Opcode::Mov:
+              case Opcode::Movi:
+              case Opcode::And:
+              case Opcode::Or:
+              case Opcode::Xor:
+              case Opcode::Shl:
+              case Opcode::Shr:
+              case Opcode::Getf:
+                note(insn.rd);
+                break;
+              case Opcode::Ld:
+              case Opcode::LdS:
+                note(insn.rd);
+                if (insn.postinc)
+                    note(insn.rs1);
+                break;
+              case Opcode::Ldf:
+              case Opcode::St:
+              case Opcode::Stf:
+              case Opcode::Lfetch:
+                if (insn.postinc)
+                    note(insn.rs1);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+const std::vector<InsnPos> &
+DependenceSlicer::defsOf(std::uint8_t reg) const
+{
+    return defPositions_[reg];
+}
+
+const std::vector<DependenceSlicer::Def> &
+DependenceSlicer::defList(std::uint8_t reg) const
+{
+    return defs_[reg];
+}
+
+bool
+DependenceSlicer::invariant(std::uint8_t reg) const
+{
+    return reg == 0 || defs_[reg].empty();
+}
+
+bool
+DependenceSlicer::constStride(std::uint8_t reg, std::int64_t &stride) const
+{
+    const auto &list = defs_[reg];
+    if (list.empty())
+        return false;
+    std::int64_t sum = 0;
+    for (const Def &def : list) {
+        const Insn &insn = *def.insn;
+        if (insn.isMemRef() && insn.postinc && insn.rs1 == reg) {
+            // Post-increment walking reference.  A load whose *dest* is
+            // also reg would not be a constant increment; reject it.
+            if (insn.isLoad() && insn.op != Opcode::Ldf &&
+                insn.rd == reg) {
+                return false;
+            }
+            sum += insn.postinc;
+            continue;
+        }
+        if (insn.op == Opcode::Addi && insn.rd == reg &&
+            insn.rs1 == reg) {
+            sum += insn.imm;
+            continue;
+        }
+        return false;
+    }
+    stride = sum;
+    return stride != 0;
+}
+
+const DependenceSlicer::Def *
+DependenceSlicer::reachingDef(std::uint8_t reg, InsnPos pos) const
+{
+    const auto &list = defs_[reg];
+    if (list.empty())
+        return nullptr;
+    const Def *best = nullptr;
+    for (const Def &def : list) {
+        if (def.pos.before(pos) &&
+            (!best || best->pos.before(def.pos))) {
+            best = &def;
+        }
+    }
+    if (best)
+        return best;
+    // No def earlier in the body: the value is loop-carried from the
+    // last def of the previous iteration.
+    best = &list[0];
+    for (const Def &def : list)
+        if (best->pos.before(def.pos))
+            best = &def;
+    return best;
+}
+
+bool
+DependenceSlicer::chainReaches(std::uint8_t reg, InsnPos pos,
+                               std::uint8_t target, int depth) const
+{
+    if (reg == target)
+        return true;
+    if (depth == 0 || invariant(reg))
+        return false;
+    const Def *def = reachingDef(reg, pos);
+    if (!def)
+        return false;
+    const Insn &insn = *def->insn;
+    switch (insn.op) {
+      case Opcode::Addi:
+      case Opcode::Mov:
+        return chainReaches(insn.rs1, def->pos, target, depth - 1);
+      case Opcode::Add:
+      case Opcode::Shladd:
+        return chainReaches(insn.rs1, def->pos, target, depth - 1) ||
+               chainReaches(insn.rs2, def->pos, target, depth - 1);
+      case Opcode::Ld:
+      case Opcode::LdS:
+        // A recurrence through memory: follow the load's address.
+        return chainReaches(insn.rs1, def->pos, target, depth - 1);
+      default:
+        return false;
+    }
+}
+
+SliceResult
+DependenceSlicer::classify(InsnPos pos) const
+{
+    SliceResult out;
+    panic_if(pos.bundle < 0 ||
+                 pos.bundle >= static_cast<int>(trace_.bundles.size()),
+             "classify: position outside trace");
+    const Insn &load =
+        trace_.bundles[static_cast<std::size_t>(pos.bundle)].slot(pos.slot);
+    panic_if(!load.isLoad(), "classify on a non-load");
+
+    out.fp = load.op == Opcode::Ldf;
+    out.loadSize = load.size;
+
+    std::uint8_t base = load.rs1;
+    out.baseReg = base;
+
+    // Case 1: constant-stride base -> direct array reference.
+    std::int64_t stride = 0;
+    if (constStride(base, stride)) {
+        out.pattern = RefPattern::Direct;
+        out.strideBytes = stride;
+        return out;
+    }
+
+    if (invariant(base))
+        return out;  // loop-invariant address: nothing to prefetch
+
+    // Case 2/3: follow the reaching-definition chain of the address,
+    // collecting the transform (adds/shladds) backwards, looking for
+    // either an index-producing load (indirect) or a memory recurrence
+    // (pointer chasing).
+    std::uint8_t cur = base;
+    InsnPos cur_pos = pos;
+    std::vector<Insn> transform;
+    for (int depth = 0; depth < 4; ++depth) {
+        if (invariant(cur))
+            return out;
+        // A register whose every in-body def is a constant increment
+        // deep in the chain: the address is a strided cursor plus a
+        // constant -> direct.
+        std::int64_t chain_stride = 0;
+        if (depth > 0 && constStride(cur, chain_stride)) {
+            out.pattern = RefPattern::Direct;
+            out.strideBytes = chain_stride;
+            out.baseReg = base;
+            return out;
+        }
+
+        const Def *dd = reachingDef(cur, cur_pos);
+        if (!dd)
+            return out;
+        const Insn &def = *dd->insn;
+
+        switch (def.op) {
+          case Opcode::Addi:
+            transform.push_back(def);
+            cur = def.rs1;
+            cur_pos = dd->pos;
+            break;
+          case Opcode::Mov:
+            cur = def.rs1;
+            cur_pos = dd->pos;
+            break;
+          case Opcode::Shladd:
+            // rd = rs1 << k + rs2: the variable input is rs1; rs2 must
+            // be loop-invariant for the transform to be regenerable.
+            if (!invariant(def.rs2))
+                return out;
+            transform.push_back(def);
+            cur = def.rs1;
+            cur_pos = dd->pos;
+            break;
+          case Opcode::Add: {
+            std::uint8_t variable;
+            Insn normalized = def;
+            if (invariant(def.rs2)) {
+                variable = def.rs1;
+            } else if (invariant(def.rs1)) {
+                // Normalize so rs1 is always the variable operand; the
+                // generator rewires rs1 when regenerating.
+                variable = def.rs2;
+                normalized.rs1 = def.rs2;
+                normalized.rs2 = def.rs1;
+            } else {
+                return out;
+            }
+            transform.push_back(normalized);
+            cur = variable;
+            cur_pos = dd->pos;
+            break;
+          }
+          case Opcode::Ld:
+          case Opcode::LdS: {
+            // cur is produced by a load.  Either a memory recurrence
+            // (pointer chasing) or an index value (indirect).
+            if (chainReaches(def.rs1, dd->pos, cur, 3) ||
+                chainReaches(def.rs1, dd->pos, base, 3)) {
+                out.pattern = RefPattern::PointerChase;
+                out.recurrentReg = cur;
+                out.recurrentDefPos = dd->pos;
+                return out;
+            }
+            std::int64_t l1stride = 0;
+            if (constStride(def.rs1, l1stride)) {
+                out.pattern = RefPattern::Indirect;
+                out.level1Cursor = def.rs1;
+                out.level1StrideBytes = l1stride;
+                out.level1Size = def.size;
+                out.transformInputReg = cur;
+                // Dependence order: from index value to address.
+                out.transform.assign(transform.rbegin(),
+                                     transform.rend());
+                return out;
+            }
+            return out;
+          }
+          case Opcode::Getf:
+            // fp->int conversion in the address computation: the
+            // runtime cannot derive a stride (paper Section 4.3).
+            return out;
+          default:
+            return out;
+        }
+    }
+    return out;
+}
+
+} // namespace adore

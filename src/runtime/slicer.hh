@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dependence slicing over a loop trace to classify a delinquent load's
+ * data-reference pattern (paper Section 3.2, Fig. 5):
+ *
+ *  - *direct array*: the load's base register advances by compile-time
+ *    constants each iteration (post-increments / adds); the per-iteration
+ *    stride is their sum;
+ *  - *indirect array*: the base is recomputed each iteration from an
+ *    index *value* produced by another load whose own base is strided
+ *    (the two-level reference of Fig. 5B); the address transform chain
+ *    (shladd/add/adds) is captured for regeneration;
+ *  - *pointer chasing*: the base derives from a register that is
+ *    (transitively) defined by a load whose address depends on that same
+ *    register's previous value — a recurrence through memory (Fig. 5C);
+ *  - *unknown*: anything else, e.g. an address produced through an
+ *    fp->int conversion (getf) or a register with conflicting
+ *    definitions.  ADORE inserts no prefetch for these (the vpr/lucas/
+ *    gap failure mode the paper reports).
+ */
+
+#ifndef ADORE_RUNTIME_SLICER_HH
+#define ADORE_RUNTIME_SLICER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/trace.hh"
+
+namespace adore
+{
+
+enum class RefPattern : std::uint8_t
+{
+    Direct,
+    Indirect,
+    PointerChase,
+    Unknown,
+};
+
+const char *refPatternName(RefPattern pattern);
+
+/** Position of an instruction within a trace. */
+struct InsnPos
+{
+    int bundle = -1;
+    int slot = -1;
+
+    bool valid() const { return bundle >= 0; }
+
+    bool
+    before(const InsnPos &other) const
+    {
+        return bundle < other.bundle ||
+               (bundle == other.bundle && slot < other.slot);
+    }
+};
+
+struct SliceResult
+{
+    RefPattern pattern = RefPattern::Unknown;
+    bool fp = false;           ///< delinquent load is an FP load
+    std::uint8_t loadSize = 8;
+
+    // Direct.
+    std::uint8_t baseReg = 0;
+    std::int64_t strideBytes = 0;
+
+    // Indirect.
+    std::uint8_t level1Cursor = 0;      ///< strided index-load base
+    std::int64_t level1StrideBytes = 0;
+    std::uint8_t level1Size = 8;        ///< index element size
+    /** Address-transform instructions from index value to the
+     *  delinquent load's address, in dependence order. */
+    std::vector<Insn> transform;
+    std::uint8_t transformInputReg = 0; ///< the index-value register
+
+    // Pointer chasing.
+    std::uint8_t recurrentReg = 0;
+    InsnPos recurrentDefPos;  ///< the load that advances the pointer
+};
+
+class DependenceSlicer
+{
+  public:
+    explicit DependenceSlicer(const Trace &trace);
+
+    /** Classify the load at @p pos (must be a load slot). */
+    SliceResult classify(InsnPos pos) const;
+
+    /** All writes to integer register @p reg within the body. */
+    const std::vector<InsnPos> &defsOf(std::uint8_t reg) const;
+
+  private:
+    struct Def
+    {
+        InsnPos pos;
+        const Insn *insn;
+    };
+
+    const std::vector<Def> &defList(std::uint8_t reg) const;
+
+    /** True when @p reg is never written in the body (loop-invariant). */
+    bool invariant(std::uint8_t reg) const;
+
+    /**
+     * If every def of @p reg is a constant self-increment, return true
+     * and the per-iteration stride.
+     */
+    bool constStride(std::uint8_t reg, std::int64_t &stride) const;
+
+    /**
+     * The definition of @p reg that reaches a use at @p pos: the latest
+     * def strictly before @p pos, or (loop-carried) the last def in the
+     * body.  nullptr when the register is invariant.
+     */
+    const Def *reachingDef(std::uint8_t reg, InsnPos pos) const;
+
+    /**
+     * Whether @p reg's value chain (through ALU ops *and* loads — a
+     * recurrence through memory) reaches @p target within @p depth.
+     */
+    bool chainReaches(std::uint8_t reg, InsnPos pos, std::uint8_t target,
+                      int depth) const;
+
+    const Trace &trace_;
+    std::vector<std::vector<Def>> defs_;
+    std::vector<std::vector<InsnPos>> defPositions_;
+};
+
+} // namespace adore
+
+#endif // ADORE_RUNTIME_SLICER_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A selected trace: a single-entry, multi-exit sequence of bundles copied
+ * from the original text (paper Section 2.2/2.4).
+ */
+
+#ifndef ADORE_RUNTIME_TRACE_HH
+#define ADORE_RUNTIME_TRACE_HH
+
+#include <vector>
+
+#include "isa/bundle.hh"
+
+namespace adore
+{
+
+struct Trace
+{
+    Addr startAddr = 0;  ///< original address of the trace head bundle
+    std::vector<Bundle> bundles;       ///< copied code
+    std::vector<Addr> origAddrs;       ///< original address per bundle
+    bool isLoop = false;
+    /** For loop traces: index/slot of the backedge branch. */
+    int backedgeBundle = -1;
+    int backedgeSlot = -1;
+    /**
+     * Bundles whose (unconditional) branch was followed during
+     * selection: at commit time the branch is elided so execution falls
+     * through to the next trace bundle (the paper's "connect the prior
+     * instruction stream with the instructions starting from the taken
+     * branch's target").
+     */
+    std::vector<int> elidedBranches;
+    /** Reference count of the start target in the path profile. */
+    std::uint64_t startRefCount = 0;
+
+    /** Original fall-through address after the last bundle. */
+    Addr
+    fallthroughAddr() const
+    {
+        return origAddrs.empty()
+                   ? startAddr
+                   : origAddrs.back() + isa::bundleBytes;
+    }
+
+    /** Whether the original pc @p pc maps into this trace. */
+    bool
+    containsOrigPc(Addr pc) const
+    {
+        Addr b = isa::bundleAddr(pc);
+        for (Addr a : origAddrs)
+            if (a == b)
+                return true;
+        return false;
+    }
+
+    /** Bundle index of the original pc, or -1. */
+    int
+    bundleIndexOfOrigPc(Addr pc) const
+    {
+        Addr b = isa::bundleAddr(pc);
+        for (std::size_t i = 0; i < origAddrs.size(); ++i)
+            if (origAddrs[i] == b)
+                return static_cast<int>(i);
+        return -1;
+    }
+
+    /** True when any slot is a compiler-generated lfetch (the O3 case:
+     *  "already have compiler generated lfetch" -> skip). */
+    bool
+    containsLfetch() const
+    {
+        for (const Bundle &bundle : bundles)
+            for (int s = 0; s < bundle.size(); ++s)
+                if (bundle.slot(s).op == Opcode::Lfetch)
+                    return true;
+        return false;
+    }
+};
+
+} // namespace adore
+
+#endif // ADORE_RUNTIME_TRACE_HH

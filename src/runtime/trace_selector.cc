@@ -1,0 +1,170 @@
+#include "runtime/trace_selector.hh"
+
+#include <algorithm>
+
+namespace adore
+{
+
+void
+TraceSelector::buildTables(const std::vector<Sample> &samples,
+                           BranchTable &branches,
+                           TargetTable &targets) const
+{
+    for (const Sample &sample : samples) {
+        for (const BtbEntry &entry : sample.btb) {
+            if (!entry.valid)
+                continue;
+            // Ignore branches executing out of the trace pool: those
+            // phases are already optimized.
+            if (CodeImage::inPool(entry.source))
+                continue;
+            BranchStats &bs = branches[isa::bundleAddr(entry.source)];
+            if (entry.taken) {
+                ++bs.taken;
+                bs.takenTarget = entry.target;
+                if (!CodeImage::inPool(entry.target))
+                    ++targets[entry.target];
+            } else {
+                ++bs.notTaken;
+            }
+        }
+    }
+}
+
+Trace
+TraceSelector::buildTrace(Addr start, const BranchTable &branches) const
+{
+    Trace trace;
+    trace.startAddr = start;
+
+    Addr cur = start;
+    while (trace.bundles.size() < config_.maxTraceBundles) {
+        if (CodeImage::inPool(cur) || !code_.contains(cur))
+            break;  // never trace into the pool or off the image
+
+        // A previously patched bundle redirects into the pool already;
+        // stop rather than duplicating the redirect.
+        if (code_.isPatched(cur))
+            break;
+
+        const Bundle &orig = code_.fetch(cur);
+        Bundle copy = orig;
+        bool stop = false;
+        bool continue_at_target = false;
+        Addr next = cur + isa::bundleBytes;
+
+        int bslot = orig.branchSlot();
+        if (bslot >= 0) {
+            const Insn &br = orig.slot(bslot);
+            switch (br.op) {
+              case Opcode::BrCall:
+              case Opcode::BrRet:
+              case Opcode::Halt:
+                // Stop points: calls/returns end the trace.
+                stop = true;
+                break;
+              case Opcode::Br: {
+                if (br.qp == 0) {
+                    // Unconditional: follow the target, eliding the
+                    // branch at commit time so the trace falls through
+                    // into the target's instructions.
+                    if (trace.containsOrigPc(br.target)) {
+                        stop = true;
+                        break;
+                    }
+                    trace.elidedBranches.push_back(
+                        static_cast<int>(trace.bundles.size()));
+                    continue_at_target = true;
+                    next = br.target;
+                    break;
+                }
+                auto it = branches.find(cur);
+                double bias = it != branches.end() ? it->second.bias()
+                                                   : 0.0;
+                if (br.target == start && bias >= 0.5) {
+                    // Backedge to the trace head: a loop trace.
+                    trace.isLoop = true;
+                    trace.backedgeBundle =
+                        static_cast<int>(trace.bundles.size());
+                    trace.backedgeSlot = bslot;
+                    stop = true;
+                    break;
+                }
+                if (bias <= 1.0 - config_.biasThreshold) {
+                    // Dominantly fall-through: keep the branch as a
+                    // rarely-taken side exit and continue at the next
+                    // bundle.
+                } else {
+                    // Dominantly taken (non-backedge) or balanced:
+                    // stop point.  Following a taken conditional would
+                    // require branch conversion (flipping the
+                    // predicate), which the paper notes is hard with
+                    // nested predicates; we conservatively end the
+                    // trace instead.
+                    stop = true;
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+
+        trace.bundles.push_back(copy);
+        trace.origAddrs.push_back(cur);
+
+        if (stop)
+            break;
+        if (!continue_at_target &&
+            trace.containsOrigPc(next)) {
+            break;  // would fall into ourselves without a branch
+        }
+        if (continue_at_target && trace.containsOrigPc(next))
+            break;
+        cur = next;
+    }
+
+    return trace;
+}
+
+std::vector<Trace>
+TraceSelector::select(const std::vector<Sample> &samples) const
+{
+    BranchTable branches;
+    TargetTable targets;
+    buildTables(samples, branches, targets);
+
+    // Hottest targets first.
+    std::vector<std::pair<Addr, std::uint64_t>> ranked(targets.begin(),
+                                                       targets.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;  // deterministic tie-break
+              });
+
+    std::vector<Trace> out;
+    for (const auto &[target, count] : ranked) {
+        if (out.size() >= config_.maxTraces)
+            break;
+        if (count < config_.minStartRefCount)
+            break;
+
+        // Skip targets already covered by a selected trace.
+        bool covered = false;
+        for (const Trace &t : out)
+            covered = covered || t.containsOrigPc(target);
+        if (covered)
+            continue;
+
+        Trace trace = buildTrace(target, branches);
+        if (trace.bundles.empty())
+            continue;
+        trace.startRefCount = count;
+        out.push_back(std::move(trace));
+    }
+    return out;
+}
+
+} // namespace adore

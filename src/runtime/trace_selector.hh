@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace selection from BTB path-profile samples (paper Section 2.4).
+ *
+ * The selector builds two hash tables from the sampled Branch Trace
+ * Buffer entries: per-branch outcome counts (the path-profile fraction)
+ * and branch-target reference counts.  Trace construction starts at the
+ * hottest target and follows the dominant direction of each branch,
+ * breaking bundles at taken mid-bundle branches (discarding the
+ * fall-through remainder), until a stop point: a function call/return, a
+ * backedge to the trace start (making a loop trace), a revisited
+ * address, a balanced-bias conditional branch, or code that is already
+ * in the trace pool.
+ */
+
+#ifndef ADORE_RUNTIME_TRACE_SELECTOR_HH
+#define ADORE_RUNTIME_TRACE_SELECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "program/code_image.hh"
+#include "pmu/sampler.hh"
+#include "runtime/trace.hh"
+
+namespace adore
+{
+
+struct TraceSelectorConfig
+{
+    double biasThreshold = 0.7;   ///< dominant-direction cutoff
+    std::size_t maxTraceBundles = 96;
+    std::size_t maxTraces = 8;
+    std::uint64_t minStartRefCount = 8;
+};
+
+class TraceSelector
+{
+  public:
+    TraceSelector(const CodeImage &code, const TraceSelectorConfig &config)
+        : code_(code), config_(config)
+    {
+    }
+
+    /**
+     * Build traces from the BTB contents of @p samples (typically the
+     * stable-phase windows of the UEB).
+     */
+    std::vector<Trace> select(const std::vector<Sample> &samples) const;
+
+  private:
+    struct BranchStats
+    {
+        std::uint64_t taken = 0;
+        std::uint64_t notTaken = 0;
+        Addr takenTarget = 0;
+
+        double
+        bias() const
+        {
+            std::uint64_t total = taken + notTaken;
+            return total ? static_cast<double>(taken) /
+                               static_cast<double>(total)
+                         : 0.0;
+        }
+    };
+
+    using BranchTable = std::unordered_map<Addr, BranchStats>;
+    using TargetTable = std::unordered_map<Addr, std::uint64_t>;
+
+    void buildTables(const std::vector<Sample> &samples,
+                     BranchTable &branches, TargetTable &targets) const;
+
+    /** Grow one trace from @p start; empty result on failure. */
+    Trace buildTrace(Addr start, const BranchTable &branches) const;
+
+    const CodeImage &code_;
+    TraceSelectorConfig config_;
+};
+
+} // namespace adore
+
+#endif // ADORE_RUNTIME_TRACE_SELECTOR_HH

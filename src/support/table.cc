@@ -1,0 +1,158 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace adore
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << (c == 0 ? "| " : " ");
+            os << cells[c];
+            os << std::string(width[c] - cells[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-') << "|";
+    }
+    os << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+Table::fmt(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, v * 100.0);
+    return buf;
+}
+
+BarChart::BarChart(std::string title, std::string unit)
+    : title_(std::move(title)), unit_(std::move(unit))
+{
+}
+
+void
+BarChart::addBar(std::string label, double value)
+{
+    bars_.emplace_back(std::move(label), value);
+}
+
+std::string
+BarChart::render(int width) const
+{
+    double max_abs = 1e-9;
+    std::size_t label_w = 0;
+    for (const auto &[label, v] : bars_) {
+        max_abs = std::max(max_abs, std::fabs(v));
+        label_w = std::max(label_w, label.size());
+    }
+
+    std::ostringstream os;
+    os << title_ << " (" << unit_ << ")\n";
+    for (const auto &[label, v] : bars_) {
+        int len = static_cast<int>(
+            std::lround(std::fabs(v) / max_abs * width));
+        os << "  " << label << std::string(label_w - label.size(), ' ')
+           << " |";
+        if (v < 0)
+            os << std::string(static_cast<std::size_t>(len), '<');
+        else
+            os << std::string(static_cast<std::size_t>(len), '#');
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %+.1f%%", v * 100.0);
+        os << buf << '\n';
+    }
+    return os.str();
+}
+
+LineChart::LineChart(std::string title, std::string y_label)
+    : title_(std::move(title)), yLabel_(std::move(y_label))
+{
+}
+
+void
+LineChart::addSeries(std::string name, std::vector<double> ys)
+{
+    series_.emplace_back(std::move(name), std::move(ys));
+}
+
+std::string
+LineChart::render(int height) const
+{
+    std::size_t len = 0;
+    double ymax = 1e-9;
+    for (const auto &[name, ys] : series_) {
+        len = std::max(len, ys.size());
+        for (double y : ys)
+            ymax = std::max(ymax, y);
+    }
+
+    std::ostringstream os;
+    os << title_ << "  [y: " << yLabel_ << ", max " << Table::fmt(ymax, 2)
+       << "]\n";
+
+    static const char glyphs[] = {'*', 'o', '+', 'x'};
+    // Grid of (height) rows x (len) cols.
+    std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                  std::string(len, ' '));
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        const auto &ys = series_[s].second;
+        for (std::size_t x = 0; x < ys.size(); ++x) {
+            int row = static_cast<int>(
+                std::lround((1.0 - ys[x] / ymax) * (height - 1)));
+            row = std::clamp(row, 0, height - 1);
+            grid[static_cast<std::size_t>(row)][x] = glyphs[s % 4];
+        }
+    }
+    for (int r = 0; r < height; ++r) {
+        double level = ymax * (1.0 - static_cast<double>(r) / (height - 1));
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%8.2f |", level);
+        os << buf << grid[static_cast<std::size_t>(r)] << '\n';
+    }
+    os << std::string(10, ' ') << std::string(len, '-') << "> time\n";
+    for (std::size_t s = 0; s < series_.size(); ++s)
+        os << "  '" << glyphs[s % 4] << "' = " << series_[s].first << '\n';
+    return os.str();
+}
+
+} // namespace adore

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ASCII table and bar-chart rendering used by the bench binaries to print
+ * the paper's tables and figures on stdout.
+ */
+
+#ifndef ADORE_SUPPORT_TABLE_HH
+#define ADORE_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace adore
+{
+
+/** Column-aligned ASCII table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; each cell is preformatted text. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a header rule and column padding. */
+    std::string render() const;
+
+    /** Convenience numeric formatters. */
+    static std::string fmt(double v, int decimals = 3);
+    static std::string pct(double v, int decimals = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Horizontal ASCII bar chart (one bar per label), used for the speedup
+ * figures.  Negative values render to the left of the axis.
+ */
+class BarChart
+{
+  public:
+    BarChart(std::string title, std::string unit);
+
+    void addBar(std::string label, double value);
+
+    std::string render(int width = 50) const;
+
+  private:
+    std::string title_;
+    std::string unit_;
+    std::vector<std::pair<std::string, double>> bars_;
+};
+
+/**
+ * ASCII line chart for time series (Fig. 8 / Fig. 9): two series plotted
+ * against a shared x axis of simulated cycles.
+ */
+class LineChart
+{
+  public:
+    LineChart(std::string title, std::string y_label);
+
+    void addSeries(std::string name, std::vector<double> ys);
+
+    std::string render(int height = 12) const;
+
+  private:
+    std::string title_;
+    std::string yLabel_;
+    std::vector<std::pair<std::string, std::vector<double>>> series_;
+};
+
+} // namespace adore
+
+#endif // ADORE_SUPPORT_TABLE_HH

@@ -1,0 +1,118 @@
+#include "workloads/common.hh"
+
+namespace adore::workloads
+{
+
+int
+fpStream(hir::Program &prog, const std::string &name, std::uint64_t count,
+         std::uint32_t elem_bytes, bool is_param)
+{
+    hir::ArrayDecl arr;
+    arr.name = name;
+    arr.elemBytes = elem_bytes;
+    arr.count = count;
+    arr.fp = true;
+    arr.isParam = is_param;
+    arr.init = hir::DataInit::RandomFp;
+    return prog.addArray(arr);
+}
+
+int
+intStream(hir::Program &prog, const std::string &name, std::uint64_t count,
+          std::uint32_t elem_bytes)
+{
+    hir::ArrayDecl arr;
+    arr.name = name;
+    arr.elemBytes = elem_bytes;
+    arr.count = count;
+    arr.init = hir::DataInit::RandomInt;
+    return prog.addArray(arr);
+}
+
+int
+indexArray(hir::Program &prog, const std::string &name,
+           std::uint64_t count, std::uint64_t range)
+{
+    hir::ArrayDecl arr;
+    arr.name = name;
+    arr.elemBytes = 8;
+    arr.count = count;
+    arr.init = hir::DataInit::Index;
+    arr.indexRange = range;
+    return prog.addArray(arr);
+}
+
+int
+fpIndexArray(hir::Program &prog, const std::string &name,
+             std::uint64_t count, std::uint64_t range)
+{
+    hir::ArrayDecl arr;
+    arr.name = name;
+    arr.elemBytes = 8;
+    arr.count = count;
+    arr.fp = true;
+    arr.init = hir::DataInit::FpIndex;
+    arr.indexRange = range;
+    return prog.addArray(arr);
+}
+
+int
+linkedList(hir::Program &prog, const std::string &name,
+           std::uint64_t count, std::uint64_t node_bytes, double jumble)
+{
+    hir::ListDecl list;
+    list.name = name;
+    list.count = count;
+    list.nodeBytes = node_bytes;
+    list.nextOffset = 0;
+    list.jumble = jumble;
+    return prog.addList(list);
+}
+
+int
+addLoop(hir::Program &prog, const std::string &name, std::uint64_t trip,
+        hir::LoopBody body)
+{
+    hir::Loop loop;
+    loop.name = name;
+    loop.trip = trip;
+    loop.body = std::move(body);
+    return prog.addLoop(std::move(loop));
+}
+
+void
+phase(hir::Program &prog, int loop_id, std::uint64_t repeat)
+{
+    hir::Phase p;
+    p.loops = {loop_id};
+    p.repeat = repeat;
+    prog.sequence.push_back(std::move(p));
+}
+
+void
+phase(hir::Program &prog, std::vector<int> loop_ids, std::uint64_t repeat)
+{
+    hir::Phase p;
+    p.loops = std::move(loop_ids);
+    p.repeat = repeat;
+    prog.sequence.push_back(std::move(p));
+}
+
+void
+addColdLoops(hir::Program &prog, int count, std::uint64_t trip)
+{
+    std::vector<int> ids;
+    for (int i = 0; i < count; ++i) {
+        // 16 KiB per array: resident in L2/L3 after first touch.
+        int arr = fpStream(prog, "cold" + std::to_string(i), 2048);
+        hir::LoopBody body;
+        body.refs.push_back(direct(arr, 1));
+        body.extraFpOps = 1;
+        ids.push_back(addLoop(prog, "cold" + std::to_string(i), trip,
+                              std::move(body)));
+    }
+    if (!ids.empty())
+        phase(prog, std::move(ids), 1);
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared builders for the 17 synthetic SPEC2000-named workloads.
+ *
+ * Each workload is an HIR program engineered to the memory behaviour the
+ * paper reports for its namesake benchmark (see DESIGN.md Section 5):
+ * reference-pattern mix, miss concentration, phase structure, run
+ * length, and the specific failure modes (fp->int address computation,
+ * calls in hot loops, scattered hot code, bandwidth saturation).
+ */
+
+#ifndef ADORE_WORKLOADS_COMMON_HH
+#define ADORE_WORKLOADS_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/hir.hh"
+
+namespace adore::workloads
+{
+
+/** Direct array reference a[i*stride + offset]. */
+inline hir::ArrayRef
+direct(int array, std::int64_t stride_elems = 1, bool store = false,
+       std::int64_t offset_elems = 0)
+{
+    hir::ArrayRef ref;
+    ref.array = array;
+    ref.strideElems = stride_elems;
+    ref.isStore = store;
+    ref.offsetElems = offset_elems;
+    return ref;
+}
+
+/** Indirect reference target[idx[i]] (Fig. 5B). */
+inline hir::ArrayRef
+indirect(int target_array, int index_array)
+{
+    hir::ArrayRef ref;
+    ref.array = target_array;
+    ref.indexArray = index_array;
+    return ref;
+}
+
+/** Reference whose index arrives through an fp->int conversion: the
+ *  pattern the runtime slicer cannot analyze (vpr / lucas). */
+inline hir::ArrayRef
+fpConverted(int target_array, int fp_index_array)
+{
+    hir::ArrayRef ref;
+    ref.array = target_array;
+    ref.indexArray = fp_index_array;
+    ref.viaFpConversion = true;
+    return ref;
+}
+
+/** Declare an FP stream array (f64 unless @p elem_bytes is 4). */
+int fpStream(hir::Program &prog, const std::string &name,
+             std::uint64_t count, std::uint32_t elem_bytes = 8,
+             bool is_param = false);
+
+/** Declare an integer data array. */
+int intStream(hir::Program &prog, const std::string &name,
+              std::uint64_t count, std::uint32_t elem_bytes = 8);
+
+/** Declare an i64 index array with entries in [0, range). */
+int indexArray(hir::Program &prog, const std::string &name,
+               std::uint64_t count, std::uint64_t range);
+
+/** Declare an f64 array whose values are indices in [0, range). */
+int fpIndexArray(hir::Program &prog, const std::string &name,
+                 std::uint64_t count, std::uint64_t range);
+
+/** Declare a linked list; @p jumble in [0,1] sets layout irregularity. */
+int linkedList(hir::Program &prog, const std::string &name,
+               std::uint64_t count, std::uint64_t node_bytes,
+               double jumble = 0.0);
+
+/** Add a loop with the given body; returns the loop id. */
+int addLoop(hir::Program &prog, const std::string &name,
+            std::uint64_t trip, hir::LoopBody body);
+
+/** Append a single-loop phase. */
+void phase(hir::Program &prog, int loop_id, std::uint64_t repeat = 1);
+
+/** Append a multi-loop phase (applu-style timestep driver). */
+void phase(hir::Program &prog, std::vector<int> loop_ids,
+           std::uint64_t repeat = 1);
+
+/**
+ * Append @p count small cache-resident loops, executed once each at the
+ * end of the program.  At O3 the static prefetcher schedules them (it
+ * cannot know they hit in cache); the profile-guided filter of Table 1
+ * removes them.
+ */
+void addColdLoops(hir::Program &prog, int count,
+                  std::uint64_t trip = 64);
+
+} // namespace adore::workloads
+
+#endif // ADORE_WORKLOADS_COMMON_HH

@@ -1,0 +1,45 @@
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+
+namespace adore::workloads
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"bzip2", false}, {"gzip", false},   {"mcf", false},
+        {"vpr", false},   {"parser", false}, {"gap", false},
+        {"vortex", false}, {"gcc", false},   {"ammp", true},
+        {"art", true},    {"applu", true},   {"equake", true},
+        {"facerec", true}, {"fma3d", true},  {"lucas", true},
+        {"mesa", true},   {"swim", true},
+    };
+    return table;
+}
+
+hir::Program
+make(const std::string &name)
+{
+    if (name == "bzip2") return makeBzip2();
+    if (name == "gzip") return makeGzip();
+    if (name == "mcf") return makeMcf();
+    if (name == "vpr") return makeVpr();
+    if (name == "parser") return makeParser();
+    if (name == "gap") return makeGap();
+    if (name == "vortex") return makeVortex();
+    if (name == "gcc") return makeGcc();
+    if (name == "ammp") return makeAmmp();
+    if (name == "art") return makeArt();
+    if (name == "applu") return makeApplu();
+    if (name == "equake") return makeEquake();
+    if (name == "facerec") return makeFacerec();
+    if (name == "fma3d") return makeFma3d();
+    if (name == "lucas") return makeLucas();
+    if (name == "mesa") return makeMesa();
+    if (name == "swim") return makeSwim();
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 188.ammp: molecular dynamics.
+ *
+ * Behaviour contract (Table 2: 0 direct / 2 indirect / 2 pointer-chase
+ * prefetches over 3 phases): atom records on a regularly-laid-out list
+ * plus neighbor-list indirect gathers; a moderate win.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeAmmp()
+{
+    hir::Program prog;
+    prog.name = "ammp";
+
+    int atoms = linkedList(prog, "atoms", 4'000, 128, 0.12);  // 2 MiB
+    int atoms2 = linkedList(prog, "atoms2", 4'000, 128, 0.12);
+    int coords = fpStream(prog, "coords", 256 * 1024);  // 2 MiB
+    // Neighbor indices concentrate in a 512 KiB hot region: gathers are
+    // mostly L3-class.
+    int nbr1 = indexArray(prog, "nbr1", 96 * 1024, 34 * 1024);
+    int nbr2 = indexArray(prog, "nbr2", 96 * 1024, 34 * 1024);
+
+    // Phase 1: nonbonded forces — chase the atom list and gather
+    // neighbor coordinates (two loops => two traces, each with its own
+    // reserved-register budget).
+    hir::LoopBody chase_loop;
+    chase_loop.chases.push_back({atoms, 8});
+    chase_loop.extraFpOps = 16;
+    int l_chase = addLoop(prog, "mm_fv_update", 3'900, chase_loop);
+
+    hir::LoopBody gather1;
+    gather1.refs.push_back(indirect(coords, nbr1));
+    gather1.extraFpOps = 14;
+    int l_gather1 = addLoop(prog, "nbr_gather1", 96 * 1024, gather1);
+
+    phase(prog, {l_chase, l_gather1}, 12);
+
+    // Phase 2: second neighbor pass.
+    hir::LoopBody gather2;
+    gather2.refs.push_back(indirect(coords, nbr2));
+    gather2.extraFpOps = 16;
+    int l_gather2 = addLoop(prog, "nbr_gather2", 96 * 1024, gather2);
+    phase(prog, l_gather2, 4);
+
+    // Phase 3: tether/verlet update — chase the second list.
+    hir::LoopBody verlet;
+    verlet.chases.push_back({atoms2, 8});
+    verlet.extraFpOps = 18;
+    int l_verlet = addLoop(prog, "verlet", 3'900, verlet);
+    phase(prog, l_verlet, 16);
+
+    addColdLoops(prog, 7);
+    return prog;
+}
+
+} // namespace adore::workloads

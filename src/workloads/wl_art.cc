@@ -1,0 +1,64 @@
+/**
+ * @file
+ * 179.art: neural-network simulation (Fig. 8).
+ *
+ * Behaviour contract: two clear phases (the second starting about a
+ * quarter of the way in); large FP arrays streamed with direct strides,
+ * plus an indirect match step.  The arrays reach the kernels as
+ * *function parameters*, so the ORC-like O3 pass must assume aliasing
+ * and generates no static prefetch — runtime prefetching wins on both
+ * O2 and O3 binaries, roughly halving CPI and the DEAR miss rate in
+ * both phases.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeArt()
+{
+    hir::Program prog;
+    prog.name = "art";
+
+    // f1_layer / bus / tds / sts / cand: ~1.5 MiB each as f64, all
+    // reaching the kernels as aliased parameters (ORC's O3 pass skips
+    // them).
+    int f1 = fpStream(prog, "f1_layer", 192 * 1024, 8, true);
+    int bus = fpStream(prog, "bus", 192 * 1024, 8, true);
+    int tds = fpStream(prog, "tds", 192 * 1024, 8, true);
+    int sts = fpStream(prog, "sts", 192 * 1024, 8, true);
+    int cand = fpStream(prog, "cand", 192 * 1024, 8, true);
+    // Winner indices for the match step.
+    int win_idx = indexArray(prog, "winners", 96 * 1024, 192 * 1024);
+
+    // Phase 1: train — five direct FP streams, stride 4 elements
+    // (32 B: one miss per 4 iterations per stream); the top-3 budget
+    // covers three of the five.
+    hir::LoopBody train;
+    train.refs.push_back(direct(f1, 2, false, 0));
+    train.refs.push_back(direct(bus, 2, false, 0));
+    train.refs.push_back(direct(tds, 2, false, 0));
+    train.refs.push_back(direct(sts, 2, false, 6));
+    train.refs.push_back(direct(cand, 2, false, 6));
+    train.extraFpOps = 8;
+    int l_train = addLoop(prog, "train", 48 * 1024, train);
+
+    // Phase 2: match — an indirect gather from f1 via the winner
+    // indices plus one direct stream.
+    hir::LoopBody match;
+    match.refs.push_back(indirect(f1, win_idx));
+    match.refs.push_back(direct(bus, 2));
+    match.extraFpOps = 8;
+    int l_match = addLoop(prog, "match", 96 * 1024, match);
+
+    phase(prog, l_train, 3);
+    phase(prog, l_match, 1);
+
+    addColdLoops(prog, 5);
+    return prog;
+}
+
+} // namespace adore::workloads

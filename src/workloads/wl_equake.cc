@@ -1,0 +1,51 @@
+/**
+ * @file
+ * 183.equake: earthquake simulation (sparse matrix-vector products).
+ *
+ * Behaviour contract: an indirect sparse gather dominates; static
+ * prefetching cannot touch it, so runtime prefetching wins on both O2
+ * and O3 binaries (~20%).  The smoothing loop's short-latency FP
+ * streams make equake one of Fig. 10's SWP-sensitive benchmarks.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeEquake()
+{
+    hir::Program prog;
+    prog.name = "equake";
+
+    int k_matrix = fpStream(prog, "K", 384 * 1024);  // 3 MiB
+    int disp = fpStream(prog, "disp", 256 * 1024);   // 2 MiB
+    int col_idx = indexArray(prog, "col", 128 * 1024, 176 * 1024);
+
+    // Phase 1: smvp — direct stream over the matrix values plus an
+    // indirect gather of the displacement vector.
+    hir::LoopBody smvp;
+    smvp.refs.push_back(direct(k_matrix, 2));
+    smvp.refs.push_back(indirect(disp, col_idx));
+    smvp.extraFpOps = 14;
+    int l_smvp = addLoop(prog, "smvp", 128 * 1024, smvp);
+
+    phase(prog, l_smvp, 6);
+
+    // Phase 2: time-integration smoothing — L2/L3-resident FP streams
+    // whose 6-14 cycle load latencies SWP hides well.
+    int vel = fpStream(prog, "vel", 96 * 1024);  // 768 KiB
+    hir::LoopBody smooth;
+    smooth.refs.push_back(direct(vel, 1));
+    smooth.refs.push_back(direct(vel, 1, true, 1));
+    smooth.extraFpOps = 8;
+    int l_smooth = addLoop(prog, "smooth", 96 * 1024, smooth);
+    phase(prog, l_smooth, 12);
+
+    addColdLoops(prog, 4);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 187.facerec: face recognition.
+ *
+ * Behaviour contract: three phases of direct FP streaming over *global*
+ * (non-parameter) arrays, with more concurrent streams per loop than
+ * the top-3 prefetch budget — exactly what the ORC-like O3 pass
+ * prefetches statically.  Runtime prefetching wins moderately at O2
+ * (~10%); at O3 the traces already contain lfetch and ADORE skips them
+ * (±0, Fig. 7b).  Streaming FP with short bodies also makes facerec
+ * SWP-sensitive (Fig. 10).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeFacerec()
+{
+    hir::Program prog;
+    prog.name = "facerec";
+
+    int gabor_re = fpStream(prog, "gabor_re", 96 * 1024);  // 768 KiB
+    int gabor_im = fpStream(prog, "gabor_im", 96 * 1024);
+    int graph = fpStream(prog, "graph", 96 * 1024);
+    int image = fpStream(prog, "image", 96 * 1024);
+    int fourier = fpStream(prog, "fourier", 96 * 1024);
+
+    hir::LoopBody convolve;
+    convolve.refs.push_back(direct(gabor_re, 2));
+    convolve.refs.push_back(direct(gabor_im, 2));
+    convolve.refs.push_back(direct(image, 2));
+    convolve.refs.push_back(direct(fourier, 2));
+    convolve.extraFpOps = 8;
+    int l_conv = addLoop(prog, "gabor_convolve", 48 * 1024, convolve);
+    phase(prog, l_conv, 8);
+
+    hir::LoopBody match;
+    match.refs.push_back(direct(graph, 2));
+    match.refs.push_back(direct(fourier, 2));
+    match.refs.push_back(direct(image, 2));
+    match.refs.push_back(direct(gabor_re, 2));
+    match.extraFpOps = 10;
+    int l_match = addLoop(prog, "graph_match", 48 * 1024, match);
+    phase(prog, l_match, 8);
+
+    hir::LoopBody local;
+    local.refs.push_back(direct(image, 1));
+    local.refs.push_back(direct(graph, 1));
+    local.refs.push_back(direct(gabor_im, 1));
+    local.refs.push_back(direct(fourier, 1));
+    local.extraFpOps = 8;
+    int l_local = addLoop(prog, "local_move", 96 * 1024, local);
+    phase(prog, l_local, 6);
+
+    addColdLoops(prog, 9);
+    return prog;
+}
+
+} // namespace adore::workloads

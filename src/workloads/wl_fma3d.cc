@@ -1,0 +1,69 @@
+/**
+ * @file
+ * 191.fma3d: finite-element crash simulation.
+ *
+ * Behaviour contract: four stable phases (Table 2), direct FP streaming
+ * over element/node tables — more streams per loop than the top-3
+ * budget — with a connectivity gather; a solid but moderate O2 runtime-
+ * prefetching win.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeFma3d()
+{
+    hir::Program prog;
+    prog.name = "fma3d";
+
+    int stress = fpStream(prog, "stress", 96 * 1024);  // 768 KiB each
+    int strain = fpStream(prog, "strain", 96 * 1024);
+    int force = fpStream(prog, "force", 96 * 1024);
+    int motion = fpStream(prog, "motion", 96 * 1024);
+    int coord = fpStream(prog, "coord", 96 * 1024);
+    int conn = indexArray(prog, "conn", 96 * 1024, 64 * 1024);
+
+    hir::LoopBody internal;
+    internal.refs.push_back(direct(stress, 2));
+    internal.refs.push_back(direct(strain, 2));
+    internal.refs.push_back(direct(coord, 2));
+    internal.refs.push_back(direct(motion, 2));
+    internal.extraFpOps = 8;
+    int l_internal = addLoop(prog, "internal_forces", 48 * 1024,
+                             internal);
+    phase(prog, l_internal, 6);
+
+    hir::LoopBody gather;
+    gather.refs.push_back(indirect(force, conn));
+    gather.refs.push_back(direct(coord, 2));
+    gather.extraFpOps = 9;
+    int l_gather = addLoop(prog, "gather_forces", 96 * 1024, gather);
+    phase(prog, l_gather, 2);
+
+    hir::LoopBody integrate;
+    integrate.refs.push_back(direct(motion, 2));
+    integrate.refs.push_back(direct(force, 2));
+    integrate.refs.push_back(direct(stress, 2));
+    integrate.refs.push_back(direct(strain, 2));
+    integrate.extraFpOps = 8;
+    int l_integrate = addLoop(prog, "integrate", 48 * 1024, integrate);
+    phase(prog, l_integrate, 6);
+
+    hir::LoopBody update;
+    update.refs.push_back(direct(stress, 1));
+    update.refs.push_back(direct(coord, 1));
+    update.refs.push_back(direct(force, 1));
+    update.refs.push_back(direct(motion, 1, true));
+    update.extraFpOps = 8;
+    int l_update = addLoop(prog, "update_state", 96 * 1024, update);
+    phase(prog, l_update, 4);
+
+    addColdLoops(prog, 12);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * 254.gap: computational group theory.
+ *
+ * Behaviour contract: the hot loops call a helper function every
+ * iteration, so trace selection stops at the call and never forms a
+ * loop-type trace around the dominant (missing) references; only minor
+ * side loops get a prefetch, and the net win is ~0 ("complex address
+ * calculation patterns (e.g. function call ...)", Section 4.3).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeGap()
+{
+    hir::Program prog;
+    prog.name = "gap";
+
+    int bag1 = intStream(prog, "bag1", 384 * 1024);  // 3 MiB
+    int bag2 = intStream(prog, "bag2", 384 * 1024);
+    int bag3 = intStream(prog, "bag3", 256 * 1024);
+    int side = intStream(prog, "side", 32 * 1024);   // 256 KiB
+
+    auto make_phase = [&](const char *name, int bag, int trip,
+                          std::uint64_t repeat) {
+        // Dominant loop: misses through `bag`, but a call per iteration
+        // keeps ADORE from forming a loop trace.
+        hir::LoopBody dominant;
+        dominant.refs.push_back(direct(bag, 2));
+        dominant.extraIntOps = 6;
+        dominant.hasCall = true;
+        int l_dom = addLoop(prog, std::string(name) + "_eval", trip,
+                            dominant);
+
+        // Minor companion loop: prefetchable but cheap.
+        hir::LoopBody minor;
+        minor.refs.push_back(direct(side, 1));
+        minor.extraIntOps = 4;
+        int l_minor = addLoop(prog, std::string(name) + "_collect",
+                              trip / 2, minor);
+
+        phase(prog, {l_dom, l_minor}, repeat);
+    };
+
+    make_phase("perm", bag1, 48 * 1024, 8);
+    make_phase("orbit", bag2, 48 * 1024, 6);
+    make_phase("stab", bag3, 32 * 1024, 6);
+
+    addColdLoops(prog, 8);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * 176.gcc: the C compiler.
+ *
+ * Behaviour contract: a large instruction footprint of many short-
+ * running regions cycled in turn — the whole hot text barely fits the
+ * L1I.  One longer "rtl sweep" loop carries enough data misses for the
+ * phase detector to engage; once ADORE patches traces, the pool copies
+ * push the executed footprint past the L1I capacity and every region
+ * starts missing on re-entry.  Together with sampling overhead, gcc
+ * ends up slightly slower (-3.8% in the paper: "suffers from increased
+ * I-cache misses plus sampling overhead").
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeGcc()
+{
+    hir::Program prog;
+    prog.name = "gcc";
+
+    // Eighty short pass loops: tiny trip counts, so instruction-fetch
+    // cost per activation matters; collectively ~15 KiB of hot code.
+    std::vector<int> loops;
+    for (int i = 0; i < 120; ++i) {
+        int data = intStream(prog, "ir" + std::to_string(i), 2 * 1024);
+        hir::LoopBody pass;
+        pass.refs.push_back(direct(data, 1));
+        pass.extraIntOps = 8;
+        loops.push_back(addLoop(prog, "pass" + std::to_string(i), 32,
+                                pass));
+    }
+
+    // The one genuinely missing loop: an RTL sweep over ~768 KiB.
+    int rtl = intStream(prog, "rtl", 40 * 1024);
+    hir::LoopBody sweep;
+    sweep.refs.push_back(direct(rtl, 1));
+    sweep.extraIntOps = 10;
+    loops.push_back(addLoop(prog, "rtl_sweep", 4 * 1024, sweep));
+
+    phase(prog, loops, 260);
+
+    addColdLoops(prog, 8);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * 164.gzip: LZ77 compression.
+ *
+ * Behaviour contract: the run is too short for ADORE to detect a stable
+ * phase ("gzip's execution time is too short for ADORE to detect a
+ * stable phase", Section 4.3) — so no optimization ever happens and the
+ * performance delta is pure sampling overhead, ~0%.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeGzip()
+{
+    hir::Program prog;
+    prog.name = "gzip";
+
+    int window = intStream(prog, "window", 2 * 1024);    // L1-resident
+    int prev = intStream(prog, "prev", 2 * 1024);
+
+    hir::LoopBody deflate;
+    deflate.refs.push_back(direct(window, 2));
+    deflate.refs.push_back(direct(prev, 1));
+    deflate.extraIntOps = 10;
+    int l_deflate = addLoop(prog, "deflate", 32 * 1024, deflate);
+
+    hir::LoopBody inflate;
+    inflate.refs.push_back(direct(window, 1));
+    inflate.extraIntOps = 8;
+    int l_inflate = addLoop(prog, "inflate", 24 * 1024, inflate);
+
+    // Short run: a couple of brief activations only.
+    phase(prog, l_deflate, 3);
+    phase(prog, l_inflate, 2);
+
+    addColdLoops(prog, 3, 32);
+    return prog;
+}
+
+} // namespace adore::workloads

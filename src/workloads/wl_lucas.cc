@@ -1,0 +1,38 @@
+/**
+ * @file
+ * 189.lucas: Lucas-Lehmer primality testing (FFT squaring).
+ *
+ * Behaviour contract: the dominant loads' addresses come from FP values
+ * through fp->int conversions (bit-reversal style indexing), which the
+ * runtime slicer cannot analyze; ADORE inserts prefetches only for the
+ * minor direct streams and gains ~nothing (Section 4.3's vpr/lucas/gap
+ * failure mode).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeLucas()
+{
+    hir::Program prog;
+    prog.name = "lucas";
+
+    int fft_data = intStream(prog, "fft_data", 768 * 1024);  // 6 MiB
+    int twiddle = fpIndexArray(prog, "twiddle_ix", 96 * 1024,
+                               768 * 1024);
+    hir::LoopBody pass;
+    pass.refs.push_back(fpConverted(fft_data, twiddle));  // dominant
+    pass.extraFpOps = 14;
+    int l_pass = addLoop(prog, "fft_pass", 96 * 1024, pass);
+
+    phase(prog, l_pass, 8);
+
+    addColdLoops(prog, 6);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * 181.mcf: the paper's headline pointer-chasing benchmark (Fig. 9,
+ * biggest runtime-prefetching win).
+ *
+ * Behaviour contract: two stable phases, each dominated by a linked-list
+ * traversal whose nodes are laid out in traversal order (the "partially
+ * regular strides" that induction-pointer prefetching exploits); CPI is
+ * very high without prefetching and drops strongly with it.  Each arc
+ * also holds a pointer to a random peer node that is dereferenced
+ * (arc->tail->field) — a dependent load no prefetcher covers, which
+ * keeps the optimized CPI realistic.  Static prefetching (O3) cannot
+ * touch the chases, so the win survives on O3 binaries (Fig. 7b).  A
+ * small strided FP refresh loop gives SWP its Fig. 10 sensitivity.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeMcf()
+{
+    hir::Program prog;
+    prog.name = "mcf";
+
+    // Arc list: 160-byte nodes in traversal order, ~4.6 MiB >> L3;
+    // payload at offset 8 is a pointer to a random arc.
+    hir::ListDecl arcs_decl;
+    arcs_decl.name = "arcs";
+    arcs_decl.count = 30'000;
+    arcs_decl.nodeBytes = 160;
+    arcs_decl.jumble = 0.12;  // partially regular stride
+    arcs_decl.payloadIsPointer = true;
+    arcs_decl.payloadPtrOffset = 8;
+    arcs_decl.payloadPtrWindow = arcs_decl.count / 16;  // hot tail set
+    int arcs = prog.addList(arcs_decl);
+
+    // Node list for the second phase: ~2.7 MiB.
+    hir::ListDecl nodes_decl;
+    nodes_decl.name = "nodes";
+    nodes_decl.count = 20'000;
+    nodes_decl.nodeBytes = 144;
+    nodes_decl.jumble = 0.12;
+    nodes_decl.payloadIsPointer = true;
+    nodes_decl.payloadPtrOffset = 8;
+    nodes_decl.payloadPtrWindow = nodes_decl.count / 16;
+    int nodes = prog.addList(nodes_decl);
+
+    int cost = fpStream(prog, "cost", 96 * 1024);  // 768 KiB
+
+    // Phase 1: arc pricing scan — chase + dependent deref + arithmetic.
+    hir::LoopBody scan;
+    scan.chases.push_back({arcs, 8, true});
+    scan.extraIntOps = 12;
+    int l_scan = addLoop(prog, "arc_scan", 29'900, scan);
+
+    // Phase 2: node relabel — chase over the node list plus a strided
+    // FP refresh (the SWP-sensitive part for Fig. 10).
+    hir::LoopBody relabel;
+    relabel.chases.push_back({nodes, 8, true});
+    relabel.refs.push_back(direct(cost, 2));
+    relabel.extraIntOps = 4;
+    relabel.extraFpOps = 2;
+    int l_relabel = addLoop(prog, "node_relabel", 19'900, relabel);
+
+    phase(prog, l_scan, 8);
+    phase(prog, l_relabel, 10);
+
+    addColdLoops(prog, 4);
+    return prog;
+}
+
+} // namespace adore::workloads

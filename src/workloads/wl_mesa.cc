@@ -1,0 +1,38 @@
+/**
+ * @file
+ * 177.mesa: software OpenGL rasterizer.
+ *
+ * Behaviour contract: heavily compute-bound with a mostly cache-
+ * resident working set; one direct stream with mild misses gives a tiny
+ * runtime-prefetching win (one prefetch, one phase in Table 2).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeMesa()
+{
+    hir::Program prog;
+    prog.name = "mesa";
+
+    int texture = fpStream(prog, "texture", 256 * 1024);  // 2 MiB
+    int fb = fpStream(prog, "framebuffer", 64 * 1024);    // 512 KiB
+
+    hir::LoopBody raster;
+    raster.refs.push_back(direct(texture, 2));      // the one that misses
+    raster.refs.push_back(direct(fb, 1, true));     // resident store
+    raster.extraFpOps = 14;                         // shading arithmetic
+    raster.extraIntOps = 6;
+    int l_raster = addLoop(prog, "rasterize", 64 * 1024, raster);
+
+    phase(prog, l_raster, 12);
+
+    addColdLoops(prog, 10);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * 197.parser: natural-language link parser.
+ *
+ * Behaviour contract: a pointer-rich dictionary walk over nodes laid out
+ * in allocation order (regular enough for induction-pointer
+ * prefetching) plus a direct scan; compute-dominated, so the runtime
+ * prefetching win is small (~3%).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeParser()
+{
+    hir::Program prog;
+    prog.name = "parser";
+
+    // ~1.1 MiB of dictionary nodes: after the first traversal the walk
+    // is mostly L3-class, and parsing is compute-dominated.
+    int dict = linkedList(prog, "dict", 8'000, 96, 0.08);
+    int table = intStream(prog, "connectors", 32 * 1024);
+
+    hir::LoopBody walk;
+    walk.chases.push_back({dict, 8});
+    walk.refs.push_back(direct(table, 1));
+    walk.extraIntOps = 48;  // heavily compute-bound matching
+    int l_walk = addLoop(prog, "dict_walk", 7'900, walk);
+
+    phase(prog, l_walk, 60);
+
+    addColdLoops(prog, 4);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * 171.swim: shallow-water modelling.
+ *
+ * Behaviour contract: pure unit-stride FP streaming over several large
+ * arrays — memory-bandwidth-bound.  ADORE locates the right delinquent
+ * loads and prefetches them, but the bus is already saturated, so the
+ * win is small (Section 4.3's swim observation).  Streams with short
+ * bodies also make swim SWP-sensitive (Fig. 10).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeSwim()
+{
+    hir::Program prog;
+    prog.name = "swim";
+
+    int u = fpStream(prog, "u", 512 * 1024);  // 4 MiB each
+    int v = fpStream(prog, "v", 512 * 1024);
+    int p = fpStream(prog, "p", 512 * 1024);
+    int uold = fpStream(prog, "uold", 512 * 1024);
+    int vold = fpStream(prog, "vold", 512 * 1024);
+    int pold = fpStream(prog, "pold", 512 * 1024);
+    int unew = fpStream(prog, "unew", 512 * 1024);
+    int vnew = fpStream(prog, "vnew", 512 * 1024);
+    int pnew = fpStream(prog, "pnew", 512 * 1024);
+
+    // calc1: nine concurrent line streams — one full cache line per
+    // stream per iteration.  Two effects cap runtime prefetching as the
+    // paper reports for swim: the top-3 budget covers a minority of the
+    // streams, and the stores keep the bus near saturation, so most
+    // inserted prefetches get dropped at the full MSHR queue.
+    hir::LoopBody calc;
+    calc.refs.push_back(direct(u, 16));
+    calc.refs.push_back(direct(v, 16));
+    calc.refs.push_back(direct(p, 16));
+    calc.refs.push_back(direct(uold, 16));
+    calc.refs.push_back(direct(vold, 16));
+    calc.refs.push_back(direct(pold, 16, true));
+    calc.refs.push_back(direct(unew, 16, true));
+    calc.refs.push_back(direct(vnew, 16, true));
+    calc.refs.push_back(direct(pnew, 16, true));
+    calc.extraFpOps = 4;
+    int l_calc = addLoop(prog, "calc1", 32 * 1024, calc);
+
+    phase(prog, l_calc, 2);
+
+    addColdLoops(prog, 5);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * 175.vpr: FPGA place-and-route.
+ *
+ * Behaviour contract: the dominant delinquent load's address is computed
+ * from a floating-point value through an fp->int conversion, which the
+ * runtime slicer cannot analyze ("some delinquent loads have complex
+ * address calculation patterns (e.g. ... fp-int conversion), causing the
+ * dynamic optimizer to fail in computing the stride", Section 4.3).
+ * ADORE locates the loads, inserts a prefetch only for a minor direct
+ * reference, and gains ~nothing.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace adore::workloads
+{
+
+hir::Program
+makeVpr()
+{
+    hir::Program prog;
+    prog.name = "vpr";
+
+    // Placement cost table, indexed by computed (fp) positions.
+    int cost = intStream(prog, "cost_table", 768 * 1024);  // 6 MiB
+    int pos = fpIndexArray(prog, "positions", 96 * 1024, 768 * 1024);
+    int net = intStream(prog, "net_scan", 2 * 1024);       // 16 KiB
+
+    hir::LoopBody place;
+    place.refs.push_back(fpConverted(cost, pos));  // dominant, opaque
+    place.refs.push_back(direct(net, 1));          // minor, prefetchable
+    place.extraIntOps = 32;
+    place.extraFpOps = 2;
+    int l_place = addLoop(prog, "try_swap", 96 * 1024, place);
+
+    phase(prog, l_place, 10);
+
+    addColdLoops(prog, 8);
+    return prog;
+}
+
+} // namespace adore::workloads

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Registry of the 17 synthetic SPEC2000-named workloads used in the
+ * paper's evaluation (Section 4.1: nine SPECfp2000 and eight
+ * SPECint2000 benchmarks with reference inputs).
+ */
+
+#ifndef ADORE_WORKLOADS_WORKLOADS_HH
+#define ADORE_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/hir.hh"
+
+namespace adore::workloads
+{
+
+struct WorkloadInfo
+{
+    std::string name;
+    bool fp;  ///< SPECfp2000 (vs SPECint2000)
+};
+
+/** All workloads in the paper's Fig. 7 order (integer, then FP). */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Build the named workload's HIR program. */
+hir::Program make(const std::string &name);
+
+hir::Program makeBzip2();
+hir::Program makeGzip();
+hir::Program makeMcf();
+hir::Program makeVpr();
+hir::Program makeParser();
+hir::Program makeGap();
+hir::Program makeVortex();
+hir::Program makeGcc();
+hir::Program makeAmmp();
+hir::Program makeArt();
+hir::Program makeApplu();
+hir::Program makeEquake();
+hir::Program makeFacerec();
+hir::Program makeFma3d();
+hir::Program makeLucas();
+hir::Program makeMesa();
+hir::Program makeSwim();
+
+} // namespace adore::workloads
+
+#endif // ADORE_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Integration tests for the AdoreRuntime controller: end-to-end phase
+ * detection + trace optimization on small compiled programs, execution
+ * correctness across patching (architectural results must not change),
+ * the Fig. 11 monitor-only mode, pool-phase skipping, and the SWP loop
+ * filter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "harness/experiment.hh"
+#include "workloads/common.hh"
+
+namespace adore
+{
+namespace
+{
+
+using workloads::direct;
+
+/** A chase workload ADORE reliably optimizes. */
+hir::Program
+chaseProgram()
+{
+    hir::Program prog;
+    prog.name = "chase";
+    int list = workloads::linkedList(prog, "nodes", 16'000, 128, 0.0);
+    hir::LoopBody body;
+    body.chases.push_back({list, 8});
+    int loop = workloads::addLoop(prog, "walk", 15'900, body);
+    workloads::phase(prog, loop, 8);
+    return prog;
+}
+
+/** A streaming workload with a result stored to memory. */
+hir::Program
+streamStoreProgram()
+{
+    hir::Program prog;
+    prog.name = "stream";
+    int src = workloads::intStream(prog, "src", 96 * 1024);
+    int dst = workloads::intStream(prog, "dst", 96 * 1024);
+    hir::LoopBody body;
+    body.refs.push_back(direct(src, 2));
+    body.refs.push_back(direct(dst, 2, /*store=*/true));
+    int loop = workloads::addLoop(prog, "copyish", 48 * 1024, body);
+    workloads::phase(prog, loop, 6);
+    return prog;
+}
+
+RunConfig
+baseConfig()
+{
+    RunConfig cfg;
+    cfg.compile.level = OptLevel::O2;
+    cfg.compile.softwarePipelining = false;
+    cfg.compile.reserveAdoreRegs = true;
+    return cfg;
+}
+
+TEST(AdoreRuntime, OptimizesStablePhaseAndSpeedsUp)
+{
+    hir::Program prog = chaseProgram();
+    RunMetrics base = Experiment::run(prog, baseConfig());
+
+    RunConfig rp = baseConfig();
+    rp.adore = true;
+    rp.adoreConfig = Experiment::defaultAdoreConfig();
+    RunMetrics opt = Experiment::run(prog, rp);
+
+    EXPECT_TRUE(opt.halted);
+    EXPECT_GE(opt.adoreStats.phasesDetected, 1u);
+    EXPECT_GE(opt.adoreStats.phasesOptimized, 1u);
+    EXPECT_GE(opt.adoreStats.tracesPatched, 1u);
+    EXPECT_GT(opt.adoreStats.pointerPrefetches, 0);
+    EXPECT_LT(opt.cycles, base.cycles);
+    EXPECT_LT(opt.cpi, base.cpi);
+}
+
+TEST(AdoreRuntime, PatchingPreservesArchitecturalResults)
+{
+    // The program stores acc into dst; with and without the dynamic
+    // optimizer, memory contents must match exactly.
+    hir::Program prog = streamStoreProgram();
+
+    RunConfig base_cfg = baseConfig();
+    RunConfig rp_cfg = baseConfig();
+    rp_cfg.adore = true;
+    rp_cfg.adoreConfig = Experiment::defaultAdoreConfig();
+
+    // Run both configurations and capture the dst region.
+    auto run_and_hash = [&](const RunConfig &cfg) {
+        Machine machine(cfg.machine);
+        DataLayout data(machine.memory());
+        Compiler compiler(cfg.machine.hier);
+        CompileReport rep =
+            compiler.compile(prog, cfg.compile, machine.code(), data);
+        machine.cpu().setPc(rep.entry);
+        std::unique_ptr<AdoreRuntime> rt;
+        if (cfg.adore) {
+            rt = std::make_unique<AdoreRuntime>(machine.cpu(),
+                                                cfg.adoreConfig);
+            rt->attach();
+        }
+        auto res = machine.cpu().run(cfg.maxCycles);
+        EXPECT_TRUE(res.halted);
+        if (rt) {
+            EXPECT_GE(rt->stats().tracesPatched, 1u);
+        }
+        Addr dst = data.addrOf("stream.dst");
+        std::uint64_t hash = 1469598103934665603ULL;
+        for (std::uint64_t i = 0; i < 96 * 1024; ++i) {
+            hash ^= machine.memory().readU64(dst + i * 8);
+            hash *= 1099511628211ULL;
+        }
+        return hash;
+    };
+
+    EXPECT_EQ(run_and_hash(base_cfg), run_and_hash(rp_cfg));
+}
+
+TEST(AdoreRuntime, MonitorOnlyModeNeverPatches)
+{
+    hir::Program prog = chaseProgram();
+    RunConfig cfg = baseConfig();
+    cfg.adore = true;
+    cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    cfg.adoreConfig.insertPrefetches = false;
+    RunMetrics m = Experiment::run(prog, cfg);
+    EXPECT_GE(m.adoreStats.phasesDetected, 1u);
+    EXPECT_EQ(m.adoreStats.tracesPatched, 0u);
+    EXPECT_EQ(m.memStats.prefetchesIssued, 0u);
+}
+
+TEST(AdoreRuntime, MonitoringOverheadIsSmall)
+{
+    hir::Program prog = streamStoreProgram();
+    RunMetrics base = Experiment::run(prog, baseConfig());
+    RunConfig cfg = baseConfig();
+    cfg.adore = true;
+    cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    cfg.adoreConfig.insertPrefetches = false;
+    RunMetrics mon = Experiment::run(prog, cfg);
+    double overhead = static_cast<double>(mon.cycles) /
+                          static_cast<double>(base.cycles) -
+                      1.0;
+    EXPECT_LT(overhead, 0.05);  // paper: 1-2%
+}
+
+TEST(AdoreRuntime, PoolPhasesSkipped)
+{
+    // After optimization the phase re-detects from the trace pool and
+    // must be skipped, not re-optimized.
+    hir::Program prog = chaseProgram();
+    RunConfig cfg = baseConfig();
+    cfg.adore = true;
+    cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    RunMetrics m = Experiment::run(prog, cfg);
+    EXPECT_GE(m.adoreStats.phasesSkippedInPool +
+                  m.adoreStats.tracesSkippedPatched,
+              0u);
+    // The single hot loop must be patched exactly once.
+    EXPECT_EQ(m.adoreStats.tracesPatched, 1u);
+}
+
+TEST(AdoreRuntime, SwpLoopFilterBlocksOptimization)
+{
+    // Only FP loads get software-pipelined, so use an FP stream.
+    hir::Program prog;
+    prog.name = "fpstream";
+    int src = workloads::fpStream(prog, "src", 96 * 1024);
+    hir::LoopBody body;
+    body.refs.push_back(direct(src, 2));
+    body.extraFpOps = 2;
+    int loop = workloads::addLoop(prog, "fpscan", 48 * 1024, body);
+    workloads::phase(prog, loop, 6);
+
+    RunConfig cfg = baseConfig();
+    cfg.compile.softwarePipelining = true;  // SWP'd loops
+    cfg.compile.reserveAdoreRegs = true;
+    cfg.adore = true;
+    cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    RunMetrics m = Experiment::run(prog, cfg);
+    // The harness installs the SWP filter automatically; all loop
+    // traces must be skipped.
+    EXPECT_EQ(m.adoreStats.tracesPatched, 0u);
+    EXPECT_GE(m.adoreStats.tracesSkippedSwp, 0u);
+}
+
+TEST(AdoreRuntime, ShortRunNeverReachesStablePhase)
+{
+    hir::Program prog;
+    prog.name = "tiny";
+    int arr = workloads::intStream(prog, "a", 16 * 1024);
+    hir::LoopBody body;
+    body.refs.push_back(direct(arr, 1));
+    int loop = workloads::addLoop(prog, "quick", 8 * 1024, body);
+    workloads::phase(prog, loop, 2);
+
+    RunConfig cfg = baseConfig();
+    cfg.adore = true;
+    cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    RunMetrics m = Experiment::run(prog, cfg);
+    EXPECT_EQ(m.adoreStats.phasesOptimized, 0u);  // gzip's fate
+}
+
+TEST(AdoreRuntime, RevertsNonprofitableBatch)
+{
+    // A fully shuffled list: the induction-pointer prefetch issues
+    // junk, the optimized trace regresses, and (with the extension on)
+    // ADORE unpatches it and blacklists the head.
+    hir::Program prog;
+    prog.name = "shuffled";
+    int list = workloads::linkedList(prog, "nodes", 12'000, 96, 1.0);
+    hir::LoopBody warm;
+    warm.chases.push_back({list, 8});
+    workloads::phase(prog, workloads::addLoop(prog, "warm", 11'900,
+                                              warm),
+                     1);
+    hir::LoopBody body;
+    body.chases.push_back({list, 8});
+    body.extraIntOps = 6;
+    workloads::phase(prog, workloads::addLoop(prog, "walk", 11'900,
+                                              body),
+                     40);
+
+    RunConfig off = baseConfig();
+    off.adore = true;
+    off.adoreConfig = Experiment::defaultAdoreConfig();
+    RunMetrics plain = Experiment::run(prog, off);
+
+    RunConfig on = off;
+    on.adoreConfig.revertUnprofitableTraces = true;
+    RunMetrics rev = Experiment::run(prog, on);
+
+    EXPECT_GE(rev.adoreStats.phasesReverted, 1u);
+    EXPECT_GE(rev.adoreStats.tracesUnpatched, 1u);
+    // The revert must recover a substantial part of the regression.
+    EXPECT_LT(rev.cycles, plain.cycles);
+}
+
+TEST(AdoreRuntime, RevertOffByDefault)
+{
+    AdoreConfig cfg;
+    EXPECT_FALSE(cfg.revertUnprofitableTraces);
+}
+
+TEST(AdoreRuntime, DetachStopsSampling)
+{
+    hir::Program prog = chaseProgram();
+    Machine machine;
+    DataLayout data(machine.memory());
+    Compiler compiler(machine.config().hier);
+    CompileOptions opts;
+    opts.reserveAdoreRegs = true;
+    opts.softwarePipelining = false;
+    CompileReport rep =
+        compiler.compile(prog, opts, machine.code(), data);
+    machine.cpu().setPc(rep.entry);
+
+    AdoreRuntime rt(machine.cpu(), Experiment::defaultAdoreConfig());
+    rt.attach();
+    machine.cpu().run(2'000'000);
+    std::uint64_t samples = rt.sampler().samplesTaken();
+    EXPECT_GT(samples, 0u);
+    rt.detach();
+    machine.cpu().run(4'000'000);
+    EXPECT_EQ(rt.sampler().samplesTaken(), samples);
+}
+
+} // namespace
+} // namespace adore

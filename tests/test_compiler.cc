@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the ORC-like static compiler: code generation correctness
+ * (programs compute what the HIR says), O3 static prefetching and its
+ * conservatism (parameter aliasing, indirect refs), the profile-guided
+ * filter, software pipelining, and register reservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compiler.hh"
+#include "compiler/static_prefetch.hh"
+#include "harness/machine.hh"
+#include "program/data_layout.hh"
+#include "workloads/common.hh"
+
+namespace adore
+{
+namespace
+{
+
+using workloads::direct;
+using workloads::indirect;
+
+/** A small single-loop program summing an FP array. */
+hir::Program
+sumProgram(std::uint64_t elems, bool param = false)
+{
+    hir::Program prog;
+    prog.name = "sum";
+    int arr = workloads::fpStream(prog, "a", elems, 8, param);
+    hir::LoopBody body;
+    body.refs.push_back(direct(arr, 1));
+    int loop = workloads::addLoop(prog, "sum", elems, body);
+    workloads::phase(prog, loop, 1);
+    return prog;
+}
+
+struct Compiled
+{
+    Machine machine;
+    CompileReport report;
+};
+
+std::unique_ptr<Compiled>
+compileAndRun(const hir::Program &prog, const CompileOptions &opts,
+              Cycle max_cycles = 500'000'000)
+{
+    auto out = std::make_unique<Compiled>();
+    DataLayout data(out->machine.memory());
+    Compiler compiler(out->machine.config().hier);
+    out->report =
+        compiler.compile(prog, opts, out->machine.code(), data);
+    out->machine.cpu().setPc(out->report.entry);
+    auto res = out->machine.cpu().run(max_cycles);
+    EXPECT_TRUE(res.halted);
+    return out;
+}
+
+int
+countLfetch(CodeImage &code)
+{
+    int n = 0;
+    for (Addr a = CodeImage::textBase; a < code.textEnd();
+         a += isa::bundleBytes) {
+        const Bundle &b = code.fetch(a);
+        for (int s = 0; s < b.size(); ++s)
+            if (b.slot(s).op == Opcode::Lfetch)
+                ++n;
+    }
+    return n;
+}
+
+bool
+usesReservedRegs(CodeImage &code)
+{
+    for (Addr a = CodeImage::textBase; a < code.textEnd();
+         a += isa::bundleBytes) {
+        const Bundle &b = code.fetch(a);
+        for (int s = 0; s < b.size(); ++s) {
+            const Insn &insn = b.slot(s);
+            if (insn.isNop())
+                continue;
+            for (std::uint8_t r :
+                 {insn.rd, insn.rs1, insn.rs2}) {
+                if (r >= isa::reservedIntRegFirst &&
+                    r <= isa::reservedIntRegLast) {
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+TEST(Compiler, ProgramHaltsAndTouchesData)
+{
+    auto c = compileAndRun(sumProgram(1024), CompileOptions{});
+    EXPECT_GT(c->machine.cpu().counters().retiredInsns, 1024u);
+    EXPECT_GT(c->machine.caches().stats().loads, 1000u);
+}
+
+TEST(Compiler, O2HasNoPrefetch)
+{
+    CompileOptions opts;
+    opts.level = OptLevel::O2;
+    auto c = compileAndRun(sumProgram(1024), opts);
+    EXPECT_EQ(countLfetch(c->machine.code()), 0);
+    EXPECT_EQ(c->report.loopsScheduledForPrefetch, 0);
+}
+
+TEST(Compiler, O3PrefetchesGlobalAffineLoop)
+{
+    CompileOptions opts;
+    opts.level = OptLevel::O3;
+    auto c = compileAndRun(sumProgram(1024), opts);
+    EXPECT_GT(countLfetch(c->machine.code()), 0);
+    EXPECT_EQ(c->report.loopsScheduledForPrefetch, 1);
+    EXPECT_GT(c->report.prefetchesInserted, 0);
+}
+
+TEST(Compiler, O3SkipsParameterArrays)
+{
+    // Possible aliasing makes the ORC-like pass conservative (the
+    // paper's Fig. 1 observation).
+    CompileOptions opts;
+    opts.level = OptLevel::O3;
+    auto c = compileAndRun(sumProgram(1024, /*param=*/true), opts);
+    EXPECT_EQ(countLfetch(c->machine.code()), 0);
+}
+
+TEST(Compiler, O3SkipsIndirectRefs)
+{
+    hir::Program prog;
+    prog.name = "gather";
+    int data = workloads::intStream(prog, "data", 4096);
+    int idx = workloads::indexArray(prog, "idx", 2048, 4096);
+    hir::LoopBody body;
+    body.refs.push_back(indirect(data, idx));
+    int loop = workloads::addLoop(prog, "gather", 2048, body);
+    workloads::phase(prog, loop, 1);
+
+    CompileOptions opts;
+    opts.level = OptLevel::O3;
+    auto c = compileAndRun(prog, opts);
+    EXPECT_EQ(countLfetch(c->machine.code()), 0);
+}
+
+TEST(Compiler, O3PrefetchGrowsBinary)
+{
+    CompileOptions o2;
+    o2.level = OptLevel::O2;
+    auto a = compileAndRun(sumProgram(1024), o2);
+    CompileOptions o3;
+    o3.level = OptLevel::O3;
+    auto b = compileAndRun(sumProgram(1024), o3);
+    EXPECT_GT(b->report.textBytes, a->report.textBytes);
+}
+
+TEST(Compiler, ProfileGuidedFilterRemovesColdLoops)
+{
+    hir::Program prog = sumProgram(4096);
+    workloads::addColdLoops(prog, 5);
+
+    CompileOptions o3;
+    o3.level = OptLevel::O3;
+    auto plain = compileAndRun(prog, o3);
+    EXPECT_EQ(plain->report.loopsScheduledForPrefetch, 6);
+
+    MissProfile profile;
+    profile.hotLoops.insert(0);  // only the sum loop is hot
+    CompileOptions guided = o3;
+    guided.profile = &profile;
+    auto filt = compileAndRun(prog, guided);
+    EXPECT_EQ(filt->report.loopsScheduledForPrefetch, 1);
+    EXPECT_LT(filt->report.prefetchesInserted,
+              plain->report.prefetchesInserted);
+    // Fewer prefetch instructions can never grow the binary (greedy
+    // packing may absorb the difference into padding, so <=).
+    EXPECT_LE(filt->report.textBytes, plain->report.textBytes);
+}
+
+TEST(Compiler, ReservedRegistersAreHonored)
+{
+    CompileOptions restricted;
+    restricted.reserveAdoreRegs = true;
+    auto c = compileAndRun(sumProgram(128), restricted);
+    EXPECT_FALSE(usesReservedRegs(c->machine.code()));
+}
+
+TEST(Compiler, SwpMarksLoopsAndKeepsSemantics)
+{
+    // The same program with and without SWP must touch the same data
+    // and execute the same loads; SWP loads one element past the end
+    // (never faulting), so allow exactly that slack.
+    hir::Program prog = sumProgram(2048);
+
+    CompileOptions no_swp;
+    no_swp.softwarePipelining = false;
+    auto a = compileAndRun(prog, no_swp);
+    CompileOptions with_swp;
+    with_swp.softwarePipelining = true;
+    auto b = compileAndRun(prog, with_swp);
+
+    bool marked = false;
+    for (const auto &li : b->report.loops)
+        marked = marked || li.softwarePipelined;
+    EXPECT_TRUE(marked);
+    for (const auto &li : a->report.loops)
+        EXPECT_FALSE(li.softwarePipelined);
+
+    std::uint64_t loads_a = a->machine.caches().stats().loads;
+    std::uint64_t loads_b = b->machine.caches().stats().loads;
+    EXPECT_LE(loads_a, loads_b);
+    EXPECT_LE(loads_b, loads_a + 2);
+}
+
+TEST(Compiler, SwpHidesShortLatency)
+{
+    // An L2/L3-resident FP stream: SWP should hide most of the 6-14
+    // cycle load-use latency and run measurably faster.
+    hir::Program prog;
+    prog.name = "swp";
+    int arr = workloads::fpStream(prog, "a", 16 * 1024);  // 128 KiB
+    hir::LoopBody body;
+    body.refs.push_back(direct(arr, 1));
+    body.extraFpOps = 1;
+    int loop = workloads::addLoop(prog, "stream", 16 * 1024, body);
+    workloads::phase(prog, loop, 8);
+
+    CompileOptions no_swp;
+    no_swp.softwarePipelining = false;
+    auto a = compileAndRun(prog, no_swp);
+    CompileOptions with_swp;
+    auto b = compileAndRun(prog, with_swp);
+    EXPECT_LT(b->machine.cpu().cycle(), a->machine.cpu().cycle());
+}
+
+TEST(Compiler, LoopHeadAddressesResolve)
+{
+    hir::Program prog = sumProgram(256);
+    Machine machine;
+    DataLayout data(machine.memory());
+    Compiler compiler(machine.config().hier);
+    CompileReport report =
+        compiler.compile(prog, CompileOptions{}, machine.code(), data);
+    ASSERT_EQ(report.loops.size(), 1u);
+    Addr head = report.loops[0].headAddr;
+    EXPECT_TRUE(machine.code().inText(head));
+    EXPECT_EQ(machine.code().loopIdAt(head), 0);
+}
+
+TEST(Compiler, CallLoopEmitsHelper)
+{
+    hir::Program prog;
+    prog.name = "caller";
+    int arr = workloads::intStream(prog, "a", 512);
+    hir::LoopBody body;
+    body.refs.push_back(direct(arr, 1));
+    body.hasCall = true;
+    int loop = workloads::addLoop(prog, "callloop", 64, body);
+    workloads::phase(prog, loop, 1);
+
+    auto c = compileAndRun(prog, CompileOptions{});
+    // The helper increments r31 once per iteration.
+    EXPECT_EQ(c->machine.cpu().intReg(31), 1 + 64);
+}
+
+TEST(StaticPrefetchPass, DistancePolicy)
+{
+    HierarchyConfig hw;
+    StaticPrefetchPass pass(hw, nullptr);
+    hir::Program prog = sumProgram(4096);
+    LoopPrefetchPlan plan = pass.plan(prog, prog.loops[0]);
+    EXPECT_TRUE(plan.scheduled);
+    EXPECT_GE(plan.distanceIters, hw.memLatency / 8);
+    // Stores and tiny loops are not scheduled.
+    hir::Loop tiny = prog.loops[0];
+    tiny.trip = 4;
+    EXPECT_FALSE(pass.plan(prog, tiny).scheduled);
+}
+
+} // namespace
+} // namespace adore

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode/slot legality, bundle template
+ * rules, the instruction builders, addressing helpers, and the
+ * disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/bundle.hh"
+#include "isa/insn.hh"
+
+namespace adore
+{
+namespace
+{
+
+TEST(Addressing, BundleAndSlotHelpers)
+{
+    Addr base = 0x4000040;
+    EXPECT_EQ(isa::bundleAddr(base | 2), base);
+    EXPECT_EQ(isa::slotOf(base | 2), 2);
+    EXPECT_EQ(isa::insnAddr(base, 1), base | 1);
+    EXPECT_EQ(isa::bundleBytes, 16u);
+}
+
+struct SlotCase
+{
+    Opcode op;
+    bool m, i, f, b;
+};
+
+class SlotLegality : public ::testing::TestWithParam<SlotCase>
+{
+};
+
+TEST_P(SlotLegality, OpAllowsExactlyTheExpectedSlots)
+{
+    const SlotCase &c = GetParam();
+    EXPECT_EQ(Insn::opAllowsSlot(c.op, SlotKind::M), c.m);
+    EXPECT_EQ(Insn::opAllowsSlot(c.op, SlotKind::I), c.i);
+    EXPECT_EQ(Insn::opAllowsSlot(c.op, SlotKind::F), c.f);
+    EXPECT_EQ(Insn::opAllowsSlot(c.op, SlotKind::B), c.b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, SlotLegality,
+    ::testing::Values(
+        SlotCase{Opcode::Nop, true, true, true, true},
+        SlotCase{Opcode::Add, true, true, false, false},
+        SlotCase{Opcode::Addi, true, true, false, false},
+        SlotCase{Opcode::Shladd, true, true, false, false},
+        SlotCase{Opcode::Movi, true, true, false, false},
+        SlotCase{Opcode::CmpLt, true, true, false, false},
+        SlotCase{Opcode::Ld, true, false, false, false},
+        SlotCase{Opcode::LdS, true, false, false, false},
+        SlotCase{Opcode::St, true, false, false, false},
+        SlotCase{Opcode::Ldf, true, false, false, false},
+        SlotCase{Opcode::Stf, true, false, false, false},
+        SlotCase{Opcode::Lfetch, true, false, false, false},
+        SlotCase{Opcode::Getf, true, false, false, false},
+        SlotCase{Opcode::Setf, true, false, false, false},
+        SlotCase{Opcode::Fma, false, false, true, false},
+        SlotCase{Opcode::Fadd, false, false, true, false},
+        SlotCase{Opcode::Br, false, false, false, true},
+        SlotCase{Opcode::BrCall, false, false, false, true},
+        SlotCase{Opcode::BrRet, false, false, false, true},
+        SlotCase{Opcode::Halt, false, false, false, true}));
+
+TEST(Insn, Classification)
+{
+    EXPECT_TRUE(build::ld(8, 1, 2).isLoad());
+    EXPECT_TRUE(build::lds(4, 1, 2).isLoad());
+    EXPECT_TRUE(build::ldf(8, 1, 2).isLoad());
+    EXPECT_FALSE(build::st(8, 1, 2).isLoad());
+    EXPECT_TRUE(build::st(8, 1, 2).isMemRef());
+    EXPECT_TRUE(build::lfetch(1).isMemRef());
+    EXPECT_FALSE(build::lfetch(1).isLoad());
+    EXPECT_TRUE(build::br(0, 0).isBranch());
+    EXPECT_TRUE(build::halt().isBranch());
+    EXPECT_TRUE(build::fma(1, 2, 3, 4).isFp());
+    EXPECT_TRUE(build::ldf(8, 1, 2).isFp());
+    EXPECT_FALSE(build::ld(8, 1, 2).isFp());
+}
+
+TEST(Bundle, AcceptsUpToTwoMemOps)
+{
+    Bundle b;
+    EXPECT_TRUE(b.tryAdd(build::ld(8, 1, 2)));
+    EXPECT_TRUE(b.tryAdd(build::ld(8, 3, 4)));
+    // Third memory op must be rejected (two M slots max).
+    EXPECT_FALSE(b.tryAdd(build::ld(8, 5, 6)));
+    // But an A-type op still fits in the remaining I slot.
+    EXPECT_TRUE(b.tryAdd(build::add(7, 8, 9)));
+    EXPECT_TRUE(b.full());
+}
+
+TEST(Bundle, SingleFpSlot)
+{
+    Bundle b;
+    EXPECT_TRUE(b.tryAdd(build::fma(1, 2, 3, 4)));
+    EXPECT_FALSE(b.tryAdd(build::fma(5, 6, 7, 8)));
+}
+
+TEST(Bundle, NothingAfterBranch)
+{
+    Bundle b;
+    EXPECT_TRUE(b.tryAdd(build::add(1, 2, 3)));
+    EXPECT_TRUE(b.tryAdd(build::br(0, 0x4000000)));
+    EXPECT_FALSE(b.tryAdd(build::add(4, 5, 6)));
+    EXPECT_EQ(b.branchSlot(), 1);
+}
+
+TEST(Bundle, ATypePrefersISlot)
+{
+    Bundle b;
+    b.add(build::add(1, 2, 3));
+    EXPECT_EQ(b.slot(0).slot, SlotKind::I);
+    // Memory capacity is preserved for actual memory ops.
+    EXPECT_TRUE(b.tryAdd(build::ld(8, 4, 5)));
+    EXPECT_TRUE(b.tryAdd(build::ld(8, 6, 7)));
+}
+
+TEST(Bundle, PadWithNopsFillsToThree)
+{
+    Bundle b;
+    b.add(build::add(1, 2, 3));
+    b.padWithNops();
+    EXPECT_EQ(b.size(), 3);
+    EXPECT_TRUE(b.slot(1).isNop());
+    EXPECT_TRUE(b.slot(2).isNop());
+}
+
+TEST(Bundle, FreeSlotForRespectsTemplates)
+{
+    Bundle b;
+    b.add(build::ld(8, 1, 2));
+    b.add(build::ld(8, 3, 4));
+    b.padWithNops();
+    // Both M slots taken: no free M slot even though a nop exists.
+    EXPECT_EQ(b.freeSlotFor(SlotKind::M), -1);
+
+    Bundle c;
+    c.add(build::add(1, 2, 3));
+    c.padWithNops();
+    EXPECT_GE(c.freeSlotFor(SlotKind::M), 0);
+}
+
+TEST(Disasm, ReadableOutput)
+{
+    EXPECT_EQ(disassemble(build::addi(14, 4, 14)), "adds r14 = 4, r14");
+    EXPECT_EQ(disassemble(build::ld(4, 20, 14, 4)),
+              "ld4 r20 = [r14], 4");
+    EXPECT_EQ(disassemble(build::lfetch(27, 12)), "lfetch [r27], 12");
+    EXPECT_EQ(disassemble(build::shladd(28, 28, 2, 11)),
+              "shladd r28 = r28, 2, r11");
+    Insn pred = build::br(6, 0x100);
+    EXPECT_EQ(disassemble(pred), "(p6) br.cond 0x100");
+    EXPECT_EQ(mnemonic(build::lds(8, 1, 2)), "ld8.s");
+    EXPECT_EQ(mnemonic(build::ldf(4, 1, 2)), "ldfs");
+}
+
+TEST(Isa, ReservedRegisterConvention)
+{
+    EXPECT_EQ(isa::reservedIntRegFirst, 27);
+    EXPECT_EQ(isa::reservedIntRegLast, 30);
+    EXPECT_EQ(isa::reservedPredReg, 6);
+}
+
+} // namespace
+} // namespace adore

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the coarse-grain phase detector: window summarization,
+ * stability onset, phase change on CPI/center shifts, noise rejection,
+ * the high-miss-rate qualifier, and window doubling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/phase_detector.hh"
+
+namespace adore
+{
+namespace
+{
+
+/** Build a synthetic profile window of @p n samples. */
+std::vector<Sample>
+window(Cycle start, double cpi, double dpi, Addr center, int n = 16)
+{
+    std::vector<Sample> out;
+    std::uint64_t insns_per_sample = 1000;
+    for (int i = 0; i <= n; ++i) {
+        Sample s;
+        s.retiredCount = static_cast<std::uint64_t>(i) * insns_per_sample;
+        s.cycles = start + static_cast<Cycle>(
+                               cpi * static_cast<double>(s.retiredCount));
+        s.dcacheMissCount = static_cast<std::uint64_t>(
+            dpi * static_cast<double>(s.retiredCount));
+        s.pc = center + static_cast<Addr>((i % 5) * 16);
+        out.push_back(s);
+    }
+    return out;
+}
+
+PhaseDetectorConfig
+config()
+{
+    PhaseDetectorConfig cfg;
+    cfg.stableWindows = 4;
+    return cfg;
+}
+
+TEST(WindowSummary, ComputesCpiDpiCenter)
+{
+    auto w = window(0, 2.0, 0.001, 0x4000000);
+    WindowSummary s = PhaseDetector::summarize(w);
+    EXPECT_NEAR(s.cpi, 2.0, 0.01);
+    EXPECT_NEAR(s.dpi, 0.001, 0.0001);
+    EXPECT_NEAR(s.pcCenter, 0x4000000 + 32, 64);
+}
+
+TEST(PhaseDetector, StableAfterKWindows)
+{
+    PhaseDetector det(config());
+    Cycle t = 0;
+    PhaseDetector::Event last = PhaseDetector::Event::None;
+    int stable_at = -1;
+    for (int i = 0; i < 6; ++i) {
+        last = det.onWindow(window(t, 3.0, 0.002, 0x4000000), t);
+        if (last == PhaseDetector::Event::StablePhase && stable_at < 0)
+            stable_at = i;
+        t += 32000;
+    }
+    EXPECT_EQ(stable_at, 3);  // after the 4th consistent window
+    EXPECT_TRUE(det.inStablePhase());
+    EXPECT_NEAR(det.current().cpi, 3.0, 0.05);
+    EXPECT_TRUE(det.current().highMissRate);
+}
+
+TEST(PhaseDetector, LowMissPhaseFlagged)
+{
+    PhaseDetector det(config());
+    Cycle t = 0;
+    for (int i = 0; i < 4; ++i) {
+        det.onWindow(window(t, 0.6, 0.0000, 0x4000000), t);
+        t += 32000;
+    }
+    EXPECT_TRUE(det.inStablePhase());
+    EXPECT_FALSE(det.current().highMissRate);
+}
+
+TEST(PhaseDetector, DetectsPhaseChangeOnCenterShift)
+{
+    PhaseDetector det(config());
+    Cycle t = 0;
+    for (int i = 0; i < 4; ++i) {
+        det.onWindow(window(t, 3.0, 0.002, 0x4000000), t);
+        t += 32000;
+    }
+    ASSERT_TRUE(det.inStablePhase());
+    auto ev = det.onWindow(window(t, 3.0, 0.002, 0x4100000), t);
+    EXPECT_EQ(ev, PhaseDetector::Event::PhaseChange);
+    EXPECT_FALSE(det.inStablePhase());
+}
+
+TEST(PhaseDetector, RedetectsSecondPhase)
+{
+    PhaseDetector det(config());
+    Cycle t = 0;
+    for (int i = 0; i < 4; ++i, t += 32000)
+        det.onWindow(window(t, 3.0, 0.002, 0x4000000), t);
+    det.onWindow(window(t, 8.0, 0.004, 0x4200000), t);
+    t += 32000;
+    int stable_again = 0;
+    for (int i = 0; i < 6; ++i, t += 32000) {
+        if (det.onWindow(window(t, 8.0, 0.004, 0x4200000), t) ==
+            PhaseDetector::Event::StablePhase) {
+            ++stable_again;
+        }
+    }
+    EXPECT_EQ(stable_again, 1);
+    EXPECT_EQ(det.phasesDetected(), 2u);
+    EXPECT_NEAR(det.current().cpi, 8.0, 0.1);
+}
+
+TEST(PhaseDetector, UnstableCpiPreventsDetection)
+{
+    PhaseDetector det(config());
+    Cycle t = 0;
+    for (int i = 0; i < 8; ++i, t += 32000) {
+        double cpi = (i % 2) ? 2.0 : 6.0;  // wildly alternating
+        EXPECT_EQ(det.onWindow(window(t, cpi, 0.002, 0x4000000), t),
+                  PhaseDetector::Event::None);
+    }
+    EXPECT_FALSE(det.inStablePhase());
+}
+
+TEST(PhaseDetector, WindowDoublingRequestedWhenNeverStable)
+{
+    PhaseDetectorConfig cfg = config();
+    cfg.doubleWindowAfter = 6;
+    PhaseDetector det(cfg);
+    int doubled = 0;
+    det.setDoubleWindowCallback([&] { ++doubled; });
+    Cycle t = 0;
+    for (int i = 0; i < 13; ++i, t += 32000) {
+        double cpi = (i % 2) ? 2.0 : 6.0;
+        Addr center = (i % 2) ? 0x4000000 : 0x5000000;
+        det.onWindow(window(t, cpi, 0.002, center), t);
+    }
+    EXPECT_EQ(doubled, 2);
+}
+
+TEST(PhaseDetector, NoiseSampleRejected)
+{
+    // One wild pc among many does not move the center materially.
+    auto w = window(0, 2.0, 0.001, 0x4000000, 32);
+    w[10].pc = 0xffffffff;
+    WindowSummary s = PhaseDetector::summarize(w);
+    EXPECT_NEAR(s.pcCenter, 0x4000000 + 32, 4096);
+}
+
+} // namespace
+} // namespace adore

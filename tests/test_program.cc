@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Tests for the program layer: CodeImage (text/pool, patching),
+ * CodeBuffer (labels, fixups, greedy packing), and DataLayout (arrays,
+ * index arrays, linked lists with layout jumble).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/builder.hh"
+#include "program/code_buffer.hh"
+#include "program/code_image.hh"
+#include "program/data_layout.hh"
+
+namespace adore
+{
+namespace
+{
+
+TEST(CodeImage, AppendAndFetch)
+{
+    CodeImage img;
+    Bundle b;
+    b.add(build::movi(1, 42));
+    Addr a0 = img.appendText(b);
+    EXPECT_EQ(a0, CodeImage::textBase);
+    Addr a1 = img.appendText(b);
+    EXPECT_EQ(a1, a0 + isa::bundleBytes);
+    EXPECT_EQ(img.fetch(a0).slot(0).imm, 42);
+    EXPECT_EQ(img.textBundles(), 2u);
+    EXPECT_EQ(img.textBytes(), 32u);
+    EXPECT_TRUE(img.inText(a0));
+    EXPECT_FALSE(img.inText(CodeImage::poolBase));
+}
+
+TEST(CodeImage, PoolAllocation)
+{
+    CodeImage img;
+    Addr t0 = img.allocTrace(4);
+    EXPECT_EQ(t0, CodeImage::poolBase);
+    Addr t1 = img.allocTrace(2);
+    EXPECT_EQ(t1, t0 + 4 * isa::bundleBytes);
+    EXPECT_TRUE(CodeImage::inPool(t1));
+    EXPECT_EQ(img.poolBundles(), 6u);
+
+    Bundle b;
+    b.add(build::halt());
+    img.writeBundle(t0, b);
+    EXPECT_EQ(img.fetch(t0).slot(0).op, Opcode::Halt);
+}
+
+TEST(CodeImage, PatchUnpatchRoundtrip)
+{
+    CodeImage img;
+    Bundle orig;
+    orig.add(build::movi(5, 99));
+    Addr addr = img.appendText(orig);
+    Addr pool = img.allocTrace(1);
+
+    img.patch(addr, pool);
+    EXPECT_TRUE(img.isPatched(addr));
+    const Bundle &redirect = img.fetch(addr);
+    EXPECT_EQ(redirect.slot(0).op, Opcode::Br);
+    EXPECT_EQ(redirect.slot(0).target, pool);
+
+    img.unpatch(addr);
+    EXPECT_FALSE(img.isPatched(addr));
+    EXPECT_EQ(img.fetch(addr).slot(0).imm, 99);
+}
+
+TEST(CodeImage, LoopIdAnnotation)
+{
+    CodeImage img;
+    Bundle b;
+    Insn insn = build::add(1, 2, 3);
+    insn.loopId = 7;
+    b.add(insn);
+    Addr addr = img.appendText(b);
+    EXPECT_EQ(img.loopIdAt(addr), 7);
+    EXPECT_EQ(img.loopIdAt(addr | 1), -1);  // nop padding
+}
+
+TEST(CodeBuffer, LabelsResolveAfterCommit)
+{
+    CodeImage img;
+    CodeBuffer buf;
+
+    auto head = buf.newLabel();
+    buf.bind(head);
+    Bundle body;
+    body.add(build::addi(1, 1, 1));
+    buf.append(body);
+
+    Bundle back;
+    back.add(build::br(1, 0));
+    buf.appendWithBranchTo(back, head);
+
+    Addr base = buf.commitToText(img);
+    EXPECT_EQ(base, CodeImage::textBase);
+    const Bundle &committed = img.fetch(base + isa::bundleBytes);
+    EXPECT_EQ(committed.slot(0).target, base);
+}
+
+TEST(CodeBuffer, ForwardLabel)
+{
+    CodeImage img;
+    CodeBuffer buf;
+    auto skip = buf.newLabel();
+
+    Bundle b;
+    b.add(build::brAlways(0));
+    buf.appendWithBranchTo(b, skip);
+
+    Bundle pad;
+    pad.padWithNops();
+    buf.append(pad);
+
+    buf.bind(skip);
+    Bundle target;
+    target.add(build::halt());
+    buf.append(target);
+
+    Addr base = buf.commitToText(img);
+    EXPECT_EQ(img.fetch(base).slot(0).target,
+              base + 2 * isa::bundleBytes);
+}
+
+TEST(CodeBuffer, LinearPackingRespectsTemplates)
+{
+    CodeImage img;
+    CodeBuffer buf;
+    std::vector<Insn> insns;
+    for (int i = 0; i < 5; ++i)
+        insns.push_back(build::ld(8, static_cast<std::uint8_t>(i + 1),
+                                  20));
+    buf.appendLinear(insns);
+    // 5 loads at <= 2 memory slots per bundle -> at least 3 bundles.
+    EXPECT_GE(buf.size(), 3u);
+    buf.commitToText(img);
+    for (std::size_t i = 0; i < img.textBundles(); ++i) {
+        const Bundle &b =
+            img.fetch(CodeImage::textBase + i * isa::bundleBytes);
+        EXPECT_LE(b.countKind(SlotKind::M), 2);
+    }
+}
+
+TEST(CodeBuffer, CommitToPool)
+{
+    CodeImage img;
+    CodeBuffer buf;
+    Bundle b;
+    b.add(build::halt());
+    buf.append(b);
+    Addr base = buf.commitToPool(img);
+    EXPECT_TRUE(CodeImage::inPool(base));
+    EXPECT_EQ(img.fetch(base).slot(0).op, Opcode::Halt);
+}
+
+TEST(DataLayout, AllocationAlignmentAndLookup)
+{
+    MainMemory mem;
+    DataLayout data(mem);
+    Addr a = data.alloc("a", 100, 128);
+    EXPECT_EQ(a % 128, 0u);
+    Addr b = data.alloc("b", 100, 64);
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(data.addrOf("a"), a);
+    EXPECT_GE(data.bytesUsed(), 200u);
+}
+
+TEST(DataLayout, IndexArrayWithinRange)
+{
+    MainMemory mem;
+    DataLayout data(mem);
+    Rng rng(1);
+    Addr base = data.allocIndexArray("idx", 1000, 50, rng);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(mem.readU64(base + static_cast<Addr>(i) * 8), 50u);
+}
+
+/** Walking the next pointers must visit every node exactly once. */
+void
+checkTraversal(MainMemory &mem, Addr head, std::uint64_t count,
+               std::uint64_t node_bytes)
+{
+    std::set<Addr> seen;
+    Addr p = head;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ASSERT_NE(p, 0u);
+        EXPECT_TRUE(seen.insert(p).second) << "node visited twice";
+        EXPECT_EQ((p - DataLayout::dataBase) % node_bytes, 0u);
+        p = mem.readU64(p);
+    }
+    EXPECT_EQ(p, 0u);  // terminated
+    EXPECT_EQ(seen.size(), count);
+}
+
+class LinkedListProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(LinkedListProperty, TraversalCoversAllNodes)
+{
+    MainMemory mem;
+    DataLayout data(mem);
+    Rng rng(42);
+    Addr head = data.allocLinkedList("list", 500, 64, 0, GetParam(),
+                                     rng);
+    checkTraversal(mem, head, 500, 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(JumbleLevels, LinkedListProperty,
+                         ::testing::Values(0.0, 0.05, 0.3, 1.0));
+
+TEST(DataLayout, SequentialListHasConstantStride)
+{
+    MainMemory mem;
+    DataLayout data(mem);
+    Rng rng(7);
+    Addr head = data.allocLinkedList("seq", 100, 128, 0, 0.0, rng);
+    Addr p = head;
+    for (int i = 0; i < 99; ++i) {
+        Addr next = mem.readU64(p);
+        EXPECT_EQ(next, p + 128);
+        p = next;
+    }
+}
+
+TEST(DataLayout, JumbledListBreaksStride)
+{
+    MainMemory mem;
+    DataLayout data(mem);
+    Rng rng(7);
+    Addr head = data.allocLinkedList("rnd", 1000, 128, 0, 1.0, rng);
+    int sequential = 0;
+    Addr p = head;
+    for (int i = 0; i < 999; ++i) {
+        Addr next = mem.readU64(p);
+        if (next == p + 128)
+            ++sequential;
+        p = next;
+    }
+    EXPECT_LT(sequential, 50);  // a full shuffle is rarely sequential
+}
+
+} // namespace
+} // namespace adore

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for dependence slicing / reference-pattern classification
+ * (paper Fig. 5): direct via post-increment and via adds, indirect
+ * two-level with shladd/add transforms, pointer-chasing recurrences,
+ * and the unknown cases (fp->int conversion, conflicting definitions,
+ * loop-invariant addresses).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "runtime/slicer.hh"
+
+namespace adore
+{
+namespace
+{
+
+/** Build a loop trace from packed bundles of the given insns. */
+Trace
+makeTrace(const std::vector<Insn> &insns)
+{
+    Trace t;
+    t.isLoop = true;
+    Bundle cur;
+    for (const Insn &insn : insns) {
+        if (!cur.tryAdd(insn)) {
+            cur.padWithNops();
+            t.bundles.push_back(cur);
+            cur = Bundle();
+            cur.add(insn);
+        }
+    }
+    if (!cur.empty()) {
+        cur.padWithNops();
+        t.bundles.push_back(cur);
+    }
+    t.backedgeBundle = static_cast<int>(t.bundles.size());
+    for (std::size_t i = 0; i < t.bundles.size(); ++i)
+        t.origAddrs.push_back(0x4000000 + i * isa::bundleBytes);
+    return t;
+}
+
+/** Find the trace position of the n-th load. */
+InsnPos
+loadPos(const Trace &t, int n = 0)
+{
+    int seen = 0;
+    for (std::size_t b = 0; b < t.bundles.size(); ++b) {
+        for (int s = 0; s < t.bundles[b].size(); ++s) {
+            if (t.bundles[b].slot(s).isLoad()) {
+                if (seen == n)
+                    return {static_cast<int>(b), s};
+                ++seen;
+            }
+        }
+    }
+    return {};
+}
+
+TEST(Slicer, DirectPostIncrement)
+{
+    // Fig. 5A flavour: a load walking via post-increment.
+    Trace t = makeTrace({build::ld(8, 20, 14, 24)});
+    DependenceSlicer slicer(t);
+    SliceResult r = slicer.classify(loadPos(t));
+    EXPECT_EQ(r.pattern, RefPattern::Direct);
+    EXPECT_EQ(r.strideBytes, 24);
+    EXPECT_EQ(r.baseReg, 14);
+    EXPECT_FALSE(r.fp);
+}
+
+TEST(Slicer, DirectViaRepeatedAdds)
+{
+    // Fig. 5A exactly: add r14 = 4, r14 three times -> stride 12.
+    Trace t = makeTrace({
+        build::addi(14, 4, 14),
+        build::st(4, 14, 20),
+        build::ld(4, 20, 14),
+        build::addi(14, 4, 14),
+        build::addi(14, 4, 14),
+    });
+    DependenceSlicer slicer(t);
+    SliceResult r = slicer.classify(loadPos(t));
+    EXPECT_EQ(r.pattern, RefPattern::Direct);
+    EXPECT_EQ(r.strideBytes, 12);
+}
+
+TEST(Slicer, DirectFpLoad)
+{
+    Trace t = makeTrace({build::ldf(8, 4, 10, 16)});
+    DependenceSlicer slicer(t);
+    SliceResult r = slicer.classify(loadPos(t));
+    EXPECT_EQ(r.pattern, RefPattern::Direct);
+    EXPECT_TRUE(r.fp);
+    EXPECT_EQ(r.loadSize, 8);
+}
+
+TEST(Slicer, IndirectViaShladd)
+{
+    // Fig. 5B flavour: idx = [cursor],8 ; addr = idx<<3 + base ;
+    // val = [addr].
+    Trace t = makeTrace({
+        build::ld(8, 20, 16, 8),
+        build::shladd(15, 20, 3, 25),
+        build::ld(8, 21, 15),
+    });
+    DependenceSlicer slicer(t);
+    SliceResult r = slicer.classify(loadPos(t, 1));
+    EXPECT_EQ(r.pattern, RefPattern::Indirect);
+    EXPECT_EQ(r.level1Cursor, 16);
+    EXPECT_EQ(r.level1StrideBytes, 8);
+    EXPECT_EQ(r.level1Size, 8);
+    EXPECT_EQ(r.transformInputReg, 20);
+    ASSERT_EQ(r.transform.size(), 1u);
+    EXPECT_EQ(r.transform[0].op, Opcode::Shladd);
+}
+
+TEST(Slicer, IndirectWithAddAndOffset)
+{
+    // Fig. 5B exactly: ld4 r20=[r16],4 ; add r15=r25,r20 ;
+    // add r15=-1,r15 ; ld1 r15'=[r15].
+    Trace t = makeTrace({
+        build::ld(4, 20, 16, 4),
+        build::add(15, 20, 25),
+        build::addi(15, -1, 15),
+        build::ld(1, 21, 15),
+    });
+    DependenceSlicer slicer(t);
+    SliceResult r = slicer.classify(loadPos(t, 1));
+    EXPECT_EQ(r.pattern, RefPattern::Indirect);
+    EXPECT_EQ(r.level1Cursor, 16);
+    EXPECT_EQ(r.level1StrideBytes, 4);
+    EXPECT_EQ(r.transform.size(), 2u);
+}
+
+TEST(Slicer, PointerChaseFig5C)
+{
+    // Fig. 5C (registers renamed to fit the 32-entry file):
+    // add r11 = 104, r24 ; ld8 r12 = [r11] ; ld8 r24 = [r12].
+    // The delinquent second load's base recurs through memory.
+    Trace t = makeTrace({
+        build::addi(11, 104, 24),
+        build::ld(8, 12, 11),
+        build::ld(8, 24, 12),
+    });
+    DependenceSlicer slicer(t);
+    SliceResult r = slicer.classify(loadPos(t, 1));
+    EXPECT_EQ(r.pattern, RefPattern::PointerChase);
+}
+
+TEST(Slicer, PointerChaseCodegenShape)
+{
+    // The shape our compiler emits: payload = [ptr + off] ;
+    // ptr = [ptr + next_off].
+    Trace t = makeTrace({
+        build::addi(6, 8, 5),    // payload addr
+        build::ld(8, 7, 6),      // payload load (delinquent)
+        build::addi(8, 0, 5),    // next addr
+        build::ld(8, 5, 8),      // pointer advance
+    });
+    DependenceSlicer slicer(t);
+
+    SliceResult payload = slicer.classify(loadPos(t, 0));
+    EXPECT_EQ(payload.pattern, RefPattern::PointerChase);
+    EXPECT_EQ(payload.recurrentReg, 5);
+    EXPECT_TRUE(payload.recurrentDefPos.valid());
+
+    SliceResult advance = slicer.classify(loadPos(t, 1));
+    EXPECT_EQ(advance.pattern, RefPattern::PointerChase);
+    EXPECT_EQ(advance.recurrentReg, 5);
+}
+
+TEST(Slicer, FpConversionIsUnknown)
+{
+    // vpr/lucas: the index comes through getf.
+    Trace t = makeTrace({
+        build::ldf(8, 4, 16, 8),
+        build::getf(20, 4),
+        build::shladd(15, 20, 3, 25),
+        build::ld(8, 21, 15),
+    });
+    DependenceSlicer slicer(t);
+    SliceResult r = slicer.classify(loadPos(t, 1));
+    EXPECT_EQ(r.pattern, RefPattern::Unknown);
+}
+
+TEST(Slicer, ConflictingDefsAreUnknown)
+{
+    Trace t = makeTrace({
+        build::addi(14, 8, 14),
+        build::mov(14, 9),       // second, non-increment def
+        build::ld(8, 20, 14),
+    });
+    DependenceSlicer slicer(t);
+    EXPECT_EQ(slicer.classify(loadPos(t)).pattern, RefPattern::Unknown);
+}
+
+TEST(Slicer, LoopInvariantBaseIsUnknown)
+{
+    Trace t = makeTrace({build::ld(8, 20, 14)});
+    DependenceSlicer slicer(t);
+    EXPECT_EQ(slicer.classify(loadPos(t)).pattern, RefPattern::Unknown);
+}
+
+TEST(Slicer, DerefOfLoadedPointerIsUnknown)
+{
+    // mcf's arc->tail->field: val = [payload_value] has no analyzable
+    // stride or recurrence.
+    Trace t = makeTrace({
+        build::addi(6, 8, 5),
+        build::ld(8, 7, 6),      // payload (a pointer)
+        build::ld(8, 9, 7),      // deref of the pointer value
+        build::addi(8, 0, 5),
+        build::ld(8, 5, 8),
+    });
+    DependenceSlicer slicer(t);
+    EXPECT_EQ(slicer.classify(loadPos(t, 1)).pattern,
+              RefPattern::Unknown);
+}
+
+TEST(Slicer, DefsTableCoversPostIncrements)
+{
+    Trace t = makeTrace({
+        build::ld(8, 20, 14, 8),
+        build::lfetch(27, 8),
+        build::stf(8, 15, 3, 16),
+    });
+    DependenceSlicer slicer(t);
+    EXPECT_EQ(slicer.defsOf(14).size(), 1u);
+    EXPECT_EQ(slicer.defsOf(27).size(), 1u);
+    EXPECT_EQ(slicer.defsOf(15).size(), 1u);
+    EXPECT_EQ(slicer.defsOf(20).size(), 1u);  // load destination
+    EXPECT_TRUE(slicer.defsOf(9).empty());
+}
+
+TEST(Slicer, PatternNames)
+{
+    EXPECT_STREQ(refPatternName(RefPattern::Direct), "direct");
+    EXPECT_STREQ(refPatternName(RefPattern::Indirect), "indirect");
+    EXPECT_STREQ(refPatternName(RefPattern::PointerChase),
+                 "pointer-chasing");
+    EXPECT_STREQ(refPatternName(RefPattern::Unknown), "unknown");
+}
+
+} // namespace
+} // namespace adore

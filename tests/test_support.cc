@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the support library: statistics accumulators, window
+ * stats with outlier rejection, time series, tables, and the RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace adore
+{
+namespace
+{
+
+TEST(RunningStat, MeanAndStddev)
+{
+    RunningStat rs;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.add(v);
+    EXPECT_EQ(rs.count(), 8u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.cv(), 0.4);
+}
+
+TEST(RunningStat, SingleValueHasZeroVariance)
+{
+    RunningStat rs;
+    rs.add(42.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat rs;
+    rs.add(1.0);
+    rs.add(2.0);
+    rs.reset();
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(WindowStats, EmptyInput)
+{
+    WindowStats ws = WindowStats::compute({});
+    EXPECT_DOUBLE_EQ(ws.mean, 0.0);
+    EXPECT_DOUBLE_EQ(ws.stddev, 0.0);
+}
+
+TEST(WindowStats, OutlierRejectionRemovesNoise)
+{
+    // A tight cluster plus one wild outlier: with rejection the mean
+    // should sit near the cluster.
+    std::vector<double> values(32, 100.0);
+    values[7] = 101.0;
+    values[12] = 99.0;
+    values.push_back(100000.0);
+    WindowStats with = WindowStats::compute(values, true);
+    WindowStats without = WindowStats::compute(values, false);
+    EXPECT_LT(with.mean, 110.0);
+    EXPECT_GT(without.mean, 1000.0);
+}
+
+TEST(TimeSeries, DownsampleAverages)
+{
+    TimeSeries ts;
+    for (int i = 0; i < 100; ++i)
+        ts.add(static_cast<std::uint64_t>(i) * 10,
+               static_cast<double>(i));
+    TimeSeries down = ts.downsample(10);
+    EXPECT_LE(down.size(), 10u);
+    // First bucket: mean of 0..9 = 4.5.
+    EXPECT_NEAR(down.points().front().value, 4.5, 1e-9);
+}
+
+TEST(TimeSeries, DownsampleNoopWhenSmall)
+{
+    TimeSeries ts;
+    ts.add(0, 1.0);
+    ts.add(1, 2.0);
+    EXPECT_EQ(ts.downsample(10).size(), 2u);
+}
+
+TEST(CeilDiv, Basics)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(5, 0), 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double r = rng.real();
+        EXPECT_GE(r, 0.0);
+        EXPECT_LT(r, 1.0);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "2"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+}
+
+TEST(BarChart, RendersNegativeAndPositive)
+{
+    BarChart chart("speedup", "%");
+    chart.addBar("win", 0.5);
+    chart.addBar("loss", -0.1);
+    std::string out = chart.render(20);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find('<'), std::string::npos);
+}
+
+TEST(LineChart, RendersSeries)
+{
+    LineChart chart("cpi", "CPI");
+    chart.addSeries("base", {1, 2, 3, 4, 3, 2, 1});
+    chart.addSeries("opt", {1, 1, 1, 1, 1, 1, 1});
+    std::string out = chart.render(6);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('o'), std::string::npos);
+}
+
+} // namespace
+} // namespace adore

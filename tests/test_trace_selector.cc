@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for path-profile-based trace selection: loop-trace formation
+ * from backedge bias, stop points (calls, balanced branches, patched
+ * code), unconditional-branch following with elision, hot-target
+ * ranking, and the minimum-reference threshold.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "program/code_buffer.hh"
+#include "runtime/trace_selector.hh"
+
+namespace adore
+{
+namespace
+{
+
+/** Fabricate samples whose BTB contains @p n copies of one branch. */
+void
+addBranchSamples(std::vector<Sample> &samples, Addr source, Addr target,
+                 int taken, int not_taken)
+{
+    auto push = [&](bool is_taken) {
+        Sample s;
+        s.pc = source;
+        for (auto &e : s.btb)
+            e = BtbEntry{true, source,
+                         is_taken ? target : source + isa::bundleBytes,
+                         is_taken, false};
+        samples.push_back(s);
+    };
+    for (int i = 0; i < taken; ++i)
+        push(true);
+    for (int i = 0; i < not_taken; ++i)
+        push(false);
+}
+
+class TraceSelectorTest : public ::testing::Test
+{
+  protected:
+    /** Emit a simple counted loop; returns (head, backedge source). */
+    std::pair<Addr, Addr>
+    emitLoop()
+    {
+        CodeBuffer buf;
+        Bundle pre;
+        pre.add(build::movi(1, 0));
+        pre.add(build::movi(2, 100));
+        buf.append(pre);
+        auto head = buf.newLabel();
+        buf.bind(head);
+        Bundle body;
+        body.add(build::addi(3, 1, 3));
+        body.add(build::addi(1, 1, 1));
+        buf.append(body);
+        Bundle tail;
+        tail.add(build::cmp(Opcode::CmpLt, 1, 1, 2));
+        tail.add(build::br(1, 0));
+        buf.appendWithBranchTo(tail, head);
+        Bundle h;
+        h.add(build::halt());
+        buf.append(h);
+        Addr base = buf.commitToText(code);
+        Addr head_addr = base + isa::bundleBytes;
+        Addr backedge_addr = head_addr + isa::bundleBytes;
+        return {head_addr, backedge_addr};
+    }
+
+    CodeImage code;
+    TraceSelectorConfig cfg;
+};
+
+TEST_F(TraceSelectorTest, FormsLoopTraceFromBackedge)
+{
+    auto [head, backedge] = emitLoop();
+    std::vector<Sample> samples;
+    addBranchSamples(samples, backedge, head, 50, 1);
+
+    TraceSelector sel(code, cfg);
+    auto traces = sel.select(samples);
+    ASSERT_EQ(traces.size(), 1u);
+    const Trace &t = traces[0];
+    EXPECT_EQ(t.startAddr, head);
+    EXPECT_TRUE(t.isLoop);
+    EXPECT_EQ(t.bundles.size(), 2u);
+    EXPECT_EQ(t.backedgeBundle, 1);
+    EXPECT_EQ(t.fallthroughAddr(), backedge + isa::bundleBytes);
+    EXPECT_TRUE(t.containsOrigPc(head));
+    EXPECT_EQ(t.bundleIndexOfOrigPc(backedge), 1);
+}
+
+TEST_F(TraceSelectorTest, BelowThresholdIgnored)
+{
+    auto [head, backedge] = emitLoop();
+    std::vector<Sample> samples;
+    addBranchSamples(samples, backedge, head, 1, 0);  // too cold
+
+    TraceSelector sel(code, cfg);
+    EXPECT_TRUE(sel.select(samples).empty());
+}
+
+TEST_F(TraceSelectorTest, StopsAtCall)
+{
+    CodeBuffer buf;
+    auto head = buf.newLabel();
+    auto helper = buf.newLabel();
+    buf.bind(head);
+    Bundle body;
+    body.add(build::addi(3, 1, 3));
+    buf.append(body);
+    Bundle call;
+    call.add(build::brCall(1, 0));
+    buf.appendWithBranchTo(call, helper);
+    Bundle tail;
+    tail.add(build::cmp(Opcode::CmpLt, 1, 1, 2));
+    tail.add(build::br(1, 0));
+    buf.appendWithBranchTo(tail, head);
+    Bundle h;
+    h.add(build::halt());
+    buf.append(h);
+    buf.bind(helper);
+    Bundle hb;
+    hb.add(build::brRet(1));
+    buf.append(hb);
+    Addr base = buf.commitToText(code);
+
+    std::vector<Sample> samples;
+    addBranchSamples(samples, base + 2 * isa::bundleBytes, base, 50, 1);
+
+    TraceSelector sel(code, cfg);
+    auto traces = sel.select(samples);
+    ASSERT_EQ(traces.size(), 1u);
+    // The trace stops at the call bundle: body + call, no loop.
+    EXPECT_FALSE(traces[0].isLoop);
+    EXPECT_EQ(traces[0].bundles.size(), 2u);
+}
+
+TEST_F(TraceSelectorTest, FollowsUnconditionalBranchWithElision)
+{
+    CodeBuffer buf;
+    auto head = buf.newLabel();
+    auto chunk2 = buf.newLabel();
+    buf.bind(head);
+    Bundle c1;
+    c1.add(build::addi(3, 1, 3));
+    buf.append(c1);
+    Bundle jump;
+    jump.add(build::brAlways(0));
+    buf.appendWithBranchTo(jump, chunk2);
+    // Cold padding the trace should skip over.
+    for (int i = 0; i < 4; ++i) {
+        Bundle pad;
+        pad.padWithNops();
+        buf.append(pad);
+    }
+    buf.bind(chunk2);
+    Bundle tail;
+    tail.add(build::addi(1, 1, 1));
+    tail.add(build::cmp(Opcode::CmpLt, 1, 1, 2));
+    tail.add(build::br(1, 0));
+    buf.appendWithBranchTo(tail, head);
+    Bundle h;
+    h.add(build::halt());
+    buf.append(h);
+    Addr base = buf.commitToText(code);
+
+    Addr head_addr = base;
+    Addr backedge_addr = base + 6 * isa::bundleBytes;
+    std::vector<Sample> samples;
+    addBranchSamples(samples, backedge_addr, head_addr, 60, 1);
+
+    TraceSelector sel(code, cfg);
+    auto traces = sel.select(samples);
+    ASSERT_EQ(traces.size(), 1u);
+    const Trace &t = traces[0];
+    EXPECT_TRUE(t.isLoop);
+    // Pads are skipped: chunk1 + jump bundle + tail only.
+    EXPECT_EQ(t.bundles.size(), 3u);
+    ASSERT_EQ(t.elidedBranches.size(), 1u);
+    EXPECT_EQ(t.elidedBranches[0], 1);
+}
+
+TEST_F(TraceSelectorTest, BalancedBranchStopsTrace)
+{
+    CodeBuffer buf;
+    auto head = buf.newLabel();
+    buf.bind(head);
+    Bundle b1;
+    b1.add(build::addi(3, 1, 3));
+    b1.add(build::cmp(Opcode::CmpLt, 2, 3, 4));
+    b1.add(build::br(2, CodeImage::textBase));
+    buf.append(b1);
+    Bundle b2;
+    b2.add(build::addi(1, 1, 1));
+    buf.append(b2);
+    Bundle h;
+    h.add(build::halt());
+    buf.append(h);
+    Addr base = buf.commitToText(code);
+
+    std::vector<Sample> samples;
+    // Mark the head hot via some other branch targeting it...
+    addBranchSamples(samples, base + 0x1000, base, 40, 0);
+    // ...and give the conditional branch a balanced 50/50 history.
+    addBranchSamples(samples, base, base + 0x2000, 20, 20);
+
+    TraceSelector sel(code, cfg);
+    auto traces = sel.select(samples);
+    ASSERT_GE(traces.size(), 1u);
+    EXPECT_EQ(traces[0].bundles.size(), 1u);  // stops at the branch
+}
+
+TEST_F(TraceSelectorTest, PatchedHeadYieldsNothing)
+{
+    auto [head, backedge] = emitLoop();
+    Addr pool = code.allocTrace(1);
+    code.patch(head, pool);
+
+    std::vector<Sample> samples;
+    addBranchSamples(samples, backedge, head, 50, 1);
+    TraceSelector sel(code, cfg);
+    EXPECT_TRUE(sel.select(samples).empty());
+}
+
+TEST_F(TraceSelectorTest, PoolSamplesIgnored)
+{
+    auto [head, backedge] = emitLoop();
+    (void)head;
+    std::vector<Sample> samples;
+    addBranchSamples(samples, CodeImage::poolBase + 16,
+                     CodeImage::poolBase, 100, 0);
+    (void)backedge;
+    TraceSelector sel(code, cfg);
+    EXPECT_TRUE(sel.select(samples).empty());
+}
+
+TEST_F(TraceSelectorTest, ContainsLfetchDetection)
+{
+    Trace t;
+    Bundle b;
+    b.add(build::lfetch(27, 8));
+    t.bundles.push_back(b);
+    EXPECT_TRUE(t.containsLfetch());
+    Trace empty;
+    EXPECT_FALSE(empty.containsLfetch());
+}
+
+} // namespace
+} // namespace adore

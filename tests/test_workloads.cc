@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the 17 synthetic SPEC2000 workloads: registry consistency,
+ * structural contracts per benchmark (pattern mix, phases, failure
+ * modes), and a compile-and-run smoke sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "workloads/workloads.hh"
+
+namespace adore
+{
+namespace
+{
+
+TEST(Workloads, RegistryHas17InPaperOrder)
+{
+    const auto &all = workloads::allWorkloads();
+    ASSERT_EQ(all.size(), 17u);
+    EXPECT_EQ(all.front().name, "bzip2");
+    EXPECT_EQ(all.back().name, "swim");
+    int fp = 0, integer = 0;
+    for (const auto &w : all)
+        (w.fp ? fp : integer)++;
+    EXPECT_EQ(fp, 9);       // nine SPECfp2000
+    EXPECT_EQ(integer, 8);  // eight SPECint2000
+}
+
+TEST(Workloads, NamesResolveAndAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &w : workloads::allWorkloads()) {
+        EXPECT_TRUE(names.insert(w.name).second);
+        hir::Program prog = workloads::make(w.name);
+        EXPECT_EQ(prog.name, w.name);
+        EXPECT_FALSE(prog.sequence.empty());
+        EXPECT_FALSE(prog.loops.empty());
+    }
+}
+
+TEST(Workloads, McfIsPointerChasing)
+{
+    hir::Program prog = workloads::make("mcf");
+    int chases = 0;
+    for (const auto &loop : prog.loops)
+        chases += static_cast<int>(loop.body.chases.size());
+    EXPECT_GE(chases, 2);
+    ASSERT_GE(prog.lists.size(), 2u);
+    for (const auto &list : prog.lists) {
+        EXPECT_GT(list.jumble, 0.0);  // partially regular
+        EXPECT_LT(list.jumble, 0.5);
+        EXPECT_TRUE(list.payloadIsPointer);
+    }
+}
+
+TEST(Workloads, ArtUsesAliasedParameters)
+{
+    hir::Program prog = workloads::make("art");
+    int params = 0;
+    for (const auto &arr : prog.arrays)
+        if (arr.isParam)
+            ++params;
+    EXPECT_GE(params, 3);  // ORC's O3 must skip these
+    EXPECT_GE(prog.sequence.size(), 2u);  // two phases (Fig. 8)
+}
+
+TEST(Workloads, VprAndLucasUseFpConversion)
+{
+    for (const char *name : {"vpr", "lucas"}) {
+        hir::Program prog = workloads::make(name);
+        bool fpconv = false;
+        for (const auto &loop : prog.loops)
+            for (const auto &ref : loop.body.refs)
+                fpconv = fpconv || ref.viaFpConversion;
+        EXPECT_TRUE(fpconv) << name;
+    }
+}
+
+TEST(Workloads, GapHasCallsInHotLoops)
+{
+    hir::Program prog = workloads::make("gap");
+    int call_loops = 0;
+    for (const auto &loop : prog.loops)
+        if (loop.body.hasCall)
+            ++call_loops;
+    EXPECT_GE(call_loops, 3);
+}
+
+TEST(Workloads, VortexScattersHotCode)
+{
+    hir::Program prog = workloads::make("vortex");
+    bool scattered = false;
+    for (const auto &loop : prog.loops)
+        scattered = scattered || loop.body.scatterChunks > 1;
+    EXPECT_TRUE(scattered);
+}
+
+TEST(Workloads, AppluSpreadsMissesOverManyLoads)
+{
+    hir::Program prog = workloads::make("applu");
+    int wide_loops = 0;
+    for (const auto &loop : prog.loops)
+        if (loop.body.refs.size() > 3)  // beyond the top-3 budget
+            ++wide_loops;
+    EXPECT_GE(wide_loops, 6);
+}
+
+TEST(Workloads, EquakeHasIndirectRefs)
+{
+    hir::Program prog = workloads::make("equake");
+    bool has_indirect = false;
+    for (const auto &loop : prog.loops)
+        for (const auto &ref : loop.body.refs)
+            has_indirect = has_indirect || ref.indexArray >= 0;
+    EXPECT_TRUE(has_indirect);
+}
+
+TEST(Workloads, PhaseLoopReferencesValid)
+{
+    for (const auto &w : workloads::allWorkloads()) {
+        hir::Program prog = workloads::make(w.name);
+        for (const auto &phase : prog.sequence) {
+            EXPECT_GE(phase.repeat, 1u);
+            for (int id : phase.loops) {
+                ASSERT_GE(id, 0);
+                ASSERT_LT(id, static_cast<int>(prog.loops.size()));
+                EXPECT_GT(prog.loops[static_cast<std::size_t>(id)].trip,
+                          0u);
+            }
+        }
+        for (const auto &loop : prog.loops) {
+            for (const auto &ref : loop.body.refs) {
+                ASSERT_GE(ref.array, 0);
+                ASSERT_LT(ref.array,
+                          static_cast<int>(prog.arrays.size()));
+                if (ref.indexArray >= 0) {
+                    ASSERT_LT(ref.indexArray,
+                              static_cast<int>(prog.arrays.size()));
+                }
+            }
+            for (const auto &chase : loop.body.chases) {
+                ASSERT_GE(chase.list, 0);
+                ASSERT_LT(chase.list,
+                          static_cast<int>(prog.lists.size()));
+            }
+        }
+    }
+}
+
+/** Every workload must compile and halt under the cycle budget. */
+class WorkloadSmoke : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadSmoke, CompilesAndHalts)
+{
+    hir::Program prog = workloads::make(GetParam());
+    RunConfig cfg;
+    cfg.compile.level = OptLevel::O2;
+    cfg.compile.softwarePipelining = false;
+    cfg.compile.reserveAdoreRegs = true;
+    cfg.maxCycles = 2'000'000'000ULL;
+    RunMetrics m = Experiment::run(prog, cfg);
+    EXPECT_TRUE(m.halted) << GetParam();
+    EXPECT_GT(m.retired, 10'000u);
+    EXPECT_GT(m.cpi, 0.1);
+    EXPECT_LT(m.cpi, 32.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadSmoke,
+    ::testing::Values("bzip2", "gzip", "mcf", "vpr", "parser", "gap",
+                      "vortex", "gcc", "ammp", "art", "applu", "equake",
+                      "facerec", "fma3d", "lucas", "mesa", "swim"));
+
+} // namespace
+} // namespace adore
