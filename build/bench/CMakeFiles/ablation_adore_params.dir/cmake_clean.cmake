@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adore_params.dir/ablation_adore_params.cc.o"
+  "CMakeFiles/ablation_adore_params.dir/ablation_adore_params.cc.o.d"
+  "ablation_adore_params"
+  "ablation_adore_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adore_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_runtime_prefetch_o2.dir/fig07a_runtime_prefetch_o2.cc.o"
+  "CMakeFiles/fig07a_runtime_prefetch_o2.dir/fig07a_runtime_prefetch_o2.cc.o.d"
+  "fig07a_runtime_prefetch_o2"
+  "fig07a_runtime_prefetch_o2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_runtime_prefetch_o2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07a_runtime_prefetch_o2.
+# This may be replaced when dependencies are built.

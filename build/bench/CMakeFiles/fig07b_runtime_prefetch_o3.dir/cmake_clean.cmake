@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_runtime_prefetch_o3.dir/fig07b_runtime_prefetch_o3.cc.o"
+  "CMakeFiles/fig07b_runtime_prefetch_o3.dir/fig07b_runtime_prefetch_o3.cc.o.d"
+  "fig07b_runtime_prefetch_o3"
+  "fig07b_runtime_prefetch_o3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_runtime_prefetch_o3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

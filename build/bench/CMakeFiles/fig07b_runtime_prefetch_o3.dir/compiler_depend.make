@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07b_runtime_prefetch_o3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_art_timeseries.dir/fig08_art_timeseries.cc.o"
+  "CMakeFiles/fig08_art_timeseries.dir/fig08_art_timeseries.cc.o.d"
+  "fig08_art_timeseries"
+  "fig08_art_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_art_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

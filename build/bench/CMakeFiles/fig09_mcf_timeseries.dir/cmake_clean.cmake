@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_mcf_timeseries.dir/fig09_mcf_timeseries.cc.o"
+  "CMakeFiles/fig09_mcf_timeseries.dir/fig09_mcf_timeseries.cc.o.d"
+  "fig09_mcf_timeseries"
+  "fig09_mcf_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mcf_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_swp_register_impact.dir/fig10_swp_register_impact.cc.o"
+  "CMakeFiles/fig10_swp_register_impact.dir/fig10_swp_register_impact.cc.o.d"
+  "fig10_swp_register_impact"
+  "fig10_swp_register_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_swp_register_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_adore_overhead.dir/fig11_adore_overhead.cc.o"
+  "CMakeFiles/fig11_adore_overhead.dir/fig11_adore_overhead.cc.o.d"
+  "fig11_adore_overhead"
+  "fig11_adore_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_adore_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_profile_guided.dir/table1_profile_guided.cc.o"
+  "CMakeFiles/table1_profile_guided.dir/table1_profile_guided.cc.o.d"
+  "table1_profile_guided"
+  "table1_profile_guided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_profile_guided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

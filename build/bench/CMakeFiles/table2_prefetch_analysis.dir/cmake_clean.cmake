@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_prefetch_analysis.dir/table2_prefetch_analysis.cc.o"
+  "CMakeFiles/table2_prefetch_analysis.dir/table2_prefetch_analysis.cc.o.d"
+  "table2_prefetch_analysis"
+  "table2_prefetch_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_prefetch_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

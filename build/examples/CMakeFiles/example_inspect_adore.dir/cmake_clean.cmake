@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inspect_adore.dir/inspect_adore.cpp.o"
+  "CMakeFiles/example_inspect_adore.dir/inspect_adore.cpp.o.d"
+  "example_inspect_adore"
+  "example_inspect_adore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inspect_adore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

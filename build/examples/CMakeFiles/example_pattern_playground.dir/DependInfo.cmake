@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pattern_playground.cpp" "examples/CMakeFiles/example_pattern_playground.dir/pattern_playground.cpp.o" "gcc" "examples/CMakeFiles/example_pattern_playground.dir/pattern_playground.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/adore_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/adore_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/adore_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/adore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/adore_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/adore_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/adore_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/adore_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/adore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/adore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pattern_playground.dir/pattern_playground.cpp.o"
+  "CMakeFiles/example_pattern_playground.dir/pattern_playground.cpp.o.d"
+  "example_pattern_playground"
+  "example_pattern_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pattern_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

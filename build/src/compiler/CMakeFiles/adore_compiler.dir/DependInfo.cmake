@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/adore_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/adore_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/compiler.cc" "src/compiler/CMakeFiles/adore_compiler.dir/compiler.cc.o" "gcc" "src/compiler/CMakeFiles/adore_compiler.dir/compiler.cc.o.d"
+  "/root/repo/src/compiler/static_prefetch.cc" "src/compiler/CMakeFiles/adore_compiler.dir/static_prefetch.cc.o" "gcc" "src/compiler/CMakeFiles/adore_compiler.dir/static_prefetch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/adore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/adore_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/adore_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/adore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_compiler.dir/codegen.cc.o"
+  "CMakeFiles/adore_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/adore_compiler.dir/compiler.cc.o"
+  "CMakeFiles/adore_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/adore_compiler.dir/static_prefetch.cc.o"
+  "CMakeFiles/adore_compiler.dir/static_prefetch.cc.o.d"
+  "libadore_compiler.a"
+  "libadore_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

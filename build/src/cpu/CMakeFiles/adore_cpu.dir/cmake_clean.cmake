@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_cpu.dir/cpu.cc.o"
+  "CMakeFiles/adore_cpu.dir/cpu.cc.o.d"
+  "libadore_cpu.a"
+  "libadore_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_harness.dir/experiment.cc.o"
+  "CMakeFiles/adore_harness.dir/experiment.cc.o.d"
+  "libadore_harness.a"
+  "libadore_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

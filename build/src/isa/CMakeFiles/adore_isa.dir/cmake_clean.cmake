@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_isa.dir/bundle.cc.o"
+  "CMakeFiles/adore_isa.dir/bundle.cc.o.d"
+  "CMakeFiles/adore_isa.dir/insn.cc.o"
+  "CMakeFiles/adore_isa.dir/insn.cc.o.d"
+  "libadore_isa.a"
+  "libadore_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_mem.dir/cache.cc.o"
+  "CMakeFiles/adore_mem.dir/cache.cc.o.d"
+  "CMakeFiles/adore_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/adore_mem.dir/hierarchy.cc.o.d"
+  "libadore_mem.a"
+  "libadore_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

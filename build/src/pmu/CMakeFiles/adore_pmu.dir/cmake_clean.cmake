@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_pmu.dir/sampler.cc.o"
+  "CMakeFiles/adore_pmu.dir/sampler.cc.o.d"
+  "libadore_pmu.a"
+  "libadore_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/code_buffer.cc" "src/program/CMakeFiles/adore_program.dir/code_buffer.cc.o" "gcc" "src/program/CMakeFiles/adore_program.dir/code_buffer.cc.o.d"
+  "/root/repo/src/program/code_image.cc" "src/program/CMakeFiles/adore_program.dir/code_image.cc.o" "gcc" "src/program/CMakeFiles/adore_program.dir/code_image.cc.o.d"
+  "/root/repo/src/program/data_layout.cc" "src/program/CMakeFiles/adore_program.dir/data_layout.cc.o" "gcc" "src/program/CMakeFiles/adore_program.dir/data_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/adore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/adore_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/adore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

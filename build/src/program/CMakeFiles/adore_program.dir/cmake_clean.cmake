@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_program.dir/code_buffer.cc.o"
+  "CMakeFiles/adore_program.dir/code_buffer.cc.o.d"
+  "CMakeFiles/adore_program.dir/code_image.cc.o"
+  "CMakeFiles/adore_program.dir/code_image.cc.o.d"
+  "CMakeFiles/adore_program.dir/data_layout.cc.o"
+  "CMakeFiles/adore_program.dir/data_layout.cc.o.d"
+  "libadore_program.a"
+  "libadore_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

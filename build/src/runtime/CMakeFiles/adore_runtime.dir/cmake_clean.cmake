@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_runtime.dir/adore.cc.o"
+  "CMakeFiles/adore_runtime.dir/adore.cc.o.d"
+  "CMakeFiles/adore_runtime.dir/phase_detector.cc.o"
+  "CMakeFiles/adore_runtime.dir/phase_detector.cc.o.d"
+  "CMakeFiles/adore_runtime.dir/prefetch_gen.cc.o"
+  "CMakeFiles/adore_runtime.dir/prefetch_gen.cc.o.d"
+  "CMakeFiles/adore_runtime.dir/slicer.cc.o"
+  "CMakeFiles/adore_runtime.dir/slicer.cc.o.d"
+  "CMakeFiles/adore_runtime.dir/trace_selector.cc.o"
+  "CMakeFiles/adore_runtime.dir/trace_selector.cc.o.d"
+  "libadore_runtime.a"
+  "libadore_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

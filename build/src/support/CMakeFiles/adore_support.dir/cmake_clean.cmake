@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adore_support.dir/logging.cc.o"
+  "CMakeFiles/adore_support.dir/logging.cc.o.d"
+  "CMakeFiles/adore_support.dir/stats.cc.o"
+  "CMakeFiles/adore_support.dir/stats.cc.o.d"
+  "CMakeFiles/adore_support.dir/table.cc.o"
+  "CMakeFiles/adore_support.dir/table.cc.o.d"
+  "libadore_support.a"
+  "libadore_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adore_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

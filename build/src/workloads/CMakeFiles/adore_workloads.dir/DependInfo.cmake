@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cc" "src/workloads/CMakeFiles/adore_workloads.dir/common.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/common.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/adore_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_ammp.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_ammp.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_ammp.cc.o.d"
+  "/root/repo/src/workloads/wl_applu.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_applu.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_applu.cc.o.d"
+  "/root/repo/src/workloads/wl_art.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_art.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_art.cc.o.d"
+  "/root/repo/src/workloads/wl_bzip2.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_bzip2.cc.o.d"
+  "/root/repo/src/workloads/wl_equake.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_equake.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_equake.cc.o.d"
+  "/root/repo/src/workloads/wl_facerec.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_facerec.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_facerec.cc.o.d"
+  "/root/repo/src/workloads/wl_fma3d.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_fma3d.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_fma3d.cc.o.d"
+  "/root/repo/src/workloads/wl_gap.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_gap.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_gap.cc.o.d"
+  "/root/repo/src/workloads/wl_gcc.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_gcc.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_gcc.cc.o.d"
+  "/root/repo/src/workloads/wl_gzip.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_gzip.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_gzip.cc.o.d"
+  "/root/repo/src/workloads/wl_lucas.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_lucas.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_lucas.cc.o.d"
+  "/root/repo/src/workloads/wl_mcf.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_mcf.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_mcf.cc.o.d"
+  "/root/repo/src/workloads/wl_mesa.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_mesa.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_mesa.cc.o.d"
+  "/root/repo/src/workloads/wl_parser.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_parser.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_parser.cc.o.d"
+  "/root/repo/src/workloads/wl_swim.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_swim.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_swim.cc.o.d"
+  "/root/repo/src/workloads/wl_vortex.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_vortex.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_vortex.cc.o.d"
+  "/root/repo/src/workloads/wl_vpr.cc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_vpr.cc.o" "gcc" "src/workloads/CMakeFiles/adore_workloads.dir/wl_vpr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/adore_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/adore_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/adore_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/adore_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/adore_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adore_runtime.cc" "tests/CMakeFiles/adore_tests.dir/test_adore_runtime.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_adore_runtime.cc.o.d"
+  "/root/repo/tests/test_compiler.cc" "tests/CMakeFiles/adore_tests.dir/test_compiler.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_compiler.cc.o.d"
+  "/root/repo/tests/test_cpu.cc" "tests/CMakeFiles/adore_tests.dir/test_cpu.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_cpu.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/adore_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/adore_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/adore_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/adore_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_phase_detector.cc" "tests/CMakeFiles/adore_tests.dir/test_phase_detector.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_phase_detector.cc.o.d"
+  "/root/repo/tests/test_pmu.cc" "tests/CMakeFiles/adore_tests.dir/test_pmu.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_pmu.cc.o.d"
+  "/root/repo/tests/test_prefetch_gen.cc" "tests/CMakeFiles/adore_tests.dir/test_prefetch_gen.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_prefetch_gen.cc.o.d"
+  "/root/repo/tests/test_program.cc" "tests/CMakeFiles/adore_tests.dir/test_program.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_program.cc.o.d"
+  "/root/repo/tests/test_slicer.cc" "tests/CMakeFiles/adore_tests.dir/test_slicer.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_slicer.cc.o.d"
+  "/root/repo/tests/test_support.cc" "tests/CMakeFiles/adore_tests.dir/test_support.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_support.cc.o.d"
+  "/root/repo/tests/test_trace_selector.cc" "tests/CMakeFiles/adore_tests.dir/test_trace_selector.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_trace_selector.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/adore_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/adore_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/adore_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/adore_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/adore_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/adore_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/adore_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/adore_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/adore_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/adore_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/adore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/adore_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
