@@ -32,17 +32,25 @@ main()
                 "(paper: k=3, four reserved registers)\n\n");
     {
         Table t({"workload", "k=1", "k=2", "k=3 (paper)", "k=4"});
-        for (const char *name : {"applu", "art", "swim"}) {
+        const char *names[] = {"applu", "art", "swim"};
+        std::vector<WorkloadJob> jobs;
+        for (const char *name : names) {
             hir::Program prog = workloads::make(name);
-            RunMetrics base = runWorkload(prog, o2, false);
+            jobs.push_back({prog, workloadConfig(o2, false)});
+            for (int k = 1; k <= 4; ++k) {
+                RunConfig cfg = workloadConfig(o2, true);
+                cfg.adoreConfig.maxPrefetchLoadsPerTrace = k;
+                jobs.push_back({prog, cfg});
+            }
+        }
+        std::vector<RunMetrics> results = runJobs(jobs);
+
+        std::size_t job = 0;
+        for (const char *name : names) {
+            RunMetrics base = results[job++];
             std::vector<std::string> row = {name};
             for (int k = 1; k <= 4; ++k) {
-                RunConfig cfg;
-                cfg.compile = o2;
-                cfg.adore = true;
-                cfg.adoreConfig = Experiment::defaultAdoreConfig();
-                cfg.adoreConfig.maxPrefetchLoadsPerTrace = k;
-                RunMetrics m = Experiment::run(prog, cfg);
+                RunMetrics m = results[job++];
                 row.push_back(Table::pct(
                     Experiment::speedup(base.cycles, m.cycles)));
             }
@@ -58,19 +66,28 @@ main()
         Table t({"R (cycles)", "mcf speedup", "mesa overhead-only"});
         hir::Program mcf = workloads::make("mcf");
         hir::Program mesa = workloads::make("mesa");
-        RunMetrics mcf_base = runWorkload(mcf, o2, false);
-        RunMetrics mesa_base = runWorkload(mesa, o2, false);
-        for (Cycle r : {1'000u, 2'000u, 4'000u, 8'000u, 16'000u}) {
-            RunConfig cfg;
-            cfg.compile = o2;
-            cfg.adore = true;
-            cfg.adoreConfig = Experiment::defaultAdoreConfig();
+        const Cycle intervals[] = {1'000u, 2'000u, 4'000u, 8'000u,
+                                   16'000u};
+        std::vector<WorkloadJob> jobs;
+        jobs.push_back({mcf, workloadConfig(o2, false)});
+        jobs.push_back({mesa, workloadConfig(o2, false)});
+        for (Cycle r : intervals) {
+            RunConfig cfg = workloadConfig(o2, true);
             cfg.adoreConfig.sampler.interval = r;
-            RunMetrics m = Experiment::run(mcf, cfg);
+            jobs.push_back({mcf, cfg});
 
             RunConfig mon = cfg;
             mon.adoreConfig.insertPrefetches = false;
-            RunMetrics o = Experiment::run(mesa, mon);
+            jobs.push_back({mesa, mon});
+        }
+        std::vector<RunMetrics> results = runJobs(jobs);
+
+        std::size_t job = 0;
+        RunMetrics mcf_base = results[job++];
+        RunMetrics mesa_base = results[job++];
+        for (Cycle r : intervals) {
+            RunMetrics m = results[job++];
+            RunMetrics o = results[job++];
 
             t.addRow({std::to_string(r),
                       Table::pct(Experiment::speedup(mcf_base.cycles,
@@ -117,17 +134,23 @@ main()
 
         Table t({"workload", "no revert (paper)", "with revert",
                  "batches reverted"});
-        for (const char *name :
-             {"shuffled-walk", "gcc", "vortex", "mcf"}) {
+        const char *names[] = {"shuffled-walk", "gcc", "vortex", "mcf"};
+        std::vector<WorkloadJob> jobs;
+        for (const char *name : names) {
             hir::Program prog = make_prog(name);
-            RunMetrics base = runWorkload(prog, o2, false);
-            RunConfig cfg;
-            cfg.compile = o2;
-            cfg.adore = true;
-            cfg.adoreConfig = Experiment::defaultAdoreConfig();
-            RunMetrics plain = Experiment::run(prog, cfg);
+            jobs.push_back({prog, workloadConfig(o2, false)});
+            RunConfig cfg = workloadConfig(o2, true);
+            jobs.push_back({prog, cfg});
             cfg.adoreConfig.revertUnprofitableTraces = true;
-            RunMetrics rev = Experiment::run(prog, cfg);
+            jobs.push_back({prog, cfg});
+        }
+        std::vector<RunMetrics> results = runJobs(jobs);
+
+        std::size_t job = 0;
+        for (const char *name : names) {
+            RunMetrics base = results[job++];
+            RunMetrics plain = results[job++];
+            RunMetrics rev = results[job++];
             t.addRow({name,
                       Table::pct(Experiment::speedup(base.cycles,
                                                      plain.cycles)),

@@ -26,10 +26,20 @@ main()
                  "traces skipped (lfetch)", "prefetches(d/i/p)"});
     BarChart chart("Fig 7(b) speedup: O3 + runtime prefetching", "%");
 
+    // Two independent runs per workload, fanned out across ADORE_JOBS
+    // workers; the table is rendered from the ordered results below.
+    std::vector<WorkloadJob> jobs;
     for (const auto &info : workloads::allWorkloads()) {
         hir::Program prog = workloads::make(info.name);
-        RunMetrics base = runWorkload(prog, o3, false);
-        RunMetrics rp = runWorkload(prog, o3, true);
+        jobs.push_back({prog, workloadConfig(o3, false)});
+        jobs.push_back({std::move(prog), workloadConfig(o3, true)});
+    }
+    std::vector<RunMetrics> results = runJobs(jobs);
+
+    std::size_t job = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        RunMetrics base = results[job++];
+        RunMetrics rp = results[job++];
 
         double speedup = Experiment::speedup(base.cycles, rp.cycles);
         const AdoreStats &st = rp.adoreStats;

@@ -25,12 +25,22 @@ main()
     BarChart chart("Fig 10: original O2 (SWP, all registers) vs restricted",
                    "%");
 
+    // Two independent runs per workload, fanned out across ADORE_JOBS
+    // workers; the table is rendered from the ordered results below.
+    std::vector<WorkloadJob> jobs;
     for (const auto &info : workloads::allWorkloads()) {
         hir::Program prog = workloads::make(info.name);
-        RunMetrics restricted =
-            runWorkload(prog, restrictedOptions(OptLevel::O2), false);
-        RunMetrics original =
-            runWorkload(prog, originalOptions(OptLevel::O2), false);
+        jobs.push_back(
+            {prog, workloadConfig(restrictedOptions(OptLevel::O2), false)});
+        jobs.push_back({std::move(prog),
+                        workloadConfig(originalOptions(OptLevel::O2), false)});
+    }
+    std::vector<RunMetrics> results = runJobs(jobs);
+
+    std::size_t job = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        RunMetrics restricted = results[job++];
+        RunMetrics original = results[job++];
 
         int swp_loops = 0;
         for (const auto &li : original.compileReport.loops)

@@ -26,16 +26,23 @@ main()
                  "O2+ADORE w/o prefetch (s)", "overhead"});
     double worst = 0.0;
 
+    // Two independent runs per workload, fanned out across ADORE_JOBS
+    // workers; the table is rendered from the ordered results below.
+    std::vector<WorkloadJob> jobs;
     for (const auto &info : workloads::allWorkloads()) {
         hir::Program prog = workloads::make(info.name);
-        RunMetrics base = runWorkload(prog, o2, false);
+        jobs.push_back({prog, workloadConfig(o2, false)});
 
-        RunConfig cfg;
-        cfg.compile = o2;
-        cfg.adore = true;
-        cfg.adoreConfig = Experiment::defaultAdoreConfig();
+        RunConfig cfg = workloadConfig(o2, true);
         cfg.adoreConfig.insertPrefetches = false;
-        RunMetrics monitored = Experiment::run(prog, cfg);
+        jobs.push_back({std::move(prog), cfg});
+    }
+    std::vector<RunMetrics> results = runJobs(jobs);
+
+    std::size_t job = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        RunMetrics base = results[job++];
+        RunMetrics monitored = results[job++];
 
         double overhead =
             base.cycles ? static_cast<double>(monitored.cycles) /

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Simulator self-benchmark: how fast is the *simulator itself* on the
+ * host, in simulated MIPS (retired simulated instructions per host
+ * wall-clock second)?
+ *
+ * This is the regression harness for interpreter-performance work (the
+ * fast paths documented in DESIGN.md "Simulator performance"): it runs
+ * a fixed scenario mix — a tight ALU/branch loop that isolates
+ * interpreter dispatch overhead, plus representative memory-bound
+ * workloads with and without the ADORE runtime — takes the best of N
+ * repeats (min wall time; the meaningful statistic on a noisy shared
+ * host), and writes the results to BENCH_simulator.json next to the
+ * per-scenario baselines recorded for the pre-fast-path interpreter on
+ * the reference host.
+ *
+ * Usage: self_benchmark [--out PATH] [--repeats N] [--quick]
+ *   --quick shrinks the loop iteration count and repeats so the
+ *   bench_smoke CI target stays fast.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "isa/builder.hh"
+#include "program/code_buffer.hh"
+
+using namespace adore;
+using namespace adore::bench;
+
+namespace
+{
+
+struct ScenarioResult
+{
+    std::string name;
+    std::uint64_t retired = 0;
+    double bestWallSeconds = 0.0;
+    double simMips = 0.0;
+    double seedSimMips = 0.0;  ///< pre-fast-path interpreter baseline
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * The interpreter-dispatch scenario: a three-ALU-op loop body plus a
+ * compare-and-branch tail, no data memory traffic.  Simulated MIPS here
+ * is a direct measurement of per-instruction interpreter overhead.
+ */
+ScenarioResult
+runInterpreterLoop(std::uint64_t iters, int repeats)
+{
+    ScenarioResult res;
+    res.name = "interpreter_loop";
+    res.bestWallSeconds = 1e300;
+    for (int rep = 0; rep < repeats; ++rep) {
+        Machine machine;
+        CodeBuffer buf;
+        Bundle init;
+        init.add(build::movi(1, 0));
+        init.add(build::movi(2, static_cast<std::int64_t>(iters)));
+        buf.append(init);
+        auto head = buf.newLabel();
+        buf.bind(head);
+        Bundle body;
+        body.add(build::addi(3, 2, 3));
+        body.add(build::addi(4, 1, 4));
+        body.add(build::addi(1, 1, 1));
+        buf.append(body);
+        Bundle tail;
+        tail.add(build::cmp(Opcode::CmpLt, 1, 1, 2));
+        tail.add(build::br(1, 0));
+        buf.appendWithBranchTo(tail, head);
+        Bundle h;
+        h.add(build::halt());
+        buf.append(h);
+        buf.commitToText(machine.code());
+        machine.cpu().setPc(CodeImage::textBase);
+
+        double t0 = now();
+        machine.cpu().run(~Cycle{0});
+        double wall = now() - t0;
+
+        res.retired = machine.cpu().counters().retiredInsns;
+        res.bestWallSeconds = std::min(res.bestWallSeconds, wall);
+    }
+    res.simMips =
+        static_cast<double>(res.retired) / res.bestWallSeconds / 1e6;
+    return res;
+}
+
+/** A registered workload under the bench harness configuration. */
+ScenarioResult
+runWorkloadScenario(const std::string &name, bool adore, int repeats)
+{
+    ScenarioResult res;
+    res.name = name + (adore ? "_o2_adore" : "_o2");
+    res.bestWallSeconds = 1e300;
+    hir::Program prog = workloads::make(name);
+    RunConfig cfg = workloadConfig(restrictedOptions(OptLevel::O2), adore);
+    for (int rep = 0; rep < repeats; ++rep) {
+        double t0 = now();
+        RunMetrics m = Experiment::run(prog, cfg);
+        double wall = now() - t0;
+        res.retired = m.retired;
+        res.bestWallSeconds = std::min(res.bestWallSeconds, wall);
+    }
+    res.simMips =
+        static_cast<double>(res.retired) / res.bestWallSeconds / 1e6;
+    return res;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    std::string out_path = "BENCH_simulator.json";
+    int repeats = 5;
+    std::uint64_t iters = 20'000'000ULL;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (!std::strcmp(argv[i], "--repeats") && i + 1 < argc) {
+            repeats = std::atoi(argv[++i]);
+        } else if (!std::strcmp(argv[i], "--quick")) {
+            repeats = 2;
+            iters = 2'000'000ULL;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--out PATH] [--repeats N] [--quick]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (repeats < 1)
+        repeats = 1;
+
+    printHeader("Simulator self-benchmark (simulated MIPS on this host)");
+
+    /*
+     * Pre-fast-path interpreter baselines, measured on the reference
+     * host (1-core container, g++ -O2 RelWithDebInfo, best of 8) at the
+     * commit immediately before the interpreter fast-path work.  They
+     * are host-specific: compare improvement ratios, not absolute MIPS,
+     * when running elsewhere.
+     */
+    struct Baseline
+    {
+        const char *name;
+        double seedMips;
+    };
+    const Baseline baselines[] = {
+        {"interpreter_loop", 89.1},
+        {"gzip_o2", 65.1},
+        {"art_o2", 74.6},
+        {"mcf_o2", 38.5},
+        {"mcf_o2_adore", 42.3},
+    };
+
+    std::vector<ScenarioResult> results;
+    results.push_back(runInterpreterLoop(iters, repeats));
+    results.push_back(runWorkloadScenario("gzip", false, repeats));
+    results.push_back(runWorkloadScenario("art", false, repeats));
+    results.push_back(runWorkloadScenario("mcf", false, repeats));
+    results.push_back(runWorkloadScenario("mcf", true, repeats));
+
+    for (ScenarioResult &res : results) {
+        for (const Baseline &b : baselines)
+            if (res.name == b.name)
+                res.seedSimMips = b.seedMips;
+    }
+
+    Table table({"scenario", "retired insns", "best wall (s)", "sim MIPS",
+                 "pre-PR MIPS", "improvement"});
+    double log_sum = 0.0;
+    int log_count = 0;
+    for (const ScenarioResult &res : results) {
+        double improvement =
+            res.seedSimMips > 0 ? res.simMips / res.seedSimMips : 0.0;
+        if (improvement > 0) {
+            log_sum += std::log(improvement);
+            ++log_count;
+        }
+        table.addRow({res.name, std::to_string(res.retired),
+                      Table::fmt(res.bestWallSeconds, 3),
+                      Table::fmt(res.simMips, 1),
+                      Table::fmt(res.seedSimMips, 1),
+                      Table::fmt(improvement, 2) + "x"});
+    }
+    double geomean =
+        log_count ? std::exp(log_sum / log_count) : 0.0;
+    std::printf("%s\n", table.render().c_str());
+    std::printf("geomean improvement over pre-PR interpreter: %.2fx\n",
+                geomean);
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"benchmark\": \"simulator_self_benchmark\",\n");
+    std::fprintf(f, "  \"metric\": \"simulated_mips\",\n");
+    std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+    std::fprintf(f, "  \"statistic\": \"best_of_repeats\",\n");
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &res = results[i];
+        double improvement =
+            res.seedSimMips > 0 ? res.simMips / res.seedSimMips : 0.0;
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"retired_insns\": %llu, "
+            "\"best_wall_s\": %.6f, \"sim_mips\": %.2f, "
+            "\"pre_pr_sim_mips\": %.2f, \"improvement\": %.3f}%s\n",
+            res.name.c_str(),
+            static_cast<unsigned long long>(res.retired),
+            res.bestWallSeconds, res.simMips, res.seedSimMips, improvement,
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"geomean_improvement\": %.3f\n", geomean);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -30,11 +30,22 @@ main()
     double filtered_sum = 0.0;
     int filtered_count = 0;
 
-    for (const auto &info : workloads::allWorkloads()) {
-        hir::Program prog = workloads::make(info.name);
+    // Each workload is a three-phase pipeline (O3 run, training run,
+    // guided run) whose phases depend on each other, so the fan-out is
+    // per *workload*: each pool job runs its own pipeline end to end.
+    const auto &all = workloads::allWorkloads();
+    struct PerWorkload
+    {
+        RunMetrics plain;
+        RunMetrics prof;
+    };
+    std::vector<PerWorkload> results(all.size());
+    ThreadPool pool;
+    pool.parallelFor(all.size(), [&](std::size_t i) {
+        hir::Program prog = workloads::make(all[i].name);
 
         CompileOptions o3 = originalOptions(OptLevel::O3);
-        RunMetrics plain = runWorkload(prog, o3, false);
+        results[i].plain = runWorkload(prog, o3, false);
 
         // Training run: sampling profile from the O2 binary (the same
         // profile format the runtime prefetcher uses, Section 4.2).
@@ -43,7 +54,14 @@ main()
 
         CompileOptions guided = o3;
         guided.profile = &profile;
-        RunMetrics prof = runWorkload(prog, guided, false);
+        results[i].prof = runWorkload(prog, guided, false);
+    });
+
+    std::size_t job = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        const RunMetrics &plain = results[job].plain;
+        const RunMetrics &prof = results[job].prof;
+        ++job;
 
         int loops_o3 = plain.compileReport.loopsScheduledForPrefetch;
         int loops_prof = prof.compileReport.loopsScheduledForPrefetch;

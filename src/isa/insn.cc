@@ -5,6 +5,152 @@
 namespace adore
 {
 
+void
+Insn::predecode()
+{
+    srcIntMask = 0;
+    srcFpMask = 0;
+    dstIntMask = 0;
+    dstFpMask = 0;
+    flags = 0;
+
+    // r0/f0 are hardwired zero: they are never written, their ready time
+    // is always 0, and they can never participate in a split-issue
+    // dependence — excluding them keeps the runtime mask walks shorter.
+    auto src_r = [&](std::uint8_t reg) {
+        if (reg)
+            srcIntMask |= 1u << reg;
+    };
+    auto src_f = [&](std::uint8_t reg) {
+        if (reg)
+            srcFpMask |= static_cast<std::uint16_t>(1u << reg);
+    };
+    auto dst_r = [&](std::uint8_t reg) {
+        if (reg)
+            dstIntMask |= 1u << reg;
+    };
+    auto dst_f = [&](std::uint8_t reg) {
+        if (reg)
+            dstFpMask |= static_cast<std::uint16_t>(1u << reg);
+    };
+
+    // The source sets mirror Cpu::waitForSources: only registers whose
+    // ready time can gate issue count, so Movi (immediate-only) and the
+    // branches contribute nothing.
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Movi:
+      case Opcode::Halt:
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::CmpLt:
+      case Opcode::CmpLe:
+      case Opcode::CmpEq:
+      case Opcode::CmpNe:
+      case Opcode::Shladd:
+        src_r(rs1);
+        src_r(rs2);
+        break;
+      case Opcode::Addi:
+      case Opcode::Mov:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Setf:
+        src_r(rs1);
+        break;
+      case Opcode::Ld:
+      case Opcode::LdS:
+      case Opcode::Ldf:
+      case Opcode::Lfetch:
+        src_r(rs1);
+        break;
+      case Opcode::St:
+        src_r(rs1);
+        src_r(rs2);
+        break;
+      case Opcode::Stf:
+        src_r(rs1);
+        src_f(fs2);
+        break;
+      case Opcode::Getf:
+        src_f(fs1);
+        break;
+      case Opcode::Fma:
+        src_f(fs1);
+        src_f(fs2);
+        src_f(fs3);
+        break;
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::Fsub:
+        src_f(fs1);
+        src_f(fs2);
+        break;
+      case Opcode::Br:
+      case Opcode::BrCall:
+      case Opcode::BrRet:
+        break;
+    }
+
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Addi:
+      case Opcode::Shladd:
+      case Opcode::Mov:
+      case Opcode::Movi:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Getf:
+        dst_r(rd);
+        break;
+      case Opcode::Ld:
+      case Opcode::LdS:
+        dst_r(rd);
+        break;
+      case Opcode::Ldf:
+        dst_f(fd);
+        break;
+      case Opcode::Setf:
+      case Opcode::Fma:
+      case Opcode::Fadd:
+      case Opcode::Fmul:
+      case Opcode::Fsub:
+        dst_f(fd);
+        break;
+      default:
+        break;
+    }
+    if (isMemRef() && postinc)
+        dst_r(rs1);  // post-increment updates the address register
+
+    if (isBranch())
+        flags |= insn_flags::branch;
+    if (isLoad())
+        flags |= insn_flags::load;
+    if (isMemRef())
+        flags |= insn_flags::memRef;
+
+    if (isBranch())
+        latClass = LatClass::Branch;
+    else if (isMemRef())
+        latClass = LatClass::Mem;
+    else if (op == Opcode::Setf || op == Opcode::Fma ||
+             op == Opcode::Fadd || op == Opcode::Fmul ||
+             op == Opcode::Fsub) {
+        latClass = LatClass::Fp;
+    } else {
+        latClass = LatClass::Alu;
+    }
+}
+
 bool
 Insn::isFp() const
 {

@@ -107,6 +107,23 @@ enum class Opcode : std::uint8_t
     Halt,    ///< terminate the program (simulator artifact)
 };
 
+/** Latency class of an instruction, predecoded for the interpreter. */
+enum class LatClass : std::uint8_t
+{
+    Alu,     ///< single-cycle integer op
+    Mem,     ///< memory reference (latency from the cache hierarchy)
+    Fp,      ///< fpOpLatency-cycle floating-point op
+    Branch,  ///< resolved by the branch unit
+};
+
+/** Predecoded per-instruction flags (see Insn::predecode). */
+namespace insn_flags
+{
+constexpr std::uint8_t branch = 1u << 0;
+constexpr std::uint8_t load = 1u << 1;
+constexpr std::uint8_t memRef = 1u << 2;
+} // namespace insn_flags
+
 /**
  * One decoded instruction.  Fields unused by a given opcode are zero.
  */
@@ -135,6 +152,25 @@ struct Insn
      * Not architectural.
      */
     std::int32_t loopId = -1;
+
+    /// @name Predecoded interpreter metadata (see predecode())
+    /// @{
+    std::uint32_t srcIntMask = 0;  ///< int regs whose ready time gates issue
+    std::uint16_t srcFpMask = 0;   ///< fp regs whose ready time gates issue
+    std::uint32_t dstIntMask = 0;  ///< int regs written (r0 excluded)
+    std::uint16_t dstFpMask = 0;   ///< fp regs written (f0 excluded)
+    std::uint8_t flags = 0;        ///< insn_flags bits
+    LatClass latClass = LatClass::Alu;
+    /// @}
+
+    /**
+     * Recompute the predecoded masks/flags from op and the register
+     * fields.  Bundle::tryAdd and CodeImage's write paths call this so
+     * every executable instruction carries metadata consistent with its
+     * opcode; call it again after mutating op or any register field of an
+     * instruction already placed in a bundle.
+     */
+    void predecode();
 
     bool isNop() const { return op == Opcode::Nop; }
 

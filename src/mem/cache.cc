@@ -48,10 +48,16 @@ Cache::LookupResult
 Cache::access(Addr addr, Cycle now)
 {
     ++stats_.accesses;
-    Line *line = find(addr);
-    if (!line) {
-        ++stats_.misses;
-        return {false, 0};
+    // Repeat access to the most recently touched line: skip the way
+    // walk.  Statistics and LRU updates are identical to the full path.
+    Line *line = lastAccess_;
+    if (!(line && line->valid && line->tag == (addr >> lineShift_))) {
+        line = find(addr);
+        if (!line) {
+            ++stats_.misses;
+            return {false, 0};
+        }
+        lastAccess_ = line;
     }
     ++stats_.hits;
     if (line->readyAt > now)

@@ -74,6 +74,20 @@ class Cache
     LookupResult probe(Addr addr) const;
 
     /**
+     * Account a repeat hit on the most-recently-accessed line without a
+     * tag walk.  Only valid when the caller knows the line is resident,
+     * ready, and already MRU (the Cpu's ifetch line cache): re-touching
+     * the MRU line cannot change any relative LRU order, so skipping the
+     * lastUse update keeps future evictions bit-identical.
+     */
+    void
+    noteRepeatHit()
+    {
+        ++stats_.accesses;
+        ++stats_.hits;
+    }
+
+    /**
      * Install the line holding @p addr with data available at
      * @p ready_at.  @p prefetch marks the fill as prefetch-initiated for
      * statistics.  Replaces the LRU way.
@@ -116,6 +130,14 @@ class Cache
     std::uint32_t lineShift_;
     std::uint64_t useClock_ = 0;
     std::vector<Line> lines_;  ///< numSets_ x assoc, row-major
+    /**
+     * Most-recently-accessed line, letting streaming accesses skip the
+     * way walk.  The pointer is stable (lines_ never resizes after
+     * construction) and is re-validated against the line's current
+     * tag/valid state on every use, so fills and invalidations need no
+     * extra bookkeeping.
+     */
+    Line *lastAccess_ = nullptr;
 };
 
 } // namespace adore

@@ -85,6 +85,13 @@ class CacheHierarchy
      */
     std::uint32_t ifetch(Addr addr, Cycle now);
 
+    /**
+     * Fast-path companion to ifetch(): the Cpu proved the fetch hits the
+     * same (ready) L1I line as the previous one, so only the hit
+     * statistics need updating.
+     */
+    void noteIfetchRepeatHit() { l1i_.noteRepeatHit(); }
+
     const Cache &l1i() const { return l1i_; }
     const Cache &l1d() const { return l1d_; }
     const Cache &l2() const { return l2_; }

@@ -85,14 +85,22 @@ class MainMemory
     std::uint8_t *
     page(Addr addr)
     {
+        // One-entry page cache: loads and stores in a hot loop land on
+        // the same 64 KiB page almost always, so the common case skips
+        // the hash lookup entirely.  The cached pointer stays valid
+        // across insertions (the map stores stable unique_ptr payloads).
         Addr key = addr >> pageShift;
+        if (key == lastPageKey_ && lastPage_)
+            return lastPage_;
         auto it = pages_.find(key);
         if (it == pages_.end()) {
             auto mem = std::make_unique<std::uint8_t[]>(pageBytes);
             std::memset(mem.get(), 0, pageBytes);
             it = pages_.emplace(key, std::move(mem)).first;
         }
-        return it->second.get();
+        lastPageKey_ = key;
+        lastPage_ = it->second.get();
+        return lastPage_;
     }
 
     void
@@ -123,6 +131,8 @@ class MainMemory
     }
 
     std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>> pages_;
+    Addr lastPageKey_ = ~Addr{0};
+    std::uint8_t *lastPage_ = nullptr;
 };
 
 } // namespace adore

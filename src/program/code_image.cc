@@ -12,6 +12,8 @@ CodeImage::appendText(const Bundle &bundle)
     Addr addr = textBase + text_.size() * isa::bundleBytes;
     text_.push_back(bundle);
     text_.back().padWithNops();
+    text_.back().predecodeAll();
+    ++version_;
     return addr;
 }
 
@@ -20,6 +22,7 @@ CodeImage::allocTrace(std::size_t bundles)
 {
     Addr addr = poolBase + pool_.size() * isa::bundleBytes;
     pool_.resize(pool_.size() + bundles);
+    ++version_;
     return addr;
 }
 
@@ -30,26 +33,21 @@ CodeImage::writeBundle(Addr addr, const Bundle &bundle)
              static_cast<unsigned long long>(addr));
     Bundle padded = bundle;
     padded.padWithNops();
+    padded.predecodeAll();
     if (addr >= poolBase)
         pool_[(addr - poolBase) / isa::bundleBytes] = padded;
     else
         text_[(addr - textBase) / isa::bundleBytes] = padded;
+    ++version_;
 }
 
 const Bundle &
 CodeImage::fetch(Addr addr) const
 {
-    if (addr >= poolBase) {
-        std::size_t idx = (addr - poolBase) / isa::bundleBytes;
-        panic_if(idx >= pool_.size(), "fetch outside pool: 0x%llx",
-                 static_cast<unsigned long long>(addr));
-        return pool_[idx];
-    }
-    std::size_t idx = (addr - textBase) / isa::bundleBytes;
-    panic_if(addr < textBase || idx >= text_.size(),
-             "fetch outside text: 0x%llx",
+    const Bundle *bundle = fetchFast(addr);
+    panic_if(!bundle, "fetch outside image: 0x%llx",
              static_cast<unsigned long long>(addr));
-    return text_[idx];
+    return *bundle;
 }
 
 bool

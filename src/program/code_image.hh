@@ -43,6 +43,34 @@ class CodeImage
     /** Fetch the bundle at @p addr (must exist). */
     const Bundle &fetch(Addr addr) const;
 
+    /**
+     * Bounds-checked single-pass fetch for the interpreter hot loop:
+     * returns nullptr instead of panicking when @p addr is outside the
+     * image.  The pointer is invalidated by any image mutation — check
+     * version() before reusing a cached result.
+     */
+    const Bundle *
+    fetchFast(Addr addr) const
+    {
+        if (addr >= poolBase) {
+            std::size_t idx =
+                static_cast<std::size_t>(addr - poolBase) / isa::bundleBytes;
+            return idx < pool_.size() ? &pool_[idx] : nullptr;
+        }
+        if (addr < textBase)
+            return nullptr;
+        std::size_t idx =
+            static_cast<std::size_t>(addr - textBase) / isa::bundleBytes;
+        return idx < text_.size() ? &text_[idx] : nullptr;
+    }
+
+    /**
+     * Monotonic mutation counter: bumped by every operation that adds,
+     * overwrites, or moves bundles (appendText, allocTrace, writeBundle,
+     * patch, unpatch).  The Cpu's decoded-bundle cache keys on it.
+     */
+    std::uint64_t version() const { return version_; }
+
     bool contains(Addr addr) const;
     static bool inPool(Addr addr) { return addr >= poolBase; }
     bool inText(Addr addr) const;
@@ -74,6 +102,7 @@ class CodeImage
     std::vector<Bundle> text_;
     std::vector<Bundle> pool_;
     std::unordered_map<Addr, Bundle> savedBundles_;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace adore

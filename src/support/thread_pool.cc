@@ -1,0 +1,113 @@
+#include "support/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace adore
+{
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    if (const char *env = std::getenv("ADORE_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threadCount_(threads ? threads : defaultThreadCount())
+{
+    // A one-thread pool still gets its worker so submit() works, but
+    // parallelFor bypasses it (see below).
+    workers_.reserve(threadCount_);
+    for (unsigned i = 0; i < threadCount_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push(std::move(packaged));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        // packaged_task captures any exception in the future.
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (threadCount_ <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    std::size_t lanes = std::min<std::size_t>(threadCount_, n);
+    std::vector<std::future<void>> futures;
+    futures.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        futures.push_back(submit([next, n, &body] {
+            for (std::size_t i = next->fetch_add(1); i < n;
+                 i = next->fetch_add(1)) {
+                body(i);
+            }
+        }));
+    }
+
+    // Wait for every lane; rethrow the first failure only after all
+    // lanes finished so no worker still references `body`.
+    std::exception_ptr first;
+    for (std::future<void> &f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace adore

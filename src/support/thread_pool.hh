@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A small fixed-size thread pool for fanning out independent
+ * simulations (Experiment::runMany and the bench binaries).
+ *
+ * Each simulated run is completely self-contained (its own Machine,
+ * caches, memory, and code image), so the pool needs no shared-state
+ * machinery beyond the task queue itself.  Determinism is preserved by
+ * construction: workers write results into caller-indexed slots, so the
+ * order in which jobs *finish* never affects the order in which results
+ * are *consumed*.
+ *
+ * The worker count defaults to the ADORE_JOBS environment variable when
+ * set (clamped to at least 1), else std::thread::hardware_concurrency().
+ * A pool of one thread runs parallelFor bodies inline on the calling
+ * thread, making single-core behavior exactly the serial loop.
+ */
+
+#ifndef ADORE_SUPPORT_THREAD_POOL_HH
+#define ADORE_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace adore
+{
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 selects defaultThreadCount().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue and joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const { return threadCount_; }
+
+    /**
+     * ADORE_JOBS environment variable when set and >= 1, otherwise
+     * std::thread::hardware_concurrency() (at least 1).
+     */
+    static unsigned defaultThreadCount();
+
+    /**
+     * Enqueue @p task.  The returned future carries any exception the
+     * task throws; a throwing task never takes down a worker.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run @p body(i) for every i in [0, n), spread across the pool, and
+     * return once all iterations completed.  Iterations are claimed from
+     * an atomic counter, so each index runs exactly once.  The first
+     * exception thrown by any iteration is rethrown on the calling
+     * thread after all workers finished (no deadlock, no detached work).
+     *
+     * With a single-thread pool (or n <= 1) the loop runs inline on the
+     * calling thread in index order — identical to a plain for loop.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+
+    unsigned threadCount_;
+    std::vector<std::thread> workers_;
+    std::queue<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace adore
+
+#endif // ADORE_SUPPORT_THREAD_POOL_HH

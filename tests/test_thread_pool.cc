@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the ThreadPool and Experiment::runMany: parallel results
+ * must be bit-identical to serial ones (every simulation is
+ * self-contained), results must come back in spec order regardless of
+ * completion order, and a throwing job must propagate cleanly instead
+ * of deadlocking the pool.
+ */
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "support/thread_pool.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+using namespace adore;
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline)
+{
+    // With one worker, parallelFor must execute on the calling thread in
+    // index order — indistinguishable from a plain for loop.
+    ThreadPool pool(1);
+    std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::size_t> order;
+    pool.parallelFor(8, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+    });
+    std::vector<std::size_t> expect(8);
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, ExceptionPropagatesWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [&](std::size_t i) {
+                             if (i == 10)
+                                 throw std::runtime_error("job failure");
+                             completed.fetch_add(1);
+                         }),
+        std::runtime_error);
+    // Every non-throwing index still ran; the pool is still usable.
+    EXPECT_EQ(completed.load(), 63);
+    std::atomic<int> again{0};
+    pool.parallelFor(16, [&](std::size_t) { again.fetch_add(1); });
+    EXPECT_EQ(again.load(), 16);
+}
+
+TEST(ThreadPool, SubmitCarriesExceptionInFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] {});
+    auto bad = pool.submit([] { throw std::logic_error("boom"); });
+    EXPECT_NO_THROW(ok.get());
+    EXPECT_THROW(bad.get(), std::logic_error);
+}
+
+TEST(RunMany, MatchesSerialRunsBitIdentically)
+{
+    setVerbose(false);
+    hir::Program gzip = workloads::make("gzip");
+    hir::Program art = workloads::make("art");
+
+    RunConfig base;
+    base.compile.level = OptLevel::O2;
+    base.compile.softwarePipelining = false;
+    base.compile.reserveAdoreRegs = true;
+    RunConfig with_adore = base;
+    with_adore.adore = true;
+    with_adore.adoreConfig = Experiment::defaultAdoreConfig();
+
+    std::vector<RunSpec> specs = {
+        {&gzip, base},
+        {&gzip, with_adore},
+        {&art, base},
+        {&art, with_adore},
+    };
+
+    std::vector<RunMetrics> serial;
+    for (const RunSpec &spec : specs)
+        serial.push_back(Experiment::run(*spec.prog, spec.cfg));
+
+    std::vector<RunMetrics> parallel = Experiment::runMany(specs, 4);
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(parallel[i].cycles, serial[i].cycles) << "spec " << i;
+        EXPECT_EQ(parallel[i].retired, serial[i].retired) << "spec " << i;
+        EXPECT_EQ(parallel[i].dearMisses, serial[i].dearMisses)
+            << "spec " << i;
+        EXPECT_DOUBLE_EQ(parallel[i].cpi, serial[i].cpi) << "spec " << i;
+        EXPECT_EQ(parallel[i].halted, serial[i].halted) << "spec " << i;
+    }
+    // Order sanity: ADORE runs are distinguishable from base runs, so a
+    // completion-order shuffle would be caught here too.
+    EXPECT_TRUE(parallel[1].adoreUsed);
+    EXPECT_FALSE(parallel[0].adoreUsed);
+}
+
+TEST(RunMany, SingleJobFallbackWorks)
+{
+    setVerbose(false);
+    hir::Program gzip = workloads::make("gzip");
+    RunConfig cfg;
+    cfg.compile.level = OptLevel::O2;
+    std::vector<RunSpec> specs = {{&gzip, cfg}};
+    std::vector<RunMetrics> out = Experiment::runMany(specs, 1);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].halted);
+    EXPECT_GT(out[0].retired, 0u);
+}
