@@ -101,6 +101,91 @@ runInterpreterLoop(std::uint64_t iters, int repeats)
     return res;
 }
 
+/**
+ * The memory-bound pointer-chase scenario: an mcf-style hot loop over a
+ * 512 KiB linked ring (64 B node stride, next pointer at offset 0) whose
+ * chase load misses L1D/L2 on every iteration, plus three streaming
+ * loads from a 2 KiB L1D-resident side array and a predicated wrap.
+ * The chase stresses the hierarchy's tag-walk and fill paths; the side
+ * array isolates repeat loads to ready L1D lines (the load-line-buffer
+ * case).  No ADORE runtime, no compiler: the loop is hand-assembled so
+ * the scenario measures the memory hierarchy, not workload generation.
+ */
+ScenarioResult
+runPointerChaseHot(std::uint64_t iters, int repeats)
+{
+    ScenarioResult res;
+    res.name = "mcf_pointer_chase_hot";
+    res.bestWallSeconds = 1e300;
+
+    constexpr Addr ring_base = 0x20000000;
+    constexpr std::uint64_t ring_nodes = 8192;   // x 64 B = 512 KiB
+    constexpr std::uint32_t node_stride = 64;
+    constexpr Addr hot_base = 0x30000000;
+    constexpr std::uint64_t hot_bytes = 2048;    // L1D-resident
+
+    for (int rep = 0; rep < repeats; ++rep) {
+        Machine machine;
+        for (std::uint64_t i = 0; i < ring_nodes; ++i) {
+            Addr next = ring_base + ((i + 1) % ring_nodes) * node_stride;
+            machine.memory().writeU64(ring_base + i * node_stride, next);
+        }
+        for (Addr off = 0; off < hot_bytes; off += 8)
+            machine.memory().writeU64(hot_base + off, off);
+
+        CodeBuffer buf;
+        Bundle init1;
+        init1.add(build::movi(1, ring_base));        // chase pointer
+        init1.add(build::movi(7, 0));                // iteration counter
+        init1.add(build::movi(8, static_cast<std::int64_t>(iters)));
+        buf.append(init1);
+        Bundle init2;
+        init2.add(build::movi(9, hot_base));         // side-array walker
+        init2.add(build::movi(10, hot_base));        // side-array base
+        init2.add(build::movi(11, hot_base + hot_bytes));
+        buf.append(init2);
+        auto head = buf.newLabel();
+        buf.bind(head);
+        Bundle b1;
+        b1.add(build::ld(8, 2, 1));       // chase: next = node->next
+        b1.add(build::ld(8, 12, 9, 8));   // hot side-array stream...
+        b1.add(build::addi(7, 1, 7));
+        buf.append(b1);
+        Bundle b2;
+        b2.add(build::ld(8, 13, 9, 8));
+        b2.add(build::ld(8, 14, 9, 8));
+        b2.add(build::add(15, 15, 12));
+        buf.append(b2);
+        Bundle b3;
+        b3.add(build::add(16, 13, 14));
+        b3.add(build::mov(1, 2));         // follow the chase pointer
+        b3.add(build::cmp(Opcode::CmpLt, 1, 7, 8));
+        buf.append(b3);
+        Bundle b4;
+        b4.add(build::cmp(Opcode::CmpLe, 2, 11, 9));  // walker past end?
+        Insn wrap = build::mov(9, 10);                // predicated reset
+        wrap.qp = 2;
+        b4.add(wrap);
+        b4.add(build::br(1, 0));
+        buf.appendWithBranchTo(b4, head);
+        Bundle h;
+        h.add(build::halt());
+        buf.append(h);
+        buf.commitToText(machine.code());
+        machine.cpu().setPc(CodeImage::textBase);
+
+        double t0 = now();
+        machine.cpu().run(~Cycle{0});
+        double wall = now() - t0;
+
+        res.retired = machine.cpu().counters().retiredInsns;
+        res.bestWallSeconds = std::min(res.bestWallSeconds, wall);
+    }
+    res.simMips =
+        static_cast<double>(res.retired) / res.bestWallSeconds / 1e6;
+    return res;
+}
+
 /** A registered workload under the bench harness configuration. */
 ScenarioResult
 runWorkloadScenario(const std::string &name, bool adore, int repeats)
@@ -153,11 +238,14 @@ main(int argc, char **argv)
     printHeader("Simulator self-benchmark (simulated MIPS on this host)");
 
     /*
-     * Pre-fast-path interpreter baselines, measured on the reference
-     * host (1-core container, g++ -O2 RelWithDebInfo, best of 8) at the
-     * commit immediately before the interpreter fast-path work.  They
-     * are host-specific: compare improvement ratios, not absolute MIPS,
-     * when running elsewhere.
+     * Pre-change baselines, measured on the reference host (1-core
+     * container, g++ -O2 RelWithDebInfo, best of 8).  The first five
+     * were captured at the commit immediately before the interpreter
+     * fast-path work; equake_o2 and mcf_pointer_chase_hot were captured
+     * at the commit immediately before the memory-hierarchy fast path
+     * (the first commit where those scenarios exist), on the same host.
+     * All are host-specific: compare improvement ratios, not absolute
+     * MIPS, when running elsewhere.
      */
     struct Baseline
     {
@@ -170,6 +258,8 @@ main(int argc, char **argv)
         {"art_o2", 74.6},
         {"mcf_o2", 38.5},
         {"mcf_o2_adore", 42.3},
+        {"equake_o2", 121.97},
+        {"mcf_pointer_chase_hot", 60.19},
     };
 
     std::vector<ScenarioResult> results;
@@ -178,6 +268,10 @@ main(int argc, char **argv)
     results.push_back(runWorkloadScenario("art", false, repeats));
     results.push_back(runWorkloadScenario("mcf", false, repeats));
     results.push_back(runWorkloadScenario("mcf", true, repeats));
+    results.push_back(runWorkloadScenario("equake", false, repeats));
+    results.push_back(
+        runPointerChaseHot(iters >= 20'000'000ULL ? 400'000ULL : 40'000ULL,
+                           repeats));
 
     for (ScenarioResult &res : results) {
         for (const Baseline &b : baselines)
@@ -234,7 +328,30 @@ main(int argc, char **argv)
             i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
-    std::fprintf(f, "  \"geomean_improvement\": %.3f\n", geomean);
+    std::fprintf(f, "  \"geomean_improvement\": %.3f,\n", geomean);
+    /*
+     * Retained history: best-of-repeats sim-MIPS recorded on the
+     * reference host at each prior interpreter-performance milestone,
+     * so successive PRs don't overwrite the lineage this file tracks.
+     */
+    std::fprintf(f, "  \"history\": [\n");
+    std::fprintf(
+        f,
+        "    {\"milestone\": \"seed_interpreter\", \"sim_mips\": "
+        "{\"interpreter_loop\": 89.10, \"gzip_o2\": 65.10, "
+        "\"art_o2\": 74.60, \"mcf_o2\": 38.50, \"mcf_o2_adore\": "
+        "42.30}},\n");
+    std::fprintf(
+        f,
+        "    {\"milestone\": \"interpreter_fast_path\", \"sim_mips\": "
+        "{\"interpreter_loop\": 189.45, \"gzip_o2\": 98.90, "
+        "\"art_o2\": 110.41, \"mcf_o2\": 57.81, \"mcf_o2_adore\": "
+        "62.70}, \"geomean_improvement\": 1.605},\n");
+    std::fprintf(
+        f,
+        "    {\"milestone\": \"pre_memory_fast_path\", \"sim_mips\": "
+        "{\"equake_o2\": 121.97, \"mcf_pointer_chase_hot\": 60.19}}\n");
+    std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());

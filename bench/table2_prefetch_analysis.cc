@@ -24,10 +24,15 @@ main()
 
     CompileOptions o2 = restrictedOptions(OptLevel::O2);
 
+    // The per-level miss-rate columns give the prefetch counts their
+    // context: a workload's prefetch mix should track where its demand
+    // misses actually occur in the hierarchy.
     Table fp_table({"SpecFP2000", "direct array", "indirect array",
-                    "pointer-chasing", "optimized phase #"});
+                    "pointer-chasing", "optimized phase #", "L1D miss",
+                    "L2 miss", "L3 miss", "ifetch miss"});
     Table int_table({"SpecINT2000", "direct array", "indirect array",
-                     "pointer-chasing", "optimized phase #"});
+                     "pointer-chasing", "optimized phase #", "L1D miss",
+                     "L2 miss", "L3 miss", "ifetch miss"});
 
     // One independent run per workload, fanned out across ADORE_JOBS
     // workers; both tables are rendered from the ordered results below.
@@ -47,7 +52,11 @@ main()
         table.addRow({info.name, std::to_string(st.directPrefetches),
                       std::to_string(st.indirectPrefetches),
                       std::to_string(st.pointerPrefetches),
-                      std::to_string(st.phasesOptimized)});
+                      std::to_string(st.phasesOptimized),
+                      Table::pct(rp.l1dStats.missRate()),
+                      Table::pct(rp.l2Stats.missRate()),
+                      Table::pct(rp.l3Stats.missRate()),
+                      Table::pct(rp.memStats.ifetchMissRate())});
     }
 
     std::printf("%s\n", fp_table.render().c_str());

@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: fresh warnings-on -O2 build, full test suite, and a
-# quick self-benchmark smoke run (bench_smoke).
+# Tier-1 CI gate: fresh warnings-on -O2 build, full test suite, a quick
+# self-benchmark smoke run (bench_smoke), and an ASan+UBSan build of the
+# test suite.  The sanitizer pass exists chiefly for the memory-hierarchy
+# fast paths: raw-index access into the SoA tag arrays and the Cpu-side
+# line buffers must never read stale or out-of-bounds host memory, and
+# the sanitizers catch that class of bug where the bit-identity tests
+# cannot (a wild read that happens to return the right answer).
 #
-# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+# Usage: scripts/ci.sh [build-dir]           (default: build-ci)
+#   ADORE_CI_SKIP_SANITIZERS=1 skips the second build (for very slow or
+#   sanitizer-less hosts).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,5 +26,17 @@ cmake -B "$BUILD_DIR" -S . "${GEN[@]}" \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 cmake --build "$BUILD_DIR" --target bench_smoke
+
+if [[ "${ADORE_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
+    SAN_DIR="${BUILD_DIR}-asan"
+    SAN_FLAGS="-O1 -g -fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+    cmake -B "$SAN_DIR" -S . "${GEN[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+    cmake --build "$SAN_DIR" -j "$(nproc)" --target adore_tests
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+        ctest --test-dir "$SAN_DIR" --output-on-failure
+fi
 
 echo "ci.sh: all checks passed"

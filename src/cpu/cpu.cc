@@ -27,6 +27,15 @@ Cpu::Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
       memory_(memory),
       config_(config),
       ifetchLineMask_(~static_cast<Addr>(caches.l1i().lineBytes() - 1)),
+      l1dFast_(&caches.l1dFast()),
+      l2Fast_(&caches.l2Fast()),
+      memFastPath_(caches.config().fastPath),
+      l1dHitLatency_(caches.config().l1d.hitLatency),
+      l2HitLatency_(caches.config().l2.hitLatency),
+      l1dLineShift_(static_cast<std::uint32_t>(
+          std::countr_zero(caches.l1d().lineBytes()))),
+      l2LineShift_(static_cast<std::uint32_t>(
+          std::countr_zero(caches.l2().lineBytes()))),
       dear_(config.dearLatencyThreshold)
 {
     p_[0] = true;  // p0 is hardwired true
@@ -156,22 +165,31 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
         fReady_[fd] = ready;
         fpWrittenMask_ |= static_cast<std::uint16_t>(1u << fd);
     };
+    // Integer ALU arithmetic is two's-complement wrapping (the modeled
+    // machine's semantics); compute in uint64_t so host signed overflow
+    // never occurs.
+    auto u = [&](std::uint8_t rs) {
+        return static_cast<std::uint64_t>(r_[rs]);
+    };
+    auto wrap = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
 
     switch (insn.op) {
       case Opcode::Nop:
         break;
       case Opcode::Add:
-        write_r(insn.rd, r_[insn.rs1] + r_[insn.rs2], cycle_);
+        write_r(insn.rd, wrap(u(insn.rs1) + u(insn.rs2)), cycle_);
         break;
       case Opcode::Sub:
-        write_r(insn.rd, r_[insn.rs1] - r_[insn.rs2], cycle_);
+        write_r(insn.rd, wrap(u(insn.rs1) - u(insn.rs2)), cycle_);
         break;
       case Opcode::Addi:
-        write_r(insn.rd, insn.imm + r_[insn.rs1], cycle_);
+        write_r(insn.rd,
+                wrap(static_cast<std::uint64_t>(insn.imm) + u(insn.rs1)),
+                cycle_);
         break;
       case Opcode::Shladd:
-        write_r(insn.rd, (r_[insn.rs1] << insn.count) + r_[insn.rs2],
-                cycle_);
+        write_r(insn.rd,
+                wrap((u(insn.rs1) << insn.count) + u(insn.rs2)), cycle_);
         break;
       case Opcode::Mov:
         write_r(insn.rd, r_[insn.rs1], cycle_);
@@ -189,7 +207,7 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
         write_r(insn.rd, r_[insn.rs1] ^ r_[insn.rs2], cycle_);
         break;
       case Opcode::Shl:
-        write_r(insn.rd, r_[insn.rs1] << insn.count, cycle_);
+        write_r(insn.rd, wrap(u(insn.rs1) << insn.count), cycle_);
         break;
       case Opcode::Shr:
         write_r(insn.rd,
@@ -215,12 +233,23 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
       case Opcode::Ld:
       case Opcode::LdS: {
         Addr ea = static_cast<Addr>(r_[insn.rs1]);
-        auto res = caches_.load(ea, cycle_, false);
+        MemAccessResult res = loadInt(ea);
         std::uint64_t raw = memory_.read(ea, insn.size);
+        // Pointer-chase lookahead: a 64-bit load's value is often the
+        // next node address, so warming the host cache lines its walk
+        // and data read will touch overlaps a full simulated iteration.
+        // Hint only; a non-pointer value just prefetches nothing useful.
+        if (insn.size == 8) {
+            caches_.hostPrefetchWalk(raw);
+            memory_.hostPrefetch(raw);
+        }
         write_r(insn.rd, static_cast<std::int64_t>(raw),
                 cycle_ + res.latency);
         if (insn.postinc)
-            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+            write_r(insn.rs1,
+                    wrap(u(insn.rs1) +
+                         static_cast<std::uint64_t>(insn.postinc)),
+                    cycle_);
         dear_.observeLoad(insn_pc, ea, res.latency, cycle_);
         if (res.latency >= config_.dearLatencyThreshold)
             ++counters_.dcacheLoadMisses;
@@ -228,13 +257,16 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
       }
       case Opcode::Ldf: {
         Addr ea = static_cast<Addr>(r_[insn.rs1]);
-        auto res = caches_.load(ea, cycle_, true);
+        MemAccessResult res = loadFp(ea);
         double v = insn.size == 4
                        ? static_cast<double>(memory_.readF32(ea))
                        : memory_.readF64(ea);
         write_f(insn.fd, v, cycle_ + res.latency);
         if (insn.postinc)
-            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+            write_r(insn.rs1,
+                    wrap(u(insn.rs1) +
+                         static_cast<std::uint64_t>(insn.postinc)),
+                    cycle_);
         dear_.observeLoad(insn_pc, ea, res.latency, cycle_);
         if (res.latency >= config_.dearLatencyThreshold)
             ++counters_.dcacheLoadMisses;
@@ -244,9 +276,12 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
         Addr ea = static_cast<Addr>(r_[insn.rs1]);
         memory_.write(ea, static_cast<std::uint64_t>(r_[insn.rs2]),
                       insn.size);
-        caches_.store(ea, cycle_, false);
+        storeInt(ea);
         if (insn.postinc)
-            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+            write_r(insn.rs1,
+                    wrap(u(insn.rs1) +
+                         static_cast<std::uint64_t>(insn.postinc)),
+                    cycle_);
         break;
       }
       case Opcode::Stf: {
@@ -255,17 +290,26 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
             memory_.writeF32(ea, static_cast<float>(f_[insn.fs2]));
         else
             memory_.writeF64(ea, f_[insn.fs2]);
-        caches_.store(ea, cycle_, true);
+        storeFp(ea);
         if (insn.postinc)
-            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+            write_r(insn.rs1,
+                    wrap(u(insn.rs1) +
+                         static_cast<std::uint64_t>(insn.postinc)),
+                    cycle_);
         break;
       }
       case Opcode::Lfetch: {
         Addr ea = static_cast<Addr>(r_[insn.rs1]);
+        // Overlap the host cache misses of the prefetch walk (L2 probe,
+        // below-L2 fills) with the decode of the rest of the bundle.
+        caches_.hostPrefetchWalk(ea);
         // count == 1 encodes the .nt1 hint: do not allocate in L1D.
         caches_.prefetch(ea, cycle_, insn.count == 1);
         if (insn.postinc)
-            write_r(insn.rs1, r_[insn.rs1] + insn.postinc, cycle_);
+            write_r(insn.rs1,
+                    wrap(u(insn.rs1) +
+                         static_cast<std::uint64_t>(insn.postinc)),
+                    cycle_);
         break;
       }
       case Opcode::Getf:
@@ -381,7 +425,8 @@ Cpu::step()
     // itself, so any eviction of the cached line is preceded by a
     // slow-path fetch that retags the cache (see DESIGN.md).
     Addr fetch_line = bundle_addr & ifetchLineMask_;
-    if (fetch_line == lastIfetchLine_ && cycle_ >= lastIfetchReadyAt_) {
+    if (memFastPath_ && fetch_line == lastIfetchLine_ &&
+        cycle_ >= lastIfetchReadyAt_) {
         caches_.noteIfetchRepeatHit();
     } else {
         std::uint32_t fetch_stall = caches_.ifetch(bundle_addr, cycle_);
@@ -420,8 +465,11 @@ Cpu::step()
     pc_ = nextPc_;
 
     // Event watermark: the common step does one comparison instead of
-    // polling the sampler and scanning the hook list.
+    // polling the sampler and scanning the hook list.  Deferred cache
+    // stats are flushed first so samplers and hooks observe exactly the
+    // counters the slow path would have produced.
     if (cycle_ >= nextEventAt_) {
+        syncDeferredMemStats();
         maybeSample(bundle_addr);
         runHooks();
         recomputeNextEvent();
@@ -441,6 +489,7 @@ Cpu::run(Cycle max_cycles)
     while (!halted_ && cycle_ < max_cycles)
         step();
 
+    syncDeferredMemStats();
     counters_.cycles = cycle_;
     return {halted_, cycle_, counters_.retiredInsns};
 }

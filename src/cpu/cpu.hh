@@ -98,6 +98,35 @@ class Cpu
     /** Charge overhead cycles to the main thread (signal handlers...). */
     void chargeCycles(Cycle n) { cycle_ += n; }
 
+    /**
+     * Flush the stat deltas deferred by the load line buffer into the
+     * hierarchy/L1D counters.  run() flushes on exit and step() flushes
+     * before servicing sampler/hook events, so cache statistics read
+     * after run() — or from inside a periodic hook — are always exact.
+     * Drivers that call step() directly must call this once before
+     * reading cache statistics mid-run.
+     */
+    void
+    syncDeferredMemStats()
+    {
+        if (deferredLoadLineHits_) {
+            caches_.addDeferredLoadLineHits(deferredLoadLineHits_);
+            deferredLoadLineHits_ = 0;
+        }
+        if (deferredStoreLineHits_) {
+            caches_.addDeferredStoreLineHits(deferredStoreLineHits_);
+            deferredStoreLineHits_ = 0;
+        }
+        if (deferredFpLoadHits_) {
+            caches_.addDeferredFpLoadHits(deferredFpLoadHits_);
+            deferredFpLoadHits_ = 0;
+        }
+        if (deferredFpStoreHits_) {
+            caches_.addDeferredFpStoreHits(deferredFpStoreHits_);
+            deferredFpStoreHits_ = 0;
+        }
+    }
+
     struct RunResult
     {
         bool halted = false;
@@ -154,9 +183,16 @@ class Cpu
         if ((im | fm) == 0)
             return;
 
-        Cycle ready = 0;
         if (intWrittenMask_ & im)
             splitIssueCharged_ = true;
+        // Single integer source (the most common shape: loads, moves,
+        // addi) needs no max-reduction loop.
+        if (fm == 0 && (im & (im - 1)) == 0) {
+            waitUntil(rReady_[static_cast<unsigned>(std::countr_zero(im))]);
+            return;
+        }
+
+        Cycle ready = 0;
         while (im) {
             ready = std::max(
                 ready, rReady_[static_cast<unsigned>(std::countr_zero(im))]);
@@ -170,6 +206,152 @@ class Cpu
             fm &= fm - 1;
         }
         waitUntil(ready);
+    }
+
+    /**
+     * Integer-side demand load through the load line buffer.
+     *
+     * The buffer is a small direct-mapped cache keyed on (line address,
+     * hierarchy generation): an entry proves its line was resident in
+     * L1D at the remembered index when armed.  A load whose line is
+     * still resident (generation match, or tag revalidation after the
+     * generation moved) and whose fill has completed resolves to
+     * {L1D hit latency, MemLevel::L1} without walking the hierarchy —
+     * exactly what CacheHierarchy::load() would return.  The LRU touch
+     * happens inline (identical useClock sequence to the slow path);
+     * the {loads, accesses, hits} increments are deferred into
+     * deferredLoadLineHits_ and flushed by syncDeferredMemStats().
+     * Defined in-class so the per-load hot path inlines it.
+     */
+    MemAccessResult
+    loadInt(Addr ea)
+    {
+        if (memFastPath_) {
+            Addr line = ea >> l1dLineShift_;
+            LoadLineEntry &e =
+                loadLineBuf_[static_cast<std::size_t>(line) &
+                             (loadLineBuf_.size() - 1)];
+            if (e.line == line &&
+                (e.generation == caches_.generation() ||
+                 l1dFast_->residentAt(e.index, line)) &&
+                l1dFast_->readyAtOf(e.index) <= cycle_) {
+                e.generation = caches_.generation();
+                l1dFast_->touch(e.index);
+                ++deferredLoadLineHits_;
+                return {l1dHitLatency_, MemLevel::L1};
+            }
+            // Likely a simulated miss: overlap the host cache misses of
+            // the walk (set metadata) and of the upcoming data read.
+            caches_.hostPrefetchWalk(ea);
+            memory_.hostPrefetch(ea);
+            MemAccessResult res = caches_.load(ea, cycle_, false);
+            // Arm the buffer: the slow path always leaves the line
+            // resident in L1D (hit, or miss + fill), and just made its
+            // way the set's MRU, so this lookup is one probe.
+            std::uint32_t idx = l1dFast_->indexOf(ea);
+            if (idx != Cache::npos)
+                e = {line, idx, caches_.generation()};
+            return res;
+        }
+        return caches_.load(ea, cycle_, false);
+    }
+
+    /**
+     * Integer-side store through the same line buffer.  A store whose
+     * line is resident and ready in L1D is exactly the slow path's
+     * early-return hit: one {access, hit} on L1D plus the LRU touch and
+     * the hierarchy's store count, nothing below L1D.  The touch happens
+     * inline; the counters are deferred into deferredStoreLineHits_.
+     */
+    void
+    storeInt(Addr ea)
+    {
+        if (memFastPath_) {
+            Addr line = ea >> l1dLineShift_;
+            LoadLineEntry &e =
+                loadLineBuf_[static_cast<std::size_t>(line) &
+                             (loadLineBuf_.size() - 1)];
+            if (e.line == line &&
+                (e.generation == caches_.generation() ||
+                 l1dFast_->residentAt(e.index, line)) &&
+                l1dFast_->readyAtOf(e.index) <= cycle_) {
+                e.generation = caches_.generation();
+                l1dFast_->touch(e.index);
+                ++deferredStoreLineHits_;
+                return;
+            }
+            caches_.hostPrefetchWalk(ea);
+            caches_.store(ea, cycle_, false);
+            // The slow path always leaves the line resident in L1D
+            // (hit, or miss + write-allocate fill).
+            std::uint32_t idx = l1dFast_->indexOf(ea);
+            if (idx != Cache::npos)
+                e = {line, idx, caches_.generation()};
+            return;
+        }
+        caches_.store(ea, cycle_, false);
+    }
+
+    /**
+     * FP-side demand load through the FP line buffer over L2.  FP
+     * accesses bypass L1D (Itanium 2), so a ready L2 hit is their whole
+     * hierarchy walk: the slow path would return {L2 hit latency,
+     * MemLevel::L2} after one {access, hit} on L2 plus the LRU touch and
+     * the load count.  Same generation/tag-revalidation scheme as the
+     * integer buffer, keyed on the L2 line number and L2 generation.
+     */
+    MemAccessResult
+    loadFp(Addr ea)
+    {
+        if (memFastPath_) {
+            Addr line = ea >> l2LineShift_;
+            LoadLineEntry &e =
+                fpLineBuf_[static_cast<std::size_t>(line) &
+                           (fpLineBuf_.size() - 1)];
+            if (e.line == line &&
+                (e.generation == l2Fast_->generation() ||
+                 l2Fast_->residentAt(e.index, line)) &&
+                l2Fast_->readyAtOf(e.index) <= cycle_) {
+                e.generation = l2Fast_->generation();
+                l2Fast_->touch(e.index);
+                ++deferredFpLoadHits_;
+                return {l2HitLatency_, MemLevel::L2};
+            }
+            MemAccessResult res = caches_.load(ea, cycle_, true);
+            // Hit or miss, the slow path leaves the line resident in L2.
+            std::uint32_t idx = l2Fast_->indexOf(ea);
+            if (idx != Cache::npos)
+                e = {line, idx, l2Fast_->generation()};
+            return res;
+        }
+        return caches_.load(ea, cycle_, true);
+    }
+
+    /** FP-side store: same L2 short-circuit as loadFp(). */
+    void
+    storeFp(Addr ea)
+    {
+        if (memFastPath_) {
+            Addr line = ea >> l2LineShift_;
+            LoadLineEntry &e =
+                fpLineBuf_[static_cast<std::size_t>(line) &
+                           (fpLineBuf_.size() - 1)];
+            if (e.line == line &&
+                (e.generation == l2Fast_->generation() ||
+                 l2Fast_->residentAt(e.index, line)) &&
+                l2Fast_->readyAtOf(e.index) <= cycle_) {
+                e.generation = l2Fast_->generation();
+                l2Fast_->touch(e.index);
+                ++deferredFpStoreHits_;
+                return;
+            }
+            caches_.store(ea, cycle_, true);
+            std::uint32_t idx = l2Fast_->indexOf(ea);
+            if (idx != Cache::npos)
+                e = {line, idx, l2Fast_->generation()};
+            return;
+        }
+        caches_.store(ea, cycle_, true);
     }
 
     void runHooks();
@@ -207,9 +389,41 @@ class Cpu
     bool halted_ = false;
 
     // Interpreter fast-path state (pure caches: no timing-model effect).
+    // All of it is gated on memFastPath_ (HierarchyConfig::fastPath) so
+    // the toggle-and-compare test can run the reference paths instead.
     Addr ifetchLineMask_ = 0;          ///< ~(L1I line size - 1)
     Addr lastIfetchLine_ = ~Addr{0};   ///< line of the previous ifetch
     Cycle lastIfetchReadyAt_ = 0;      ///< when that line's fill completes
+    /**
+     * Load line buffer over L1D (see loadInt()).  Thirty-two
+     * direct-mapped entries cover the hot data lines of a loop body —
+     * the chased node's fields plus a few streamed side arrays — with
+     * few conflicts between unrelated line numbers.
+     */
+    struct LoadLineEntry
+    {
+        Addr line = ~Addr{0};          ///< full L1D line number
+        std::uint32_t index = 0;       ///< line index in the L1D SoA
+        std::uint64_t generation = ~std::uint64_t{0};
+    };
+    std::array<LoadLineEntry, 32> loadLineBuf_{};
+    /**
+     * FP line buffer over L2 (see loadFp()).  FP accesses bypass L1D, so
+     * a ready L2 hit resolves the whole walk; eight entries cover the
+     * streamed FP arrays of a loop body.
+     */
+    std::array<LoadLineEntry, 8> fpLineBuf_{};
+    std::uint64_t deferredLoadLineHits_ = 0;
+    std::uint64_t deferredStoreLineHits_ = 0;
+    std::uint64_t deferredFpLoadHits_ = 0;
+    std::uint64_t deferredFpStoreHits_ = 0;
+    Cache *l1dFast_;                   ///< &caches_.l1dFast()
+    Cache *l2Fast_;                    ///< &caches_.l2Fast()
+    bool memFastPath_;                 ///< HierarchyConfig::fastPath
+    std::uint32_t l1dHitLatency_;
+    std::uint32_t l2HitLatency_;
+    std::uint32_t l1dLineShift_;
+    std::uint32_t l2LineShift_;
     /**
      * Small direct-mapped decoded-bundle cache keyed on (address, image
      * version).  Four entries cover the bundle working set of tight

@@ -108,6 +108,9 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
                     : 0.0;
     out.memStats = machine.caches().stats();
     out.l1iStats = machine.caches().l1i().stats();
+    out.l1dStats = machine.caches().l1d().stats();
+    out.l2Stats = machine.caches().l2().stats();
+    out.l3Stats = machine.caches().l3().stats();
     if (adore) {
         adore->detach();
         out.adoreStats = adore->stats();

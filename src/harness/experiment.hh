@@ -46,6 +46,9 @@ struct RunMetrics
     AdoreStats adoreStats;
     HierarchyStats memStats;
     CacheStats l1iStats;
+    CacheStats l1dStats;
+    CacheStats l2Stats;
+    CacheStats l3Stats;
     TimeSeries cpiSeries;
     TimeSeries dearSeries;
 

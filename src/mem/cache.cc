@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "support/logging.hh"
@@ -22,111 +23,32 @@ Cache::Cache(const CacheConfig &config) : config_(config)
              "%s: set count must be a power of two", config.name.c_str());
     lineShift_ =
         static_cast<std::uint32_t>(std::countr_zero(config.lineBytes));
-    lines_.resize(static_cast<std::size_t>(numSets_) * config.assoc);
-}
-
-Cache::Line *
-Cache::find(Addr addr)
-{
-    Addr line = addr >> lineShift_;
-    std::uint32_t set = static_cast<std::uint32_t>(line) & (numSets_ - 1);
-    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::find(Addr addr) const
-{
-    return const_cast<Cache *>(this)->find(addr);
-}
-
-Cache::LookupResult
-Cache::access(Addr addr, Cycle now)
-{
-    ++stats_.accesses;
-    // Repeat access to the most recently touched line: skip the way
-    // walk.  Statistics and LRU updates are identical to the full path.
-    Line *line = lastAccess_;
-    if (!(line && line->valid && line->tag == (addr >> lineShift_))) {
-        line = find(addr);
-        if (!line) {
-            ++stats_.misses;
-            return {false, 0};
-        }
-        lastAccess_ = line;
-    }
-    ++stats_.hits;
-    if (line->readyAt > now)
-        ++stats_.inFlightHits;
-    line->lastUse = ++useClock_;
-    return {true, line->readyAt};
-}
-
-Cache::LookupResult
-Cache::probe(Addr addr) const
-{
-    const Line *line = find(addr);
-    if (!line)
-        return {false, 0};
-    return {true, line->readyAt};
-}
-
-void
-Cache::fill(Addr addr, Cycle ready_at, bool prefetch)
-{
-    Addr tag = addr >> lineShift_;
-    std::uint32_t set = static_cast<std::uint32_t>(tag) & (numSets_ - 1);
-    Line *base = &lines_[static_cast<std::size_t>(set) * config_.assoc];
-
-    // Already present (e.g. racing prefetch + demand): keep the earlier
-    // completion time.
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            if (ready_at < base[w].readyAt)
-                base[w].readyAt = ready_at;
-            return;
-        }
-    }
-
-    Line *victim = &base[0];
-    for (std::uint32_t w = 0; w < config_.assoc; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
-    }
-    if (victim->valid)
-        ++stats_.evictions;
-
-    victim->valid = true;
-    victim->tag = tag;
-    victim->readyAt = ready_at;
-    victim->lastUse = ++useClock_;
-    if (prefetch)
-        ++stats_.prefetchFills;
-    else
-        ++stats_.demandFills;
+    std::size_t lines = static_cast<std::size_t>(numSets_) * config.assoc;
+    tags_.assign(lines, kInvalidTag);
+    readyAt_.assign(lines, 0);
+    lastUse_.assign(lines, 0);
+    mruWay_.assign(numSets_, 0);
 }
 
 void
 Cache::invalidate(Addr addr)
 {
-    Line *line = find(addr);
-    if (line)
-        line->valid = false;
+    std::uint32_t idx = findIndex(addr >> lineShift_);
+    if (idx != npos) {
+        tags_[idx] = kInvalidTag;
+        ++generation_;
+    }
 }
 
 void
 Cache::flush()
 {
-    for (auto &line : lines_)
-        line.valid = false;
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(readyAt_.begin(), readyAt_.end(), Cycle{0});
+    std::fill(lastUse_.begin(), lastUse_.end(), std::uint64_t{0});
+    std::fill(mruWay_.begin(), mruWay_.end(), std::uint8_t{0});
+    useClock_ = 0;
+    ++generation_;
 }
 
 } // namespace adore

@@ -8,6 +8,23 @@
  * latency.  This is the mechanism that makes prefetch distance/timeliness
  * behave as on real hardware (paper Section 3.3: distance =
  * ceil(latency / loop-body cycles)).
+ *
+ * Storage is structure-of-arrays: per-line tag / readyAt / lastUse
+ * arrays plus a per-set MRU-way byte, so the way walk is a contiguous
+ * scan over an 8-byte-stride tag array that usually terminates on the
+ * first (MRU) probe.  Invalid lines hold @c kInvalidTag, which no real
+ * line number can equal, so the walk needs no separate valid bits.
+ * Replacement is exact LRU over a per-cache use clock, unchanged from
+ * the AoS implementation.
+ *
+ * A generation counter (monotonically increasing, bumped by every state
+ * change: line install, eviction, readyAt acceleration, invalidate,
+ * flush) lets external fast-path caches — the Cpu's load line buffer
+ * and the hierarchy's prefetch MSHR memos — self-invalidate: an entry
+ * armed at generation G is trusted wholesale while the generation still
+ * equals G, and revalidated against the line's current tag otherwise
+ * (lines never migrate between ways, so a matching tag at the
+ * remembered index proves the entry is still current).
  */
 
 #ifndef ADORE_MEM_CACHE_HH
@@ -62,16 +79,46 @@ class Cache
         Cycle readyAt = 0;       ///< when the line's data is available
     };
 
+    /** "No line" sentinel for index-returning lookups. */
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
+
     explicit Cache(const CacheConfig &config);
 
     /**
      * Demand lookup at time @p now.  Updates LRU and statistics; does not
      * allocate — the hierarchy calls fill() after resolving the miss.
+     * Defined in-class so the hierarchy's (inline) access paths flatten
+     * into the interpreter hot loop.
      */
-    LookupResult access(Addr addr, Cycle now);
+    LookupResult
+    access(Addr addr, Cycle now)
+    {
+        ++stats_.accesses;
+        Addr line = addr >> lineShift_;
+        std::uint32_t idx = findIndex(line);
+        if (idx == npos) {
+            ++stats_.misses;
+            return {false, 0};
+        }
+        ++stats_.hits;
+        Cycle ra = readyAt_[idx];
+        if (ra > now)
+            ++stats_.inFlightHits;
+        lastUse_[idx] = ++useClock_;
+        std::uint32_t set = static_cast<std::uint32_t>(line) & (numSets_ - 1);
+        mruWay_[set] = static_cast<std::uint8_t>(idx - set * config_.assoc);
+        return {true, ra};
+    }
 
     /** Probe without updating LRU or stats (used by tests/inspection). */
-    LookupResult probe(Addr addr) const;
+    LookupResult
+    probe(Addr addr) const
+    {
+        std::uint32_t idx = findIndex(addr >> lineShift_);
+        if (idx == npos)
+            return {false, 0};
+        return {true, readyAt_[idx]};
+    }
 
     /**
      * Account a repeat hit on the most-recently-accessed line without a
@@ -90,14 +137,71 @@ class Cache
     /**
      * Install the line holding @p addr with data available at
      * @p ready_at.  @p prefetch marks the fill as prefetch-initiated for
-     * statistics.  Replaces the LRU way.
+     * statistics.  Replaces the LRU way.  Defined in-class (it sits on
+     * every miss path the hierarchy inlines into the interpreter loop).
+     * @return the line index the line now occupies (for fast-path memos).
      */
-    void fill(Addr addr, Cycle ready_at, bool prefetch);
+    std::uint32_t
+    fill(Addr addr, Cycle ready_at, bool prefetch)
+    {
+        // One fused walk computes all three victim-selection inputs —
+        // present index, first invalid way, and exact-LRU minimum — so
+        // the set's tag/lastUse lines are touched once, not twice.  The
+        // selection is identical to the separate walks: a present line
+        // wins outright, else the first invalid way, else the strict
+        // lastUse minimum scanning from way 0.
+        Addr line = addr >> lineShift_;
+        std::uint32_t set = static_cast<std::uint32_t>(line) & (numSets_ - 1);
+        std::uint32_t base = set * config_.assoc;
+        std::uint32_t firstInvalid = npos;
+        std::uint32_t lruWay = base;
+        for (std::uint32_t w = base; w < base + config_.assoc; ++w) {
+            Addr tag = tags_[w];
+            if (tag == line) {
+                // Already present (e.g. racing prefetch + demand): keep
+                // the earlier completion time.  The generation only
+                // moves when the line's observable state changes.
+                if (ready_at < readyAt_[w]) {
+                    readyAt_[w] = ready_at;
+                    ++generation_;
+                }
+                return w;
+            }
+            if (tag == kInvalidTag) {
+                if (firstInvalid == npos)
+                    firstInvalid = w;
+            } else if (lastUse_[w] < lastUse_[lruWay]) {
+                lruWay = w;
+            }
+        }
+        std::uint32_t victim;
+        if (firstInvalid != npos) {
+            victim = firstInvalid;
+        } else {
+            victim = lruWay;
+            ++stats_.evictions;
+        }
+        ++generation_;
+        tags_[victim] = line;
+        readyAt_[victim] = ready_at;
+        lastUse_[victim] = ++useClock_;
+        mruWay_[set] = static_cast<std::uint8_t>(victim - base);
+        if (prefetch)
+            ++stats_.prefetchFills;
+        else
+            ++stats_.demandFills;
+        return victim;
+    }
 
     /** Drop the line holding @p addr if present. */
     void invalidate(Addr addr);
 
-    /** Drop every line. */
+    /**
+     * Drop every line and reset the LRU clock to a deterministic clean
+     * slate (useClock / lastUse / MRU hints back to the
+     * freshly-constructed state), so back-to-back runs on a reused
+     * machine replay identical replacement decisions.
+     */
     void flush();
 
     const CacheConfig &config() const { return config_; }
@@ -112,32 +216,120 @@ class Cache
         return addr & ~static_cast<Addr>(config_.lineBytes - 1);
     }
 
-  private:
-    struct Line
-    {
-        Addr tag = 0;
-        Cycle readyAt = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
+    /// @name Fast-path interface (load line buffer / prefetch MSHR)
+    ///
+    /// Inline building blocks for external caches over this cache's
+    /// state (DESIGN.md "Memory-hierarchy fast path").  They are exact
+    /// slices of access(): callers must reproduce the same statistics
+    /// and LRU updates the slow path would have performed.
+    /// @{
 
-    Line *find(Addr addr);
-    const Line *find(Addr addr) const;
+    /** Generation of the current line state; see the file comment. */
+    std::uint64_t generation() const { return generation_; }
+
+    /** Full line number of @p addr (tag-array key). */
+    Addr lineNum(Addr addr) const { return addr >> lineShift_; }
+
+    /** Is line number @p line still resident at index @p idx? */
+    bool
+    residentAt(std::uint32_t idx, Addr line) const
+    {
+        return tags_[idx] == line;
+    }
+
+    /** The fill-complete time of the (resident) line at @p idx. */
+    Cycle readyAtOf(std::uint32_t idx) const { return readyAt_[idx]; }
+
+    /**
+     * LRU touch of the (resident) line at @p idx — exactly the
+     * lastUse/useClock update access() performs on a hit.
+     */
+    void touch(std::uint32_t idx) { lastUse_[idx] = ++useClock_; }
+
+    /**
+     * Credit @p n deferred {access, hit} pairs accumulated by an
+     * external fast path (the Cpu's load line buffer).
+     */
+    void
+    addDeferredHits(std::uint64_t n)
+    {
+        stats_.accesses += n;
+        stats_.hits += n;
+    }
+
+    /**
+     * The full hit path of access() for a line already proven resident
+     * at @p idx: statistics, in-flight classification, and LRU touch,
+     * without the way walk.  @return the line's readyAt.
+     */
+    Cycle
+    accessResidentAt(std::uint32_t idx, Cycle now)
+    {
+        ++stats_.accesses;
+        ++stats_.hits;
+        Cycle ra = readyAt_[idx];
+        if (ra > now)
+            ++stats_.inFlightHits;
+        lastUse_[idx] = ++useClock_;
+        return ra;
+    }
+
+    /** Line index of the line holding @p addr, or npos. */
+    std::uint32_t
+    indexOf(Addr addr) const
+    {
+        return findIndex(addr >> lineShift_);
+    }
+
+    /**
+     * Host-side prefetch of the SoA lines backing @p addr's set, so a
+     * demand walk that is about to scan this set (and likely fill into
+     * it) overlaps the host cache misses on tags/lastUse/readyAt with
+     * earlier levels' work.  Pure hint: no simulated effect whatsoever.
+     */
+    void
+    hostPrefetchSet(Addr addr) const
+    {
+        Addr line = addr >> lineShift_;
+        std::uint32_t set = static_cast<std::uint32_t>(line) & (numSets_ - 1);
+        std::uint32_t base = set * config_.assoc;
+        __builtin_prefetch(&tags_[base]);
+        __builtin_prefetch(&lastUse_[base]);
+        __builtin_prefetch(&readyAt_[base]);
+    }
+
+    /// @}
+
+  private:
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
+    /** Way walk: MRU probe first, then a contiguous scan of the set. */
+    std::uint32_t
+    findIndex(Addr line) const
+    {
+        std::uint32_t set = static_cast<std::uint32_t>(line) & (numSets_ - 1);
+        std::uint32_t base = set * config_.assoc;
+        std::uint32_t mru = base + mruWay_[set];
+        if (tags_[mru] == line)
+            return mru;
+        for (std::uint32_t w = base; w < base + config_.assoc; ++w) {
+            if (tags_[w] == line)
+                return w;
+        }
+        return npos;
+    }
 
     CacheConfig config_;
     CacheStats stats_;
     std::uint32_t numSets_;
     std::uint32_t lineShift_;
     std::uint64_t useClock_ = 0;
-    std::vector<Line> lines_;  ///< numSets_ x assoc, row-major
-    /**
-     * Most-recently-accessed line, letting streaming accesses skip the
-     * way walk.  The pointer is stable (lines_ never resizes after
-     * construction) and is re-validated against the line's current
-     * tag/valid state on every use, so fills and invalidations need no
-     * extra bookkeeping.
-     */
-    Line *lastAccess_ = nullptr;
+    std::uint64_t generation_ = 0;
+    // SoA line state, each numSets_ x assoc, row-major by set.
+    std::vector<Addr> tags_;            ///< kInvalidTag when invalid
+    std::vector<Cycle> readyAt_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint8_t> mruWay_;  ///< per-set most-recent way hint
 };
 
 } // namespace adore

@@ -1,7 +1,5 @@
 #include "mem/hierarchy.hh"
 
-#include <algorithm>
-
 namespace adore
 {
 
@@ -12,149 +10,6 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
       l2_(config.l2),
       l3_(config.l3)
 {
-}
-
-Cycle
-CacheHierarchy::scheduleMemoryFill(Cycle now)
-{
-    Cycle start = std::max(now, busFreeAt_);
-    busFreeAt_ = start + config_.busOccupancy;
-    return start + config_.memLatency;
-}
-
-Cycle
-CacheHierarchy::resolveBelowL2(Addr addr, Cycle now, bool prefetch_fill)
-{
-    auto l3res = l3_.access(addr, now);
-    Cycle ready;
-    if (l3res.hit) {
-        ready = std::max(now + config_.l3.hitLatency, l3res.readyAt);
-    } else {
-        ready = scheduleMemoryFill(now);
-        l3_.fill(addr, ready, prefetch_fill);
-    }
-    l2_.fill(addr, ready, prefetch_fill);
-    return ready;
-}
-
-MemAccessResult
-CacheHierarchy::load(Addr addr, Cycle now, bool fp)
-{
-    ++stats_.loads;
-
-    if (!fp) {
-        auto l1res = l1d_.access(addr, now);
-        if (l1res.hit) {
-            Cycle ready = std::max(now + config_.l1d.hitLatency,
-                                   l1res.readyAt);
-            return {static_cast<std::uint32_t>(ready - now), MemLevel::L1};
-        }
-    }
-
-    auto l2res = l2_.access(addr, now);
-    Cycle ready;
-    MemLevel level;
-    if (l2res.hit) {
-        ready = std::max(now + config_.l2.hitLatency, l2res.readyAt);
-        level = ready - now <= config_.l2.hitLatency ? MemLevel::L2
-                                                     : MemLevel::Memory;
-        // An in-flight L2 line was brought by an earlier (pre)fetch; the
-        // residual latency decides how it is classified.  Anything at or
-        // below L3 hit cost is indistinguishable from an L3 hit.
-        if (l2res.readyAt > now + config_.l3.hitLatency)
-            level = MemLevel::Memory;
-        else if (l2res.readyAt > now + config_.l2.hitLatency)
-            level = MemLevel::L3;
-    } else {
-        Cycle below = resolveBelowL2(addr, now, false);
-        ready = below;
-        level = ready - now <= config_.l3.hitLatency ? MemLevel::L3
-                                                     : MemLevel::Memory;
-    }
-
-    if (!fp)
-        l1d_.fill(addr, ready, false);
-
-    return {static_cast<std::uint32_t>(ready - now), level};
-}
-
-void
-CacheHierarchy::store(Addr addr, Cycle now, bool fp)
-{
-    ++stats_.stores;
-
-    if (!fp) {
-        auto l1res = l1d_.access(addr, now);
-        if (l1res.hit)
-            return;
-    }
-
-    auto l2res = l2_.access(addr, now);
-    Cycle ready;
-    if (l2res.hit) {
-        ready = std::max(now + config_.l2.hitLatency, l2res.readyAt);
-    } else {
-        ready = resolveBelowL2(addr, now, false);
-    }
-    if (!fp)
-        l1d_.fill(addr, ready, false);
-}
-
-void
-CacheHierarchy::prefetch(Addr addr, Cycle now, bool fp)
-{
-    // Throttle: when the bus backlog already covers the outstanding
-    // queue depth, drop the prefetch (the MSHRs are full).
-    if (busFreeAt_ > now + static_cast<Cycle>(config_.prefetchQueueDepth) *
-                               config_.busOccupancy) {
-        ++stats_.prefetchesDropped;
-        return;
-    }
-
-    auto l2res = l2_.probe(addr);
-    if (l2res.hit) {
-        // Already at L2 (possibly in flight).  For integer-side prefetch,
-        // still promote into L1D.
-        if (!fp) {
-            auto l1res = l1d_.probe(addr);
-            if (!l1res.hit) {
-                Cycle ready = std::max(now + config_.l2.hitLatency,
-                                       l2res.readyAt);
-                l1d_.fill(addr, ready, true);
-                ++stats_.prefetchesIssued;
-                return;
-            }
-        }
-        ++stats_.prefetchesUseless;
-        return;
-    }
-
-    ++stats_.prefetchesIssued;
-    Cycle ready = resolveBelowL2(addr, now, true);
-    if (!fp)
-        l1d_.fill(addr, ready, true);
-}
-
-std::uint32_t
-CacheHierarchy::ifetch(Addr addr, Cycle now)
-{
-    auto l1res = l1i_.access(addr, now);
-    if (l1res.hit) {
-        if (l1res.readyAt <= now)
-            return 0;
-        return static_cast<std::uint32_t>(l1res.readyAt - now);
-    }
-
-    ++stats_.ifetchMisses;
-    auto l2res = l2_.access(addr, now);
-    Cycle ready;
-    if (l2res.hit) {
-        ready = std::max(now + config_.l2.hitLatency, l2res.readyAt);
-    } else {
-        ready = resolveBelowL2(addr, now, false);
-    }
-    l1i_.fill(addr, ready, false);
-    return static_cast<std::uint32_t>(ready - now);
 }
 
 void
@@ -175,6 +30,7 @@ CacheHierarchy::flushAll()
     l2_.flush();
     l3_.flush();
     busFreeAt_ = 0;
+    ++generation_;
 }
 
 } // namespace adore

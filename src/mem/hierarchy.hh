@@ -9,11 +9,20 @@
  * in-flight fill pay only the residual latency.  Memory fills serialize on
  * the bus (start = max(now, busFreeAt)), which caps achievable prefetch
  * bandwidth — the effect that limits `swim` in the paper's evaluation.
+ *
+ * Fast path (see DESIGN.md "Memory-hierarchy fast path"): MSHR-style
+ * in-flight memos dedup the way walks for back-to-back prefetches and
+ * below-L2 fills to a line whose fill is already outstanding, and the
+ * Cpu keeps a load line buffer over L1D keyed on this hierarchy's
+ * generation counter.  All of it is host-side caching only: simulated
+ * metrics are bit-identical with @c HierarchyConfig::fastPath on or off.
  */
 
 #ifndef ADORE_MEM_HIERARCHY_HH
 #define ADORE_MEM_HIERARCHY_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -42,6 +51,14 @@ struct HierarchyConfig
      *  is ~18 cycles — the finite bandwidth that caps prefetching. */
     std::uint32_t busOccupancy = 18;
     std::uint32_t prefetchQueueDepth = 5;  ///< outstanding prefetch cap
+    /**
+     * Enable the host-side fast paths (Cpu load line buffer, prefetch
+     * MSHR dedup, L1I repeat-hit path).  Simulated metrics are
+     * bit-identical either way — tests/test_fastpath_toggle.cc holds
+     * this to account — so the switch exists only for that comparison
+     * and for debugging.
+     */
+    bool fastPath = true;
 };
 
 struct HierarchyStats
@@ -51,7 +68,16 @@ struct HierarchyStats
     std::uint64_t prefetchesIssued = 0;
     std::uint64_t prefetchesDropped = 0;   ///< throttled (queue full)
     std::uint64_t prefetchesUseless = 0;   ///< line already resident
+    std::uint64_t ifetches = 0;            ///< total bundle fetches
     std::uint64_t ifetchMisses = 0;
+
+    double
+    ifetchMissRate() const
+    {
+        return ifetches ? static_cast<double>(ifetchMisses) /
+                              static_cast<double>(ifetches)
+                        : 0.0;
+    }
 };
 
 class CacheHierarchy
@@ -59,38 +85,258 @@ class CacheHierarchy
   public:
     explicit CacheHierarchy(const HierarchyConfig &config);
 
+    // The demand-access entry points are defined in-class: together with
+    // Cache's in-class access/fill they let the compiler flatten the
+    // whole hierarchy walk into the interpreter's per-instruction loop
+    // (no cross-TU call on the load/store/ifetch hot paths).
+
     /**
      * Demand data load.  @p fp loads bypass L1D.
      * @return latency until the loaded value is ready and the servicing
      *         level.
      */
-    MemAccessResult load(Addr addr, Cycle now, bool fp);
+    MemAccessResult
+    load(Addr addr, Cycle now, bool fp)
+    {
+        ++stats_.loads;
+
+        if (!fp) {
+            auto l1res = l1d_.access(addr, now);
+            if (l1res.hit) {
+                Cycle ready = std::max(now + config_.l1d.hitLatency,
+                                       l1res.readyAt);
+                return {static_cast<std::uint32_t>(ready - now),
+                        MemLevel::L1};
+            }
+        }
+
+        auto l2res = l2_.access(addr, now);
+        Cycle ready;
+        MemLevel level;
+        if (l2res.hit) {
+            ready = std::max(now + config_.l2.hitLatency, l2res.readyAt);
+            level = ready - now <= config_.l2.hitLatency ? MemLevel::L2
+                                                         : MemLevel::Memory;
+            // An in-flight L2 line was brought by an earlier (pre)fetch;
+            // the residual latency decides how it is classified.
+            // Anything at or below L3 hit cost is indistinguishable from
+            // an L3 hit.
+            if (l2res.readyAt > now + config_.l3.hitLatency)
+                level = MemLevel::Memory;
+            else if (l2res.readyAt > now + config_.l2.hitLatency)
+                level = MemLevel::L3;
+        } else {
+            ready = resolveBelowL2(addr, now, false);
+            level = ready - now <= config_.l3.hitLatency ? MemLevel::L3
+                                                         : MemLevel::Memory;
+        }
+
+        if (!fp)
+            l1d_.fill(addr, ready, false);
+
+        return {static_cast<std::uint32_t>(ready - now), level};
+    }
 
     /**
      * Data store: write-allocate, non-blocking (the store buffer hides
      * the latency); still moves lines and consumes bus bandwidth.
      */
-    void store(Addr addr, Cycle now, bool fp);
+    void
+    store(Addr addr, Cycle now, bool fp)
+    {
+        ++stats_.stores;
+
+        if (!fp) {
+            auto l1res = l1d_.access(addr, now);
+            if (l1res.hit)
+                return;
+        }
+
+        auto l2res = l2_.access(addr, now);
+        Cycle ready;
+        if (l2res.hit) {
+            ready = std::max(now + config_.l2.hitLatency, l2res.readyAt);
+        } else {
+            ready = resolveBelowL2(addr, now, false);
+        }
+        if (!fp)
+            l1d_.fill(addr, ready, false);
+    }
 
     /**
      * Software prefetch (lfetch).  Never faults, never stalls.  Fills
      * L2/L3 (plus L1D for integer-side prefetches).  Dropped when the
      * outstanding-fill queue is saturated.
      */
-    void prefetch(Addr addr, Cycle now, bool fp);
+    void
+    prefetch(Addr addr, Cycle now, bool fp)
+    {
+        // Throttle: when the bus backlog already covers the outstanding
+        // queue depth, drop the prefetch (the MSHRs are full).
+        if (busFreeAt_ >
+            now + static_cast<Cycle>(config_.prefetchQueueDepth) *
+                      config_.busOccupancy) {
+            ++stats_.prefetchesDropped;
+            return;
+        }
+
+        // In-flight dedup: a back-to-back lfetch to a line whose fill is
+        // already outstanding (or resident) short-circuits the L2 way
+        // walk via the MSHR memo; the resulting statistics are identical
+        // to the probe path below.
+        Cache::LookupResult l2res;
+        Addr line = l2_.lineNum(addr);
+        InFlightMemo &memo =
+            prefetchMshr_[line & (prefetchMshr_.size() - 1)];
+        if (config_.fastPath && memo.line == line &&
+            (memo.generation == l2_.generation() ||
+             l2_.residentAt(memo.index, line))) {
+            memo.generation = l2_.generation();
+            l2res = {true, l2_.readyAtOf(memo.index)};
+        } else {
+            l2res = l2_.probe(addr);
+            if (l2res.hit)
+                memo = {line, l2_.indexOf(addr), l2_.generation()};
+        }
+
+        if (l2res.hit) {
+            // Already at L2 (possibly in flight).  For integer-side
+            // prefetch, still promote into L1D.
+            if (!fp) {
+                auto l1res = l1d_.probe(addr);
+                if (!l1res.hit) {
+                    Cycle ready = std::max(now + config_.l2.hitLatency,
+                                           l2res.readyAt);
+                    l1d_.fill(addr, ready, true);
+                    ++stats_.prefetchesIssued;
+                    return;
+                }
+            }
+            ++stats_.prefetchesUseless;
+            return;
+        }
+
+        ++stats_.prefetchesIssued;
+        Cycle ready = resolveBelowL2(addr, now, true);
+        memo = {line, l2_.indexOf(addr), l2_.generation()};
+        if (!fp)
+            l1d_.fill(addr, ready, true);
+    }
 
     /**
      * Instruction fetch of the bundle at @p addr.
      * @return extra stall cycles (0 on an L1I hit).
      */
-    std::uint32_t ifetch(Addr addr, Cycle now);
+    std::uint32_t
+    ifetch(Addr addr, Cycle now)
+    {
+        ++stats_.ifetches;
+        auto l1res = l1i_.access(addr, now);
+        if (l1res.hit) {
+            if (l1res.readyAt <= now)
+                return 0;
+            return static_cast<std::uint32_t>(l1res.readyAt - now);
+        }
+
+        ++stats_.ifetchMisses;
+        auto l2res = l2_.access(addr, now);
+        Cycle ready;
+        if (l2res.hit) {
+            ready = std::max(now + config_.l2.hitLatency, l2res.readyAt);
+        } else {
+            ready = resolveBelowL2(addr, now, false);
+        }
+        l1i_.fill(addr, ready, false);
+        return static_cast<std::uint32_t>(ready - now);
+    }
 
     /**
      * Fast-path companion to ifetch(): the Cpu proved the fetch hits the
      * same (ready) L1I line as the previous one, so only the hit
      * statistics need updating.
      */
-    void noteIfetchRepeatHit() { l1i_.noteRepeatHit(); }
+    void
+    noteIfetchRepeatHit()
+    {
+        ++stats_.ifetches;
+        l1i_.noteRepeatHit();
+    }
+
+    /**
+     * Credit @p n demand loads resolved by the Cpu's load line buffer:
+     * each was an L1D hit on a ready line whose per-access statistics
+     * were deferred in the buffer (the LRU touch already happened
+     * inline).  Called from the Cpu's deferred-stat flush points.
+     */
+    void
+    addDeferredLoadLineHits(std::uint64_t n)
+    {
+        stats_.loads += n;
+        l1d_.addDeferredHits(n);
+    }
+
+    /**
+     * Same for stores resolved by the line buffer: each was an L1D hit
+     * on a ready line, which store() counts and then returns from
+     * without touching lower levels.
+     */
+    void
+    addDeferredStoreLineHits(std::uint64_t n)
+    {
+        stats_.stores += n;
+        l1d_.addDeferredHits(n);
+    }
+
+    /**
+     * FP-side deferred credits (the Cpu's FP line buffer over L2 — FP
+     * accesses bypass L1D, so a ready L2 hit is their whole walk).
+     */
+    void
+    addDeferredFpLoadHits(std::uint64_t n)
+    {
+        stats_.loads += n;
+        l2_.addDeferredHits(n);
+    }
+
+    void
+    addDeferredFpStoreHits(std::uint64_t n)
+    {
+        stats_.stores += n;
+        l2_.addDeferredHits(n);
+    }
+
+    /**
+     * Generation the Cpu's load line buffer keys on.  It moves with
+     * every L1D state change (fill, eviction, readyAt acceleration,
+     * invalidate, flush — flushAll() additionally bumps the
+     * hierarchy-level component), so a buffer entry armed at generation
+     * G can be trusted wholesale while generation() still returns G.
+     */
+    std::uint64_t
+    generation() const
+    {
+        return generation_ + l1d_.generation();
+    }
+
+    /**
+     * Host-side prefetch of every level's set metadata for @p addr,
+     * issued by the Cpu just before a demand walk that missed its line
+     * buffer: the L2/L3 scans and fills then find their tag/LRU lines
+     * already in the host cache.  Pure hint, no simulated effect.
+     */
+    void
+    hostPrefetchWalk(Addr addr) const
+    {
+        l1d_.hostPrefetchSet(addr);
+        l2_.hostPrefetchSet(addr);
+        l3_.hostPrefetchSet(addr);
+    }
+
+    /** Mutable L1D handle for the Cpu's load line buffer fast path. */
+    Cache &l1dFast() { return l1d_; }
+
+    /** Mutable L2 handle for the Cpu's FP line buffer fast path. */
+    Cache &l2Fast() { return l2_; }
 
     const Cache &l1i() const { return l1i_; }
     const Cache &l1d() const { return l1d_; }
@@ -109,10 +355,58 @@ class CacheHierarchy
      * Resolve a miss below L2: probe L3, then memory; schedule fills.
      * @return absolute cycle at which the line's data is available.
      */
-    Cycle resolveBelowL2(Addr addr, Cycle now, bool prefetch_fill);
+    Cycle
+    resolveBelowL2(Addr addr, Cycle now, bool prefetch_fill)
+    {
+        Cycle ready;
+        Addr line = l3_.lineNum(addr);
+        InFlightMemo &memo = l3Memo_[line & (l3Memo_.size() - 1)];
+        if (config_.fastPath && memo.line == line &&
+            (memo.generation == l3_.generation() ||
+             l3_.residentAt(memo.index, line))) {
+            // The line is still in L3 at the remembered index: replay
+            // the exact hit path (stats + LRU touch) without the walk.
+            memo.generation = l3_.generation();
+            Cycle ra = l3_.accessResidentAt(memo.index, now);
+            ready = std::max(now + config_.l3.hitLatency, ra);
+        } else {
+            auto l3res = l3_.access(addr, now);
+            std::uint32_t idx;
+            if (l3res.hit) {
+                ready = std::max(now + config_.l3.hitLatency,
+                                 l3res.readyAt);
+                idx = l3_.indexOf(addr);
+            } else {
+                ready = scheduleMemoryFill(now);
+                idx = l3_.fill(addr, ready, prefetch_fill);
+            }
+            memo = {line, idx, l3_.generation()};
+        }
+        l2_.fill(addr, ready, prefetch_fill);
+        return ready;
+    }
 
     /** Schedule a memory fill on the bus; returns data-ready time. */
-    Cycle scheduleMemoryFill(Cycle now);
+    Cycle
+    scheduleMemoryFill(Cycle now)
+    {
+        Cycle start = std::max(now, busFreeAt_);
+        busFreeAt_ = start + config_.busOccupancy;
+        return start + config_.memLatency;
+    }
+
+    /**
+     * MSHR-style memo of a line with an outstanding (or just-completed)
+     * fill in one cache level: line number, the index it occupies, and
+     * the level's generation when armed.  Valid while the generation
+     * matches, revalidated against the tag otherwise.
+     */
+    struct InFlightMemo
+    {
+        Addr line = ~Addr{0};
+        std::uint32_t index = 0;
+        std::uint64_t generation = ~std::uint64_t{0};
+    };
 
     HierarchyConfig config_;
     HierarchyStats stats_;
@@ -121,6 +415,11 @@ class CacheHierarchy
     Cache l2_;
     Cache l3_;
     Cycle busFreeAt_ = 0;
+    std::uint64_t generation_ = 0;
+    /** Dedup for back-to-back lfetches: keyed on L2 line number. */
+    std::array<InFlightMemo, 8> prefetchMshr_{};
+    /** Dedup for below-L2 resolution: keyed on L3 line number. */
+    std::array<InFlightMemo, 4> l3Memo_{};
 };
 
 } // namespace adore

@@ -9,6 +9,7 @@
 #ifndef ADORE_MEM_MAIN_MEMORY_HH
 #define ADORE_MEM_MAIN_MEMORY_HH
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -29,6 +30,31 @@ class MainMemory
     std::uint64_t
     read(Addr addr, unsigned size)
     {
+        // Fixed-size copies per width keep the common (non-straddling)
+        // path free of the variable-length memcpy call.
+        Addr off = addr & (pageBytes - 1);
+        if (off + size <= pageBytes) [[likely]] {
+            const std::uint8_t *p = page(addr) + off;
+            switch (size) {
+              case 8: {
+                std::uint64_t v;
+                std::memcpy(&v, p, 8);
+                return v;
+              }
+              case 4: {
+                std::uint32_t v;
+                std::memcpy(&v, p, 4);
+                return v;
+              }
+              case 2: {
+                std::uint16_t v;
+                std::memcpy(&v, p, 2);
+                return v;
+              }
+              default:
+                return *p;
+            }
+        }
         std::uint64_t v = 0;
         copyFrom(addr, &v, size);
         return v;
@@ -38,6 +64,28 @@ class MainMemory
     void
     write(Addr addr, std::uint64_t value, unsigned size)
     {
+        Addr off = addr & (pageBytes - 1);
+        if (off + size <= pageBytes) [[likely]] {
+            std::uint8_t *p = page(addr) + off;
+            switch (size) {
+              case 8:
+                std::memcpy(p, &value, 8);
+                return;
+              case 4: {
+                std::uint32_t v = static_cast<std::uint32_t>(value);
+                std::memcpy(p, &v, 4);
+                return;
+              }
+              case 2: {
+                std::uint16_t v = static_cast<std::uint16_t>(value);
+                std::memcpy(p, &v, 2);
+                return;
+              }
+              default:
+                *p = static_cast<std::uint8_t>(value);
+                return;
+              }
+        }
         copyTo(addr, &value, size);
     }
 
@@ -81,26 +129,48 @@ class MainMemory
     /** Number of allocated (touched) pages, for tests. */
     std::size_t allocatedPages() const { return pages_.size(); }
 
+    /**
+     * Host-side prefetch of the byte backing @p addr, issued before the
+     * simulated cache walk of a load so the data touch in read()
+     * overlaps it.  Non-allocating: only acts when the page-pointer
+     * cache already knows the page.  Pure hint, no simulated effect.
+     */
+    void
+    hostPrefetch(Addr addr) const
+    {
+        Addr key = addr >> pageShift;
+        std::size_t slot =
+            static_cast<std::size_t>(key) & (pageCacheKey_.size() - 1);
+        if (pageCacheKey_[slot] == key)
+            __builtin_prefetch(pageCachePtr_[slot] + (addr & (pageBytes - 1)));
+    }
+
   private:
     std::uint8_t *
     page(Addr addr)
     {
-        // One-entry page cache: loads and stores in a hot loop land on
-        // the same 64 KiB page almost always, so the common case skips
-        // the hash lookup entirely.  The cached pointer stays valid
-        // across insertions (the map stores stable unique_ptr payloads).
+        // Direct-mapped page-pointer cache: hot loops touch a handful of
+        // 64 KiB pages (a chased pool plus a few streamed arrays), so
+        // almost every access skips the hash lookup.  A single-entry
+        // cache thrashes the moment a loop alternates two pages — a
+        // pointer chase interleaved with a side array — hence 16
+        // entries.  Cached pointers stay valid across insertions (the
+        // map stores stable unique_ptr payloads) and pages are never
+        // freed, so entries need no invalidation.
         Addr key = addr >> pageShift;
-        if (key == lastPageKey_ && lastPage_)
-            return lastPage_;
+        std::size_t slot =
+            static_cast<std::size_t>(key) & (pageCacheKey_.size() - 1);
+        if (pageCacheKey_[slot] == key)
+            return pageCachePtr_[slot];
         auto it = pages_.find(key);
         if (it == pages_.end()) {
             auto mem = std::make_unique<std::uint8_t[]>(pageBytes);
             std::memset(mem.get(), 0, pageBytes);
             it = pages_.emplace(key, std::move(mem)).first;
         }
-        lastPageKey_ = key;
-        lastPage_ = it->second.get();
-        return lastPage_;
+        pageCacheKey_[slot] = key;
+        pageCachePtr_[slot] = it->second.get();
+        return pageCachePtr_[slot];
     }
 
     void
@@ -130,9 +200,18 @@ class MainMemory
         }
     }
 
+    /** An impossible key (real keys are addr >> pageShift < 2^48). */
+    static constexpr Addr kNoPage = ~Addr{0};
+
+    static constexpr std::size_t pageCacheEntries = 16;
+
     std::unordered_map<Addr, std::unique_ptr<std::uint8_t[]>> pages_;
-    Addr lastPageKey_ = ~Addr{0};
-    std::uint8_t *lastPage_ = nullptr;
+    std::array<Addr, pageCacheEntries> pageCacheKey_ = [] {
+        std::array<Addr, pageCacheEntries> keys{};
+        keys.fill(kNoPage);
+        return keys;
+    }();
+    std::array<std::uint8_t *, pageCacheEntries> pageCachePtr_{};
 };
 
 } // namespace adore

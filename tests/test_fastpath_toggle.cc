@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Toggle-and-compare test for the memory-hierarchy fast path.
+ *
+ * Every host-side shortcut behind HierarchyConfig::fastPath (the Cpu's
+ * load/store line buffer, the FP line buffer over L2, the L1I repeat-hit
+ * path, and the prefetch/below-L2 MSHR memos) must be a pure host
+ * optimization: running any workload with the fast path on and off must
+ * produce bit-identical simulated metrics — cycles, retired
+ * instructions, DEAR misses, hierarchy totals, and every per-level
+ * cache counter including fills and evictions.  A divergence here means
+ * a shortcut changed the modeled machine, not just the simulator speed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace adore;
+
+void
+expectSameCacheStats(const CacheStats &fast, const CacheStats &slow,
+                     const char *level)
+{
+    EXPECT_EQ(fast.accesses, slow.accesses) << level;
+    EXPECT_EQ(fast.hits, slow.hits) << level;
+    EXPECT_EQ(fast.misses, slow.misses) << level;
+    EXPECT_EQ(fast.inFlightHits, slow.inFlightHits) << level;
+    EXPECT_EQ(fast.prefetchFills, slow.prefetchFills) << level;
+    EXPECT_EQ(fast.demandFills, slow.demandFills) << level;
+    EXPECT_EQ(fast.evictions, slow.evictions) << level;
+}
+
+void
+expectSameMetrics(const RunMetrics &fast, const RunMetrics &slow)
+{
+    EXPECT_EQ(fast.halted, slow.halted);
+    EXPECT_EQ(fast.cycles, slow.cycles);
+    EXPECT_EQ(fast.retired, slow.retired);
+    EXPECT_EQ(fast.dearMisses, slow.dearMisses);
+
+    EXPECT_EQ(fast.memStats.loads, slow.memStats.loads);
+    EXPECT_EQ(fast.memStats.stores, slow.memStats.stores);
+    EXPECT_EQ(fast.memStats.prefetchesIssued, slow.memStats.prefetchesIssued);
+    EXPECT_EQ(fast.memStats.prefetchesDropped,
+              slow.memStats.prefetchesDropped);
+    EXPECT_EQ(fast.memStats.prefetchesUseless,
+              slow.memStats.prefetchesUseless);
+    EXPECT_EQ(fast.memStats.ifetches, slow.memStats.ifetches);
+    EXPECT_EQ(fast.memStats.ifetchMisses, slow.memStats.ifetchMisses);
+
+    expectSameCacheStats(fast.l1iStats, slow.l1iStats, "L1I");
+    expectSameCacheStats(fast.l1dStats, slow.l1dStats, "L1D");
+    expectSameCacheStats(fast.l2Stats, slow.l2Stats, "L2");
+    expectSameCacheStats(fast.l3Stats, slow.l3Stats, "L3");
+}
+
+RunMetrics
+runWith(const hir::Program &prog, bool adore, bool fast_path)
+{
+    RunConfig cfg;
+    cfg.compile.level = OptLevel::O2;
+    cfg.compile.softwarePipelining = false;
+    cfg.compile.reserveAdoreRegs = true;
+    cfg.adore = adore;
+    if (adore)
+        cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    cfg.machine.hier.fastPath = fast_path;
+    // Long enough for ADORE to sample, optimize, and run in-pool code on
+    // every workload; short enough to keep the full-registry sweep fast.
+    cfg.maxCycles = 3'000'000ULL;
+    return Experiment::run(prog, cfg);
+}
+
+class FastPathToggle : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FastPathToggle, BitIdenticalMetricsBaseline)
+{
+    setVerbose(false);
+    hir::Program prog = workloads::make(GetParam());
+    expectSameMetrics(runWith(prog, false, true),
+                      runWith(prog, false, false));
+}
+
+TEST_P(FastPathToggle, BitIdenticalMetricsAdore)
+{
+    setVerbose(false);
+    hir::Program prog = workloads::make(GetParam());
+    expectSameMetrics(runWith(prog, true, true),
+                      runWith(prog, true, false));
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const workloads::WorkloadInfo &info : workloads::allWorkloads())
+        names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, FastPathToggle, ::testing::ValuesIn(allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

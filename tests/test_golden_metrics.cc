@@ -41,6 +41,18 @@ constexpr Golden kGolden[] = {
     {"art", true, 14067335ULL, 10127651ULL, 62578ULL},
     {"gzip", false, 1834863ULL, 2310884ULL, 14979ULL},
     {"gzip", true, 1858797ULL, 2310884ULL, 14979ULL},
+    // FP (equake), call-heavy (vortex), and pointer/dictionary (parser)
+    // workloads, pinned from the same interpreter lineage immediately
+    // before the memory-hierarchy fast path landed, locking that fast
+    // path down on access shapes mcf/art/gzip do not cover.  (equake
+    // deliberately saturates the 30M-cycle budget without ADORE — the
+    // "hit the limit" warning is expected.)
+    {"equake", false, 30000076ULL, 16759640ULL, 334375ULL},
+    {"equake", true, 30000001ULL, 26737892ULL, 70868ULL},
+    {"vortex", false, 18976938ULL, 34703285ULL, 124960ULL},
+    {"vortex", true, 17855226ULL, 38517718ULL, 32938ULL},
+    {"parser", false, 14805704ULL, 27494476ULL, 763768ULL},
+    {"parser", true, 13392808ULL, 33091528ULL, 266373ULL},
 };
 
 class GoldenMetrics : public ::testing::TestWithParam<Golden>
