@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Markdown link checker: every relative link target in the repo's
+# tracked *.md files must exist on disk.  External links (http/https/
+# mailto) and pure in-page anchors (#...) are skipped; an in-file
+# anchor suffix on a relative link (FILE.md#section) is stripped before
+# the existence check.  Pure bash + grep, no dependencies.
+#
+# Usage: scripts/check_md_links.sh [root-dir]   (default: repo root)
+set -euo pipefail
+
+cd "${1:-$(dirname "$0")/..}"
+
+fail=0
+while IFS= read -r md; do
+    # Inline links: [text](target).  One match per line is enough for
+    # the docs style used here; multiple links per line are handled by
+    # grep -o emitting each parenthesized target separately.
+    while IFS= read -r target; do
+        target="${target#(}"
+        target="${target%)}"
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target="${target%%#*}"          # strip in-file anchor
+        [[ -z "$target" ]] && continue
+        base="$(dirname "$md")/$target"
+        if [[ ! -e "$base" && ! -e "$target" ]]; then
+            echo "check_md_links: $md -> broken link '$target'" >&2
+            fail=1
+        fi
+    done < <(grep -o '](\([^)]*\))' "$md" | sed 's/^]//' || true)
+done < <(git ls-files '*.md' 2>/dev/null || find . -name '*.md' -not -path './build*')
+
+if [[ "$fail" != 0 ]]; then
+    echo "check_md_links: FAILED" >&2
+    exit 1
+fi
+echo "check_md_links: all markdown links resolve"

@@ -27,6 +27,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 cmake --build "$BUILD_DIR" --target bench_smoke
 
+# Docs-drift gates: EXPERIMENTS.md generated blocks must match fresh
+# measurements (simulations are deterministic, so this is stable), and
+# every relative markdown link must resolve.
+"$BUILD_DIR"/tools/adore_report --regen-experiments --check
+scripts/check_md_links.sh
+
 if [[ "${ADORE_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     SAN_DIR="${BUILD_DIR}-asan"
     SAN_FLAGS="-O1 -g -fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"

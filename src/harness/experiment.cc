@@ -118,6 +118,159 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
     return out;
 }
 
+void
+Experiment::collectMetrics(observe::MetricsRegistry &registry,
+                           const RunMetrics &metrics)
+{
+    auto add = [&registry](const std::string &name, double value,
+                           const char *desc) {
+        registry.set(name, value, desc);
+    };
+
+    add("run.halted", metrics.halted ? 1.0 : 0.0,
+        "run reached Halt before the cycle limit");
+    add("run.cycles", static_cast<double>(metrics.cycles),
+        "simulated cycles");
+    add("run.retired", static_cast<double>(metrics.retired),
+        "retired instructions");
+    add("run.cpi", metrics.cpi, "cycles per retired instruction");
+    add("run.dear_misses", static_cast<double>(metrics.dearMisses),
+        "DEAR-qualifying D-cache load misses");
+    add("run.dear_per_1000", metrics.dearPer1000,
+        "DEAR-qualifying misses per 1000 instructions");
+    add("run.seconds_at_900mhz", metrics.secondsAt900MHz(),
+        "wall-clock seconds at the paper's 900 MHz machine");
+
+    add("mem.loads", static_cast<double>(metrics.memStats.loads),
+        "demand data loads");
+    add("mem.stores", static_cast<double>(metrics.memStats.stores),
+        "demand data stores");
+    add("mem.prefetches_issued",
+        static_cast<double>(metrics.memStats.prefetchesIssued),
+        "lfetch requests issued to the hierarchy");
+    add("mem.prefetches_dropped",
+        static_cast<double>(metrics.memStats.prefetchesDropped),
+        "lfetch requests throttled (prefetch queue full)");
+    add("mem.prefetches_useless",
+        static_cast<double>(metrics.memStats.prefetchesUseless),
+        "lfetch requests whose line was already resident");
+    add("mem.ifetches", static_cast<double>(metrics.memStats.ifetches),
+        "bundle fetches");
+    add("mem.ifetch_miss_rate", metrics.memStats.ifetchMissRate(),
+        "L1I miss rate of bundle fetches");
+
+    struct Level
+    {
+        const char *name;
+        const CacheStats *stats;
+    };
+    const Level levels[] = {{"l1i", &metrics.l1iStats},
+                            {"l1d", &metrics.l1dStats},
+                            {"l2", &metrics.l2Stats},
+                            {"l3", &metrics.l3Stats}};
+    for (const Level &level : levels) {
+        std::string p(level.name);
+        const CacheStats &s = *level.stats;
+        add(p + ".accesses", static_cast<double>(s.accesses),
+            "cache accesses");
+        add(p + ".hits", static_cast<double>(s.hits), "cache hits");
+        add(p + ".misses", static_cast<double>(s.misses), "cache misses");
+        add(p + ".miss_rate", s.missRate(), "misses / accesses");
+        add(p + ".in_flight_hits", static_cast<double>(s.inFlightHits),
+            "hits on lines whose fill was still pending");
+        add(p + ".prefetch_fills", static_cast<double>(s.prefetchFills),
+            "lines filled by prefetches");
+        add(p + ".demand_fills", static_cast<double>(s.demandFills),
+            "lines filled by demand misses");
+        add(p + ".evictions", static_cast<double>(s.evictions),
+            "lines evicted");
+    }
+
+    const CompileReport &cr = metrics.compileReport;
+    int swp_loops = 0;
+    for (const LoopCompileInfo &li : cr.loops)
+        swp_loops += li.softwarePipelined ? 1 : 0;
+    add("compile.text_bytes", static_cast<double>(cr.textBytes),
+        "compiled text-segment bytes");
+    add("compile.loops", static_cast<double>(cr.loops.size()),
+        "compiled loops");
+    add("compile.loops_scheduled_for_prefetch",
+        static_cast<double>(cr.loopsScheduledForPrefetch),
+        "loops the static prefetch pass scheduled");
+    add("compile.static_lfetches",
+        static_cast<double>(cr.prefetchesInserted),
+        "compiler-inserted lfetch instructions");
+    add("compile.swp_loops", static_cast<double>(swp_loops),
+        "software-pipelined loops");
+
+    add("adore.used", metrics.adoreUsed ? 1.0 : 0.0,
+        "dynamic optimizer attached");
+    if (!metrics.adoreUsed)
+        return;
+    const AdoreStats &a = metrics.adoreStats;
+    add("adore.windows_processed",
+        static_cast<double>(a.windowsProcessed),
+        "profile windows consumed by the optimizer");
+    add("adore.window_doublings", static_cast<double>(a.windowDoublings),
+        "sampling-window doublings (unstable behaviour)");
+    add("adore.phases_detected", static_cast<double>(a.phasesDetected),
+        "stable phases detected");
+    add("adore.phase_changes", static_cast<double>(a.phaseChanges),
+        "phase changes");
+    add("adore.phases_skipped_low_miss",
+        static_cast<double>(a.phasesSkippedLowMiss),
+        "stable phases skipped: miss rate below threshold");
+    add("adore.phases_skipped_in_pool",
+        static_cast<double>(a.phasesSkippedInPool),
+        "stable phases skipped: already running from the pool");
+    add("adore.phases_optimized", static_cast<double>(a.phasesOptimized),
+        "phases with at least one trace patched");
+    add("adore.phases_prefetched",
+        static_cast<double>(a.phasesPrefetched),
+        "phases with at least one prefetch inserted");
+    add("adore.traces_selected", static_cast<double>(a.tracesSelected),
+        "traces grown from the BTB path profile");
+    add("adore.loop_traces", static_cast<double>(a.loopTraces),
+        "selected traces ending in a backedge");
+    add("adore.traces_patched", static_cast<double>(a.tracesPatched),
+        "traces committed to the pool and patched");
+    add("adore.traces_skipped_lfetch",
+        static_cast<double>(a.tracesSkippedLfetch),
+        "traces skipped: compiler lfetch already covers them");
+    add("adore.traces_skipped_swp",
+        static_cast<double>(a.tracesSkippedSwp),
+        "traces skipped: software-pipelined loop");
+    add("adore.traces_skipped_patched",
+        static_cast<double>(a.tracesSkippedPatched),
+        "traces skipped: head already patched");
+    add("adore.prefetches_direct", a.directPrefetches,
+        "direct-pattern prefetches inserted");
+    add("adore.prefetches_indirect", a.indirectPrefetches,
+        "indirect-pattern prefetches inserted");
+    add("adore.prefetches_pointer", a.pointerPrefetches,
+        "pointer-chasing prefetches inserted");
+    add("adore.loads_skipped_no_regs", a.loadsSkippedNoRegs,
+        "delinquent loads dropped: reserved registers exhausted");
+    add("adore.loads_skipped_unknown", a.loadsSkippedUnknown,
+        "delinquent loads dropped: unknown reference pattern");
+    add("adore.bundles_inserted", a.bundlesInserted,
+        "new body bundles inserted for prefetch code");
+    add("adore.slots_filled", a.slotsFilled,
+        "prefetch instructions placed in free slots");
+    add("adore.phases_reverted", static_cast<double>(a.phasesReverted),
+        "optimization batches reverted as nonprofitable");
+    add("adore.traces_unpatched", static_cast<double>(a.tracesUnpatched),
+        "traces unpatched by reverts");
+}
+
+std::string
+Experiment::metricsJson(const RunMetrics &metrics)
+{
+    observe::MetricsRegistry registry;
+    collectMetrics(registry, metrics);
+    return registry.toJson();
+}
+
 std::vector<RunMetrics>
 Experiment::runMany(const std::vector<RunSpec> &specs, unsigned jobs)
 {

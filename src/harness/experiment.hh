@@ -15,6 +15,7 @@
 
 #include "compiler/compiler.hh"
 #include "harness/machine.hh"
+#include "observe/metrics_registry.hh"
 #include "runtime/adore.hh"
 #include "support/stats.hh"
 
@@ -104,6 +105,18 @@ class Experiment
                          1.0
                    : 0.0;
     }
+
+    /**
+     * Register every counter of @p metrics in @p registry under the
+     * dotted namespace of DESIGN.md §9 ("run.cycles", "l1d.miss_rate",
+     * "adore.traces_patched", ...) — the uniform query surface the
+     * --json report mode and adore_report are built on.
+     */
+    static void collectMetrics(observe::MetricsRegistry &registry,
+                               const RunMetrics &metrics);
+
+    /** The full metric set of @p metrics as a flat JSON object. */
+    static std::string metricsJson(const RunMetrics &metrics);
 
     /** Default ADORE configuration matched to the scaled machine. */
     static AdoreConfig defaultAdoreConfig();

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * EventTrace exporters (DESIGN.md §9):
+ *
+ *  - renderDecisionLog(): the human-readable decision log — one line
+ *    per event, ordered by simulated cycle, via the same renderer the
+ *    runtime's echo mode uses (one formatting source of truth);
+ *  - chromeTraceJson(): the chrome://tracing / Perfetto "Trace Event
+ *    Format" — load the file at ui.perfetto.dev (or chrome://tracing)
+ *    and see stable phases as duration slices on a simulated-cycle
+ *    timeline with every optimizer decision as an instant event under
+ *    them.  One simulated cycle is exported as one microsecond (the
+ *    format's smallest ts unit), so Perfetto's time axis reads directly
+ *    in cycles.
+ */
+
+#ifndef ADORE_OBSERVE_EXPORTERS_HH
+#define ADORE_OBSERVE_EXPORTERS_HH
+
+#include <string>
+
+#include "observe/event_trace.hh"
+
+namespace adore::observe
+{
+
+/** Human-readable decision log, one renderEventLine() per event.
+ *  @p dropped appends the ring-wraparound note when nonzero. */
+std::string renderDecisionLog(const std::vector<Event> &events,
+                              std::uint64_t dropped = 0);
+std::string renderDecisionLog(const EventTrace &trace);
+
+/**
+ * Chrome Trace Event Format JSON.  Stable phases become "X" (complete)
+ * slices on a "phases" track; every other event becomes an instant
+ * event on a "decisions" track with its payload in "args".
+ * @p process_name labels the exported process (e.g. the scenario name).
+ */
+std::string chromeTraceJson(const std::vector<Event> &events,
+                            const std::string &process_name = "adore");
+std::string chromeTraceJson(const EventTrace &trace,
+                            const std::string &process_name = "adore");
+
+/** Write @p content to @p path. @return false on I/O failure. */
+bool writeFile(const std::string &path, const std::string &content);
+
+} // namespace adore::observe
+
+#endif // ADORE_OBSERVE_EXPORTERS_HH

@@ -1,0 +1,90 @@
+#include "observe/metrics_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace adore::observe
+{
+
+bool
+MetricsRegistry::add(const std::string &name, double value,
+                     const std::string &description)
+{
+    auto [it, inserted] =
+        metrics_.try_emplace(name, Metric{name, value, description});
+    (void)it;
+    return inserted;
+}
+
+void
+MetricsRegistry::set(const std::string &name, double value,
+                     const std::string &description)
+{
+    Metric &m = metrics_[name];
+    m.name = name;
+    m.value = value;
+    if (!description.empty())
+        m.description = description;
+}
+
+bool
+MetricsRegistry::has(const std::string &name) const
+{
+    return metrics_.count(name) != 0;
+}
+
+std::optional<double>
+MetricsRegistry::value(const std::string &name) const
+{
+    auto it = metrics_.find(name);
+    if (it == metrics_.end())
+        return std::nullopt;
+    return it->second.value;
+}
+
+std::vector<MetricsRegistry::Metric>
+MetricsRegistry::snapshot() const
+{
+    return snapshot("");
+}
+
+std::vector<MetricsRegistry::Metric>
+MetricsRegistry::snapshot(const std::string &prefix) const
+{
+    std::vector<Metric> out;
+    for (const auto &[name, metric] : metrics_)
+        if (name.compare(0, prefix.size(), prefix) == 0)
+            out.push_back(metric);
+    std::sort(out.begin(), out.end(),
+              [](const Metric &a, const Metric &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+MetricsRegistry::toJson(int indent) const
+{
+    std::string pad(static_cast<std::size_t>(std::max(0, indent)), ' ');
+    std::string out = "{\n";
+    std::vector<Metric> sorted = snapshot();
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const Metric &m = sorted[i];
+        char buf[64];
+        // Integral values (the common case: counters) print without a
+        // fractional part so the JSON diffs cleanly.
+        if (std::floor(m.value) == m.value &&
+            std::fabs(m.value) < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%.0f", m.value);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.6g", m.value);
+        }
+        out += pad + "\"" + m.name + "\": " + buf;
+        out += i + 1 < sorted.size() ? ",\n" : "\n";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace adore::observe

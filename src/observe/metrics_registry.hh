@@ -1,0 +1,77 @@
+/**
+ * @file
+ * MetricsRegistry: named, queryable metrics (DESIGN.md §9).
+ *
+ * The simulator's counters are scattered across ad-hoc structs —
+ * PerfCounters in the Cpu, HierarchyStats / CacheStats in the memory
+ * system, AdoreStats in the runtime.  The registry puts them behind one
+ * flat, dotted namespace ("cpu.cycles", "mem.l1d.miss_rate",
+ * "adore.traces_patched") so tools can enumerate, query, and export a
+ * run's metrics without knowing every struct.  It is a *snapshot*
+ * container populated after a run (Experiment::collectMetrics); nothing
+ * on the simulation hot path ever touches it.
+ *
+ * Names must be unique: add() refuses collisions (first registration
+ * wins) so two subsystems can never silently shadow each other's
+ * counters; set() is the deliberate overwrite for refreshed snapshots.
+ */
+
+#ifndef ADORE_OBSERVE_METRICS_REGISTRY_HH
+#define ADORE_OBSERVE_METRICS_REGISTRY_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace adore::observe
+{
+
+class MetricsRegistry
+{
+  public:
+    struct Metric
+    {
+        std::string name;
+        double value = 0.0;
+        std::string description;
+    };
+
+    /**
+     * Register @p name with @p value.
+     * @return false (and keep the existing entry) on a name collision.
+     */
+    bool add(const std::string &name, double value,
+             const std::string &description = "");
+
+    /** Register-or-overwrite (refreshing a snapshot is explicit). */
+    void set(const std::string &name, double value,
+             const std::string &description = "");
+
+    bool has(const std::string &name) const;
+
+    /** Value of @p name, or std::nullopt when unregistered. */
+    std::optional<double> value(const std::string &name) const;
+
+    std::size_t size() const { return metrics_.size(); }
+
+    /**
+     * Name-sorted copy of every metric.  The copy is detached: later
+     * add()/set() calls do not affect an already-taken snapshot.
+     */
+    std::vector<Metric> snapshot() const;
+
+    /** Metrics whose name starts with @p prefix, name-sorted. */
+    std::vector<Metric> snapshot(const std::string &prefix) const;
+
+    /** Flat JSON object: {"name": value, ...}, name-sorted. */
+    std::string toJson(int indent = 2) const;
+
+  private:
+    std::unordered_map<std::string, Metric> metrics_;
+};
+
+} // namespace adore::observe
+
+#endif // ADORE_OBSERVE_METRICS_REGISTRY_HH

@@ -26,6 +26,21 @@ AdoreRuntime::attach()
     panic_if(attached_, "AdoreRuntime attached twice");
     attached_ = true;
 
+    events_ = config_.events;
+    if (!events_ && verbose()) {
+        // No external sink, but verbose logging wants the decision
+        // lines: a private echo-only trace renders every event through
+        // inform() (the single formatting path the old ad-hoc verbose
+        // prints were folded into).
+        ownEvents_ = std::make_unique<observe::EventTrace>(512);
+        ownEvents_->enable();
+        ownEvents_->setEcho(true);
+        events_ = ownEvents_.get();
+    }
+    phaseDetector_.setEventTrace(events_);
+    traceSelector_.setEventTrace(events_);
+    prefetchGen_.setEventTrace(events_);
+
     sampler_.setOverflowHandler([this](const std::vector<Sample> &ssb) {
         ueb_.pushWindow(ssb);
     });
@@ -49,6 +64,9 @@ AdoreRuntime::detach()
 void
 AdoreRuntime::onPoll(Cycle now)
 {
+    if (events_)
+        events_->setNow(now);
+
     // Consume any profile windows that arrived since the last poll.
     while (windowsConsumed_ < ueb_.totalWindows()) {
         std::uint64_t behind = ueb_.totalWindows() - windowsConsumed_;
@@ -62,6 +80,11 @@ AdoreRuntime::onPoll(Cycle now)
             ueb_.window(ueb_.retainedWindows() - behind);
         ++windowsConsumed_;
         ++stats_.windowsProcessed;
+        if (events_) {
+            events_->emit(observe::SamplingBatchEvent{
+                windowsConsumed_ - 1,
+                static_cast<std::uint32_t>(window.size())});
+        }
 
         PhaseDetector::Event event = phaseDetector_.onWindow(window, now);
         switch (event) {
@@ -79,9 +102,11 @@ AdoreRuntime::onPoll(Cycle now)
                 // when enabled, a batch whose in-pool CPI regressed
                 // past the pre-optimization level is unpatched.
                 ++stats_.phasesSkippedInPool;
-                if (verbose() && !batches_.empty()) {
-                    inform("in-pool phase cpi=%.2f vs before=%.2f",
-                           phase.cpi, batches_.back().cpiBefore);
+                if (events_) {
+                    events_->emit(observe::PhaseSkippedEvent{
+                        "in-pool", phase.cpi,
+                        batches_.empty() ? 0.0
+                                         : batches_.back().cpiBefore});
                 }
                 if (config_.revertUnprofitableTraces &&
                     !batches_.empty() && !batches_.back().reverted &&
@@ -91,6 +116,10 @@ AdoreRuntime::onPoll(Cycle now)
                 }
             } else if (!phase.highMissRate) {
                 ++stats_.phasesSkippedLowMiss;
+                if (events_) {
+                    events_->emit(observe::PhaseSkippedEvent{
+                        "low-miss-rate", phase.cpi, 0.0});
+                }
             } else {
                 optimizePhase(now);
             }
@@ -164,6 +193,12 @@ AdoreRuntime::commitTrace(const Trace &trace,
                      exit_bundle);
 
     code.patch(trace.startAddr, base);
+    if (events_) {
+        events_->emit(observe::TracePatchedEvent{
+            trace.startAddr, base,
+            static_cast<std::uint32_t>(trace.bundles.size()),
+            static_cast<std::uint32_t>(init_bundles.size())});
+    }
     return base;
 }
 
@@ -174,6 +209,8 @@ AdoreRuntime::revertBatch(OptimizedBatch &batch)
         if (cpu_.code().isPatched(head)) {
             cpu_.code().unpatch(head);
             ++stats_.tracesUnpatched;
+            if (events_)
+                events_->emit(observe::TraceRevertedEvent{head});
         }
         blacklist_.insert(head);
     }
@@ -236,7 +273,7 @@ AdoreRuntime::optimizePhase(Cycle now)
         if (trace.isLoop) {
             // Delinquent loads of this trace, hottest first (top-3).
             std::vector<DelinquentLoad> loads;
-            DependenceSlicer slicer(trace);
+            DependenceSlicer slicer(trace, events_);
             for (const auto &[pc, agg] : dear) {
                 int bidx = trace.bundleIndexOfOrigPc(pc);
                 if (bidx < 0)
@@ -267,20 +304,12 @@ AdoreRuntime::optimizePhase(Cycle now)
                     config_.maxPrefetchLoadsPerTrace));
             }
 
-            if (verbose()) {
-                inform("trace @0x%llx: %zu bundles, %zu delinquent loads",
-                       static_cast<unsigned long long>(trace.startAddr),
-                       trace.bundles.size(), loads.size());
+            if (events_) {
                 for (const DelinquentLoad &dl : loads) {
-                    inform("  load pc=0x%llx pattern=%s avg_lat=%u "
-                           "total_lat=%llu stride=%lld",
-                           static_cast<unsigned long long>(dl.origPc),
-                           refPatternName(dl.slice.pattern),
-                           dl.avgLatency(),
-                           static_cast<unsigned long long>(
-                               dl.totalLatency),
-                           static_cast<long long>(
-                               dl.slice.strideBytes));
+                    events_->emit(observe::DelinquentLoadEvent{
+                        dl.origPc, refPatternName(dl.slice.pattern),
+                        dl.avgLatency(), dl.sampleCount,
+                        dl.slice.strideBytes});
                 }
             }
 

@@ -24,10 +24,12 @@
 #define ADORE_RUNTIME_ADORE_HH
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "cpu/cpu.hh"
+#include "observe/event_trace.hh"
 #include "runtime/phase_detector.hh"
 #include "runtime/prefetch_gen.hh"
 #include "runtime/trace_selector.hh"
@@ -70,6 +72,12 @@ struct AdoreConfig
     bool revertUnprofitableTraces = false;
     /** CPI growth ratio that triggers a revert. */
     double revertCpiRatio = 1.05;
+    /**
+     * Decision-event sink (not owned; may be null).  When null and
+     * verbose logging is on, the runtime creates a private echo-only
+     * trace so the decision lines still reach the log.
+     */
+    observe::EventTrace *events = nullptr;
 };
 
 struct AdoreStats
@@ -115,6 +123,7 @@ class AdoreRuntime
     Sampler &sampler() { return sampler_; }
     UserEventBuffer &ueb() { return ueb_; }
     PhaseDetector &phaseDetector() { return phaseDetector_; }
+    observe::EventTrace *events() const { return events_; }
 
   private:
     void onPoll(Cycle now);
@@ -155,6 +164,8 @@ class AdoreRuntime
     TraceSelector traceSelector_;
     PrefetchGenerator prefetchGen_;
     AdoreStats stats_;
+    observe::EventTrace *events_ = nullptr;
+    std::unique_ptr<observe::EventTrace> ownEvents_;
     std::uint64_t windowsConsumed_ = 0;
     bool attached_ = false;
     std::vector<OptimizedBatch> batches_;

@@ -98,6 +98,10 @@ PhaseDetector::onWindow(const std::vector<Sample> &window, Cycle now)
             center_shift > config_.newPhaseCenterShift) {
             stable_ = false;
             windowsSinceStable_ = 0;
+            if (events_) {
+                events_->emitAt(now,
+                                observe::PhaseChangeEvent{current_.id});
+            }
             return Event::PhaseChange;
         }
         return Event::None;
@@ -121,6 +125,12 @@ PhaseDetector::onWindow(const std::vector<Sample> &window, Cycle now)
         current_.highMissRate =
             current_.dpi >= config_.dpiMinForOptimization;
         windowsSinceStable_ = 0;
+        if (events_) {
+            events_->emitAt(now, observe::StablePhaseEvent{
+                                     current_.id, current_.cpi,
+                                     current_.dpi, current_.pcCenter,
+                                     current_.highMissRate});
+        }
         return Event::StablePhase;
     }
 

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "observe/event_trace.hh"
 #include "pmu/sampler.hh"
 
 namespace adore
@@ -86,6 +87,9 @@ class PhaseDetector
     /** Install a callback invoked when the window should be doubled. */
     void setDoubleWindowCallback(std::function<void()> cb);
 
+    /** Emit StablePhase / PhaseChange events into @p events (nullable). */
+    void setEventTrace(observe::EventTrace *events) { events_ = events; }
+
   private:
     bool windowsLookStable() const;
 
@@ -100,6 +104,7 @@ class PhaseDetector
     std::uint64_t phasesDetected_ = 0;
     int windowsSinceStable_ = 0;
     std::function<void()> doubleWindowCb_;
+    observe::EventTrace *events_ = nullptr;
 };
 
 } // namespace adore

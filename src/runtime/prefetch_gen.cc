@@ -210,7 +210,13 @@ PrefetchGenerator::generate(Trace &trace,
                 r, static_cast<std::int32_t>(slice.strideBytes));
             if (slice.fp)
                 pf.count = 1;  // .nt1
-            sched.placeFrom(pf, 0);
+            int sf_before = result.slotsFilled;
+            int at = sched.placeFrom(pf, 0);
+            if (events_) {
+                events_->emit(observe::PrefetchInsertedEvent{
+                    "direct", dl.origPc, dist, at,
+                    result.slotsFilled > sf_before});
+            }
             ++result.directPrefetches;
             break;
           }
@@ -254,11 +260,17 @@ PrefetchGenerator::generate(Trace &trace,
             Insn pf2 = build::lfetch(prev);
             if (slice.fp)
                 pf2.count = 1;
-            sched.placeFrom(pf2, at + 1);
+            int sf_before = result.slotsFilled;
+            int pf2_at = sched.placeFrom(pf2, at + 1);
 
             Insn pf1 = build::lfetch(
                 r_l1, static_cast<std::int32_t>(l1_stride));
             sched.placeFrom(pf1, 0);
+            if (events_) {
+                events_->emit(observe::PrefetchInsertedEvent{
+                    "indirect", dl.origPc, dist, pf2_at,
+                    result.slotsFilled > sf_before});
+            }
             ++result.indirectPrefetches;
             break;
           }
@@ -291,7 +303,13 @@ PrefetchGenerator::generate(Trace &trace,
                 build::shladd(r, r, static_cast<std::uint8_t>(ahead_log2),
                               p),
                 at + 1);
-            sched.placeFrom(build::lfetch(r), at + 1);
+            int sf_before = result.slotsFilled;
+            int pf_at = sched.placeFrom(build::lfetch(r), at + 1);
+            if (events_) {
+                events_->emit(observe::PrefetchInsertedEvent{
+                    "pointer-chasing", dl.origPc, dist, pf_at,
+                    result.slotsFilled > sf_before});
+            }
             ++result.pointerPrefetches;
             break;
           }

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "observe/event_trace.hh"
 #include "runtime/slicer.hh"
 #include "runtime/trace.hh"
 
@@ -112,6 +113,9 @@ class PrefetchGenerator
                                std::uint32_t body_cycles,
                                bool skip_direct = false) const;
 
+    /** Emit a PrefetchInserted event per prefetched load (nullable). */
+    void setEventTrace(observe::EventTrace *events) { events_ = events; }
+
   private:
     struct Scheduler;
 
@@ -119,6 +123,7 @@ class PrefetchGenerator
                                 std::uint32_t body_cycles) const;
 
     PrefetchGenConfig config_;
+    observe::EventTrace *events_ = nullptr;
 };
 
 } // namespace adore

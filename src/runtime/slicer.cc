@@ -17,8 +17,10 @@ refPatternName(RefPattern pattern)
     return "?";
 }
 
-DependenceSlicer::DependenceSlicer(const Trace &trace)
+DependenceSlicer::DependenceSlicer(const Trace &trace,
+                                   observe::EventTrace *events)
     : trace_(trace),
+      events_(events),
       defs_(isa::numIntRegs),
       defPositions_(isa::numIntRegs)
 {
@@ -171,6 +173,18 @@ DependenceSlicer::chainReaches(std::uint8_t reg, InsnPos pos,
 
 SliceResult
 DependenceSlicer::classify(InsnPos pos) const
+{
+    SliceResult out = classifyImpl(pos);
+    if (events_) {
+        events_->emit(observe::SliceClassifiedEvent{
+            pos.bundle, pos.slot, refPatternName(out.pattern),
+            out.strideBytes});
+    }
+    return out;
+}
+
+SliceResult
+DependenceSlicer::classifyImpl(InsnPos pos) const
 {
     SliceResult out;
     panic_if(pos.bundle < 0 ||

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "observe/event_trace.hh"
 #include "runtime/trace.hh"
 
 namespace adore
@@ -83,7 +84,10 @@ struct SliceResult
 class DependenceSlicer
 {
   public:
-    explicit DependenceSlicer(const Trace &trace);
+    /** @p events (nullable) receives a SliceClassified decision event
+     *  per classify() call. */
+    explicit DependenceSlicer(const Trace &trace,
+                              observe::EventTrace *events = nullptr);
 
     /** Classify the load at @p pos (must be a load slot). */
     SliceResult classify(InsnPos pos) const;
@@ -97,6 +101,9 @@ class DependenceSlicer
         InsnPos pos;
         const Insn *insn;
     };
+
+    /** classify() minus the decision-event emission. */
+    SliceResult classifyImpl(InsnPos pos) const;
 
     const std::vector<Def> &defList(std::uint8_t reg) const;
 
@@ -124,6 +131,7 @@ class DependenceSlicer
                       int depth) const;
 
     const Trace &trace_;
+    observe::EventTrace *events_;
     std::vector<std::vector<Def>> defs_;
     std::vector<std::vector<InsnPos>> defPositions_;
 };

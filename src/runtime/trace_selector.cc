@@ -162,6 +162,12 @@ TraceSelector::select(const std::vector<Sample> &samples) const
         if (trace.bundles.empty())
             continue;
         trace.startRefCount = count;
+        if (events_) {
+            events_->emit(observe::TraceSelectedEvent{
+                trace.startAddr,
+                static_cast<std::uint32_t>(trace.bundles.size()),
+                trace.isLoop, trace.startRefCount});
+        }
         out.push_back(std::move(trace));
     }
     return out;

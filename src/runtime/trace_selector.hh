@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "observe/event_trace.hh"
 #include "program/code_image.hh"
 #include "pmu/sampler.hh"
 #include "runtime/trace.hh"
@@ -49,6 +50,9 @@ class TraceSelector
      */
     std::vector<Trace> select(const std::vector<Sample> &samples) const;
 
+    /** Emit a TraceSelected event per selected trace (nullable). */
+    void setEventTrace(observe::EventTrace *events) { events_ = events; }
+
   private:
     struct BranchStats
     {
@@ -77,6 +81,7 @@ class TraceSelector
 
     const CodeImage &code_;
     TraceSelectorConfig config_;
+    observe::EventTrace *events_ = nullptr;
 };
 
 } // namespace adore

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the observability layer: EventTrace ring semantics
+ * (disabled no-op, wraparound accounting, cycle ordering, clear,
+ * echo-independent rendering), the exporters (decision log, chrome
+ * trace JSON), and MetricsRegistry (collision refusal, prefix
+ * snapshots, snapshot detachment, JSON rendering).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+
+#include "observe/event_trace.hh"
+#include "observe/exporters.hh"
+#include "observe/metrics_registry.hh"
+
+namespace adore::observe
+{
+namespace
+{
+
+TEST(EventTrace, DisabledEmitIsANoOp)
+{
+    EventTrace trace(8);
+    EXPECT_FALSE(trace.enabled());
+    trace.emitAt(100, PhaseChangeEvent{1});
+    trace.emit(SamplingBatchEvent{0, 64});
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.totalEmitted(), 0u);
+    EXPECT_EQ(trace.dropped(), 0u);
+    EXPECT_TRUE(trace.snapshot().empty());
+}
+
+TEST(EventTrace, RecordsWhenEnabled)
+{
+    EventTrace trace(8);
+    trace.enable();
+#ifdef ADORE_OBSERVE_DISABLED
+    GTEST_SKIP() << "event tracing compiled out";
+#endif
+    EXPECT_TRUE(trace.enabled());
+    trace.emitAt(10, PhaseChangeEvent{7});
+    trace.setNow(20);
+    trace.emit(TraceSelectedEvent{0x4000020, 11, true, 42});
+
+    ASSERT_EQ(trace.size(), 2u);
+    std::vector<Event> events = trace.snapshot();
+    EXPECT_EQ(events[0].cycle, 10u);
+    EXPECT_EQ(events[1].cycle, 20u);
+    const auto *sel =
+        std::get_if<TraceSelectedEvent>(&events[1].payload);
+    ASSERT_NE(sel, nullptr);
+    EXPECT_EQ(sel->startAddr, 0x4000020u);
+    EXPECT_TRUE(sel->isLoop);
+}
+
+TEST(EventTrace, WraparoundKeepsNewestAndCountsDropped)
+{
+#ifdef ADORE_OBSERVE_DISABLED
+    GTEST_SKIP() << "event tracing compiled out";
+#endif
+    EventTrace trace(4);
+    trace.enable();
+    for (std::uint64_t i = 0; i < 6; ++i)
+        trace.emitAt(i, PhaseChangeEvent{i});
+
+    EXPECT_EQ(trace.size(), 4u);
+    EXPECT_EQ(trace.capacity(), 4u);
+    EXPECT_EQ(trace.totalEmitted(), 6u);
+    EXPECT_EQ(trace.dropped(), 2u);
+
+    // The snapshot holds the newest four, oldest first.
+    std::vector<Event> events = trace.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].cycle, i + 2);
+        const auto *pc = std::get_if<PhaseChangeEvent>(&events[i].payload);
+        ASSERT_NE(pc, nullptr);
+        EXPECT_EQ(pc->phaseId, i + 2);
+    }
+}
+
+TEST(EventTrace, SnapshotPreservesEmissionOrder)
+{
+#ifdef ADORE_OBSERVE_DISABLED
+    GTEST_SKIP() << "event tracing compiled out";
+#endif
+    EventTrace trace(64);
+    trace.enable();
+    // One optimizer poll: every event shares the published cycle, and
+    // later polls advance it — the stream must stay sorted.
+    for (std::uint64_t poll = 0; poll < 5; ++poll) {
+        trace.setNow(1000 * (poll + 1));
+        trace.emit(SamplingBatchEvent{poll, 64});
+        trace.emit(TraceSelectedEvent{0x100 * poll, 4, true, 10});
+    }
+    std::vector<Event> events = trace.snapshot();
+    ASSERT_EQ(events.size(), 10u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].cycle, events[i].cycle);
+}
+
+TEST(EventTrace, ClearDropsRetainedButKeepsTotals)
+{
+#ifdef ADORE_OBSERVE_DISABLED
+    GTEST_SKIP() << "event tracing compiled out";
+#endif
+    EventTrace trace(4);
+    trace.enable();
+    for (std::uint64_t i = 0; i < 6; ++i)
+        trace.emitAt(i, PhaseChangeEvent{i});
+    trace.clear();
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.totalEmitted(), 6u);
+    // Cleared events are not wraparound drops.
+    EXPECT_EQ(trace.dropped(), 2u);
+
+    // The ring is usable after clear, with no stale events.
+    trace.emitAt(100, PhaseChangeEvent{9});
+    std::vector<Event> events = trace.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].cycle, 100u);
+}
+
+TEST(EventTrace, RenderedLinesNameEveryEventKind)
+{
+    const Event events[] = {
+        {1, SamplingBatchEvent{3, 64}},
+        {2, PhaseChangeEvent{1}},
+        {3, StablePhaseEvent{2, 2.31, 0.0041, 0x4000030, true}},
+        {4, PhaseSkippedEvent{"low-miss-rate", 1.2, 0.0}},
+        {5, TraceSelectedEvent{0x4000020, 11, true, 42}},
+        {6, SliceClassifiedEvent{3, 1, "pointer-chasing", 0}},
+        {7, DelinquentLoadEvent{0x4000021, "pointer-chasing", 160, 139, 0}},
+        {8, PrefetchInsertedEvent{"direct", 0x4000021, 8, 2, true}},
+        {9, TracePatchedEvent{0x4000020, 0x10000000, 11, 1}},
+        {10, TraceRevertedEvent{0x4000020}},
+    };
+    const char *kinds[] = {
+        "SamplingBatch", "PhaseChange", "StablePhase", "PhaseSkipped",
+        "TraceSelected", "SliceClassified", "DelinquentLoad",
+        "PrefetchInserted", "TracePatched", "TraceReverted",
+    };
+    for (std::size_t i = 0; i < std::size(events); ++i) {
+        EXPECT_STREQ(eventKindName(events[i]), kinds[i]);
+        std::string line = renderEventLine(events[i]);
+        EXPECT_NE(line.find("cycle"), std::string::npos) << line;
+        EXPECT_FALSE(line.empty());
+    }
+}
+
+TEST(Exporters, DecisionLogHasOneLinePerEventPlusDropNote)
+{
+    std::vector<Event> events = {
+        {1, PhaseChangeEvent{1}},
+        {2, TraceSelectedEvent{0x4000020, 11, true, 42}},
+    };
+    std::string log = renderDecisionLog(events, 0);
+    EXPECT_EQ(std::count(log.begin(), log.end(), '\n'), 2);
+
+    std::string with_drops = renderDecisionLog(events, 3);
+    EXPECT_NE(with_drops.find("3 older events dropped"),
+              std::string::npos);
+}
+
+TEST(Exporters, ChromeTraceContainsPhaseSliceAndDecisions)
+{
+    std::vector<Event> events = {
+        {100, StablePhaseEvent{1, 2.0, 0.004, 0x4000030, true}},
+        {150, DelinquentLoadEvent{0x4000021, "direct", 20, 10, 8}},
+        {200, PhaseChangeEvent{1}},
+    };
+    std::string json = chromeTraceJson(events, "unit");
+    EXPECT_NE(json.find("\"name\": \"unit\""), std::string::npos);
+    // The stable phase becomes an "X" slice closed by its PhaseChange.
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 100"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"DelinquentLoad\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, AddRefusesCollisionsFirstWins)
+{
+    MetricsRegistry registry;
+    EXPECT_TRUE(registry.add("run.cycles", 100.0, "first"));
+    EXPECT_FALSE(registry.add("run.cycles", 200.0, "second"));
+    EXPECT_EQ(registry.value("run.cycles"), 100.0);
+
+    // set() is the deliberate overwrite.
+    registry.set("run.cycles", 300.0);
+    EXPECT_EQ(registry.value("run.cycles"), 300.0);
+}
+
+TEST(MetricsRegistry, ValueAndHas)
+{
+    MetricsRegistry registry;
+    registry.add("a.b", 1.5);
+    EXPECT_TRUE(registry.has("a.b"));
+    EXPECT_FALSE(registry.has("a.c"));
+    EXPECT_EQ(registry.value("a.b"), 1.5);
+    EXPECT_FALSE(registry.value("a.c").has_value());
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedDetachedAndPrefixFiltered)
+{
+    MetricsRegistry registry;
+    registry.add("mem.loads", 2.0);
+    registry.add("adore.phases", 1.0);
+    registry.add("mem.stores", 3.0);
+
+    auto all = registry.snapshot();
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].name, "adore.phases");
+    EXPECT_EQ(all[1].name, "mem.loads");
+    EXPECT_EQ(all[2].name, "mem.stores");
+
+    auto mem = registry.snapshot("mem.");
+    ASSERT_EQ(mem.size(), 2u);
+    EXPECT_EQ(mem[0].name, "mem.loads");
+
+    // The snapshot is a detached copy.
+    registry.set("mem.loads", 99.0);
+    EXPECT_EQ(mem[0].value, 2.0);
+}
+
+TEST(MetricsRegistry, JsonRendersIntegersExactly)
+{
+    MetricsRegistry registry;
+    registry.add("run.cycles", 73512315.0);
+    registry.add("run.cpi", 8.163);
+    std::string json = registry.toJson();
+    EXPECT_NE(json.find("\"run.cycles\": 73512315"), std::string::npos);
+    EXPECT_NE(json.find("\"run.cpi\": 8.163"), std::string::npos);
+}
+
+} // namespace
+} // namespace adore::observe

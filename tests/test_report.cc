@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the reporting layer: scenario-name parsing, the mcf_o2
+ * golden report (the paper's flagship benchmark must show its stable
+ * phases, pointer-chasing delinquent loads, inserted prefetches and
+ * cache miss rates), the decision-event stream threaded through a real
+ * run, and the metrics JSON surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "observe/report.hh"
+
+namespace adore
+{
+namespace
+{
+
+TEST(ScenarioNames, ParseAcceptsKnownRejectsUnknown)
+{
+    report::ScenarioSpec spec;
+    ASSERT_TRUE(report::parseScenario("mcf_o2", spec));
+    EXPECT_EQ(spec.workload, "mcf");
+    EXPECT_EQ(spec.level, OptLevel::O2);
+
+    ASSERT_TRUE(report::parseScenario("equake_o3", spec));
+    EXPECT_EQ(spec.workload, "equake");
+    EXPECT_EQ(spec.level, OptLevel::O3);
+
+    EXPECT_FALSE(report::parseScenario("mcf", spec));
+    EXPECT_FALSE(report::parseScenario("mcf_o4", spec));
+    EXPECT_FALSE(report::parseScenario("nosuch_o2", spec));
+}
+
+TEST(ScenarioNames, AllNamesParse)
+{
+    std::vector<std::string> names = report::allScenarioNames();
+    EXPECT_EQ(names.size(), 34u);  // 17 workloads x {o2, o3}
+    report::ScenarioSpec spec;
+    for (const std::string &name : names)
+        EXPECT_TRUE(report::parseScenario(name, spec)) << name;
+}
+
+/** One mcf_o2 scenario run shared by the golden-report tests. */
+class McfReport : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        result_ = new report::ScenarioResult(
+            report::runScenario("mcf_o2"));
+        markdown_ = new std::string(report::markdownReport(*result_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        delete markdown_;
+        result_ = nullptr;
+        markdown_ = nullptr;
+    }
+
+    static report::ScenarioResult *result_;
+    static std::string *markdown_;
+};
+
+report::ScenarioResult *McfReport::result_ = nullptr;
+std::string *McfReport::markdown_ = nullptr;
+
+#ifdef ADORE_OBSERVE_DISABLED
+#define SKIP_IF_OBSERVE_DISABLED() \
+    GTEST_SKIP() << "event tracing compiled out"
+#else
+#define SKIP_IF_OBSERVE_DISABLED() (void)0
+#endif
+
+TEST_F(McfReport, RunImprovesAndDetectsPhases)
+{
+    EXPECT_TRUE(result_->baseline.halted);
+    EXPECT_TRUE(result_->optimized.halted);
+    EXPECT_LT(result_->optimized.cycles, result_->baseline.cycles);
+    EXPECT_GE(result_->optimized.adoreStats.phasesDetected, 1u);
+    EXPECT_GE(result_->optimized.adoreStats.pointerPrefetches, 1);
+}
+
+TEST_F(McfReport, EventStreamCoversTheDecisionPipeline)
+{
+    SKIP_IF_OBSERVE_DISABLED();
+    ASSERT_FALSE(result_->events.empty());
+
+    std::set<std::string> kinds;
+    std::uint64_t prev_cycle = 0;
+    for (const observe::Event &event : result_->events) {
+        kinds.insert(observe::eventKindName(event));
+        // Ordered by simulated cycle.
+        EXPECT_LE(prev_cycle, event.cycle);
+        prev_cycle = event.cycle;
+    }
+    for (const char *kind :
+         {"SamplingBatch", "StablePhase", "TraceSelected",
+          "SliceClassified", "DelinquentLoad", "PrefetchInserted",
+          "TracePatched"}) {
+        EXPECT_TRUE(kinds.count(kind)) << "missing event kind " << kind;
+    }
+}
+
+TEST_F(McfReport, MarkdownNamesPointerChasingLoads)
+{
+    SKIP_IF_OBSERVE_DISABLED();
+    // mcf is the paper's pointer-chasing flagship: the report must name
+    // the pattern in its delinquent-load analysis.
+    EXPECT_NE(markdown_->find("pointer-chasing"), std::string::npos);
+    EXPECT_NE(markdown_->find("## Delinquent loads"), std::string::npos);
+}
+
+TEST_F(McfReport, MarkdownShowsPhasesPrefetchesAndMissRates)
+{
+    EXPECT_NE(markdown_->find("## Phase behaviour"), std::string::npos);
+    EXPECT_NE(markdown_->find("## Prefetches inserted"),
+              std::string::npos);
+    EXPECT_NE(markdown_->find("## Cache behaviour"), std::string::npos);
+    EXPECT_NE(markdown_->find("| L1D |"), std::string::npos);
+    EXPECT_NE(markdown_->find("speedup"), std::string::npos);
+#ifndef ADORE_OBSERVE_DISABLED
+    // With tracing available the event-derived tables must be
+    // populated, not fallback text.
+    EXPECT_EQ(markdown_->find("No stable phase was detected"),
+              std::string::npos);
+    EXPECT_EQ(markdown_->find("No prefetches were inserted"),
+              std::string::npos);
+    EXPECT_EQ(markdown_->find("detail unavailable"), std::string::npos);
+#endif
+}
+
+TEST_F(McfReport, MetricsJsonExposesTheUnifiedNamespace)
+{
+    std::string json = Experiment::metricsJson(result_->optimized);
+    for (const char *key :
+         {"\"run.cycles\"", "\"run.cpi\"", "\"l1d.miss_rate\"",
+          "\"adore.traces_patched\"", "\"adore.prefetches_pointer\"",
+          "\"mem.prefetches_issued\"", "\"compile.static_lfetches\""}) {
+        EXPECT_NE(json.find(key), std::string::npos)
+            << "missing metric " << key;
+    }
+
+    observe::MetricsRegistry registry;
+    Experiment::collectMetrics(registry, result_->optimized);
+    EXPECT_EQ(registry.value("adore.used"), 1.0);
+    EXPECT_EQ(registry.value("run.cycles"),
+              static_cast<double>(result_->optimized.cycles));
+    EXPECT_GE(registry.value("adore.prefetches_pointer").value_or(0), 1.0);
+}
+
+} // namespace
+} // namespace adore

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * adore_report: per-benchmark observability reports and EXPERIMENTS.md
+ * regeneration (DESIGN.md §9).
+ *
+ *   adore_report mcf_o2                 markdown report on stdout
+ *   adore_report mcf_o2 --out R.md      ... to a file
+ *   adore_report mcf_o2 --json          baseline/optimized metrics JSON
+ *   adore_report mcf_o2 --trace T.json  chrome://tracing / Perfetto
+ *                                       trace of the optimizer decisions
+ *   adore_report mcf_o2 --log           raw decision log
+ *   adore_report --list                 every scenario name
+ *   adore_report --regen-experiments [--check] [--file EXPERIMENTS.md]
+ *                                       rewrite (or verify) the
+ *                                       generated measured tables
+ *
+ * A scenario is `<workload>_<o2|o3>`: the workload compiled with the
+ * paper's restricted options at that level, run as a baseline and with
+ * ADORE attached.  Simulations are deterministic, so --check is a
+ * stable docs-drift gate (ci.sh runs it).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "observe/exporters.hh"
+#include "observe/report.hh"
+#include "support/logging.hh"
+
+using namespace adore;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <scenario> [--json] [--log] [--trace FILE] "
+                 "[--out FILE]\n"
+                 "       %s --list\n"
+                 "       %s --regen-experiments [--check] [--file PATH]\n"
+                 "scenarios are <workload>_<o2|o3>, e.g. mcf_o2 "
+                 "(see --list)\n",
+                 argv0, argv0, argv0);
+    return 2;
+}
+
+int
+listScenarios()
+{
+    for (const std::string &name : report::allScenarioNames())
+        std::printf("%s\n", name.c_str());
+    return 0;
+}
+
+int
+regenExperiments(const std::string &path, bool check)
+{
+    std::string current;
+    if (!report::readFile(path, current)) {
+        std::fprintf(stderr, "adore_report: cannot read %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string updated = report::regenerateExperiments(current);
+    if (check) {
+        if (updated != current) {
+            std::fprintf(stderr,
+                         "adore_report: %s is out of date with the "
+                         "measured results.\n"
+                         "Run `adore_report --regen-experiments --file "
+                         "%s` and commit the result.\n",
+                         path.c_str(), path.c_str());
+            return 1;
+        }
+        std::printf("%s: generated tables are up to date\n",
+                    path.c_str());
+        return 0;
+    }
+    if (updated == current) {
+        std::printf("%s: already up to date\n", path.c_str());
+        return 0;
+    }
+    if (!observe::writeFile(path, updated)) {
+        std::fprintf(stderr, "adore_report: cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::printf("%s: regenerated\n", path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    std::string scenario;
+    std::string out_path;
+    std::string trace_path;
+    std::string experiments_path = "EXPERIMENTS.md";
+    bool json = false;
+    bool log = false;
+    bool regen = false;
+    bool check = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs an argument\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list")
+            return listScenarios();
+        else if (arg == "--json")
+            json = true;
+        else if (arg == "--log")
+            log = true;
+        else if (arg == "--trace")
+            trace_path = next();
+        else if (arg == "--out")
+            out_path = next();
+        else if (arg == "--regen-experiments")
+            regen = true;
+        else if (arg == "--check")
+            check = true;
+        else if (arg == "--file")
+            experiments_path = next();
+        else if (arg == "--help" || arg == "-h")
+            return usage(argv[0]);
+        else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(argv[0]);
+        } else if (scenario.empty()) {
+            scenario = arg;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (regen)
+        return regenExperiments(experiments_path, check);
+    if (scenario.empty())
+        return usage(argv[0]);
+
+    report::ScenarioSpec spec;
+    if (!report::parseScenario(scenario, spec)) {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (try `%s --list`)\n",
+                     scenario.c_str(), argv[0]);
+        return 2;
+    }
+
+    report::ScenarioResult result = report::runScenario(scenario);
+
+    if (!trace_path.empty()) {
+        std::string trace_json =
+            observe::chromeTraceJson(result.events, scenario);
+        if (!observe::writeFile(trace_path, trace_json)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "wrote %s (load it at ui.perfetto.dev or "
+                     "chrome://tracing)\n",
+                     trace_path.c_str());
+    }
+
+    std::string output;
+    if (json) {
+        output = "{\n\"baseline\": " +
+                 Experiment::metricsJson(result.baseline) +
+                 ",\n\"optimized\": " +
+                 Experiment::metricsJson(result.optimized) + "\n}\n";
+    } else if (log) {
+        output = observe::renderDecisionLog(result.events,
+                                            result.eventsDropped);
+    } else {
+        output = report::markdownReport(result);
+    }
+
+    if (out_path.empty()) {
+        std::fputs(output.c_str(), stdout);
+    } else if (!observe::writeFile(out_path, output)) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    return 0;
+}
