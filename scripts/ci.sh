@@ -27,6 +27,12 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 cmake --build "$BUILD_DIR" --target bench_smoke
 
+# Chaos smoke: 3 workloads x 5 fixed fault seeds under the default
+# moderate fault schedule, baseline vs ADORE+guardrails.  Fails when any
+# run crashes, any metric set is self-inconsistent, or the guardrailed
+# CPI exceeds the margin against the no-ADORE baseline (DESIGN.md §10).
+"$BUILD_DIR"/tools/adore_chaos --smoke --max-cycles 8000000
+
 # Docs-drift gates: EXPERIMENTS.md generated blocks must match fresh
 # measurements (simulations are deterministic, so this is stable), and
 # every relative markdown link must resolve.

@@ -1,0 +1,162 @@
+#include "fault/fault_plan.hh"
+
+namespace adore::fault
+{
+
+namespace
+{
+
+/**
+ * Channel constants: arbitrary odd 64-bit values XORed into the master
+ * seed so each channel owns an independent stream.  Adding a channel
+ * later gets a new constant and leaves existing schedules untouched.
+ */
+constexpr std::uint64_t kDropChannel = 0x9d5c7f2ae1b64d01ULL;
+constexpr std::uint64_t kDupChannel = 0x3b1f9e4c8a72d603ULL;
+constexpr std::uint64_t kDearChannel = 0x517ac2e96fd38b05ULL;
+constexpr std::uint64_t kCounterChannel = 0xc8e65a013d9bf407ULL;
+constexpr std::uint64_t kBtbChannel = 0x24d90b7e5c1fa809ULL;
+constexpr std::uint64_t kPatchChannel = 0x6fa3d18c40e75b0bULL;
+constexpr std::uint64_t kMemChannel = 0xe21b48f79a63cd0dULL;
+constexpr std::uint64_t kBusChannel = 0x80c6f35b27d41e0fULL;
+
+} // namespace
+
+Rng
+FaultPlan::channelRng(std::uint64_t seed, std::uint64_t channel)
+{
+    // The Rng constructor runs the seed through splitmix64, so even
+    // nearby seeds XORed with the same channel constant diverge.
+    return Rng(seed ^ channel);
+}
+
+FaultPlan::FaultPlan(const FaultConfig &config)
+    : config_(config),
+      dropRng_(channelRng(config.seed, kDropChannel)),
+      dupRng_(channelRng(config.seed, kDupChannel)),
+      dearRng_(channelRng(config.seed, kDearChannel)),
+      counterRng_(channelRng(config.seed, kCounterChannel)),
+      btbRng_(channelRng(config.seed, kBtbChannel)),
+      patchRng_(channelRng(config.seed, kPatchChannel)),
+      memRng_(channelRng(config.seed, kMemChannel)),
+      busRng_(channelRng(config.seed, kBusChannel))
+{
+}
+
+bool
+FaultPlan::dropBatch()
+{
+    if (config_.dropBatchRate <= 0 ||
+        dropRng_.real() >= config_.dropBatchRate) {
+        return false;
+    }
+    ++stats_.batchesDropped;
+    return true;
+}
+
+bool
+FaultPlan::duplicateBatch()
+{
+    if (config_.dupBatchRate <= 0 ||
+        dupRng_.real() >= config_.dupBatchRate) {
+        return false;
+    }
+    ++stats_.batchesDuplicated;
+    return true;
+}
+
+bool
+FaultPlan::aliasDear(std::uint64_t &missAddr)
+{
+    if (config_.dearAliasRate <= 0 ||
+        dearRng_.real() >= config_.dearAliasRate) {
+        return false;
+    }
+    // Displace within the configured span, rounded to 8 bytes so the
+    // aliased address still looks like a data reference.  The slicer
+    // sees a stride/pattern that does not match the real access.
+    std::uint64_t span = config_.dearAliasSpanBytes ? config_.dearAliasSpanBytes
+                                                    : 1;
+    std::uint64_t offset = dearRng_.below(span) & ~std::uint64_t{7};
+    missAddr ^= offset;
+    ++stats_.dearAliased;
+    return true;
+}
+
+bool
+FaultPlan::jitterCounters(std::uint64_t &cycles, std::uint64_t &misses,
+                          std::uint64_t &retired)
+{
+    if (config_.counterJitterRate <= 0 ||
+        counterRng_.real() >= config_.counterJitterRate) {
+        return false;
+    }
+    auto jitter = [this](std::uint64_t v) -> std::uint64_t {
+        std::uint64_t span = v / 1000 * config_.counterJitterPerMille;
+        if (span > v)
+            span = v;  // keep the perturbed counter non-negative
+        if (span == 0)
+            return v;
+        // Signed displacement in [-span, +span].
+        std::uint64_t d = counterRng_.below(2 * span + 1);
+        return v + d - span;
+    };
+    cycles = jitter(cycles);
+    misses = jitter(misses);
+    retired = jitter(retired);
+    ++stats_.countersJittered;
+    return true;
+}
+
+bool
+FaultPlan::corruptBtbPath(std::uint32_t n, std::uint32_t &a,
+                          std::uint32_t &b)
+{
+    if (n < 2 || config_.btbCorruptRate <= 0 ||
+        btbRng_.real() >= config_.btbCorruptRate) {
+        return false;
+    }
+    a = static_cast<std::uint32_t>(btbRng_.below(n));
+    b = static_cast<std::uint32_t>(btbRng_.below(n - 1));
+    if (b >= a)
+        ++b;  // distinct pair, uniform over off-diagonal
+    ++stats_.btbCorrupted;
+    return true;
+}
+
+bool
+FaultPlan::patchFails()
+{
+    if (config_.patchFailRate <= 0 ||
+        patchRng_.real() >= config_.patchFailRate) {
+        return false;
+    }
+    ++stats_.patchesFailed;
+    return true;
+}
+
+std::uint32_t
+FaultPlan::memLatencyJitter()
+{
+    if (config_.memJitterRate <= 0 ||
+        memRng_.real() >= config_.memJitterRate) {
+        return 0;
+    }
+    ++stats_.memFillsJittered;
+    std::uint32_t max = config_.memJitterMaxCycles ? config_.memJitterMaxCycles
+                                                   : 1;
+    return 1 + static_cast<std::uint32_t>(memRng_.below(max));
+}
+
+std::uint32_t
+FaultPlan::busSqueeze()
+{
+    if (config_.busSqueezeRate <= 0 ||
+        busRng_.real() >= config_.busSqueezeRate) {
+        return 0;
+    }
+    ++stats_.busSqueezes;
+    return config_.busSqueezeCycles;
+}
+
+} // namespace adore::fault

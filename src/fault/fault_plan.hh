@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos testing (DESIGN.md §10).
+ *
+ * ADORE patches a live binary from noisy PMU samples, so the runtime
+ * must stay safe when sampling is unreliable, phases thrash, or
+ * inserted prefetches saturate the bus.  A FaultPlan deliberately
+ * manufactures those failures on three paths:
+ *
+ *  - the PMU path (Sampler): dropped and duplicated sample batches,
+ *    DEAR miss-address aliasing, counter jitter, BTB path corruption;
+ *  - the patching path (AdoreRuntime): refused patches — trace-pool
+ *    exhaustion is configured separately (AdoreConfig) because it is a
+ *    real capacity limit, not an injected fault;
+ *  - the memory system (CacheHierarchy): per-fill latency jitter and
+ *    bus-bandwidth squeeze.
+ *
+ * Determinism contract: every channel draws from its own xoshiro256**
+ * stream seeded from FaultConfig::seed, and every decision is a
+ * function of (seed, channel, number of prior decisions on that
+ * channel).  Simulations are single-threaded and deterministic, so the
+ * same seed replays the identical fault schedule — same metrics, same
+ * decision-event stream.  Channels never read each other's streams, so
+ * enabling one channel does not shift another's schedule.
+ *
+ * Zero-cost-when-off contract: nothing holds a FaultPlan unless the
+ * run asked for faults; hook sites check one pointer against null.
+ * With no plan attached every perturbed path computes exactly what it
+ * computed before this subsystem existed (bit-identical metrics).
+ */
+
+#ifndef ADORE_FAULT_FAULT_PLAN_HH
+#define ADORE_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+
+#include "support/rng.hh"
+
+namespace adore::fault
+{
+
+struct FaultConfig
+{
+    /** Master seed: same seed ⇒ same fault schedule ⇒ same run. */
+    std::uint64_t seed = 0;
+
+    // --- PMU path -----------------------------------------------------
+    /** Probability an SSB overflow batch is dropped before the UEB. */
+    double dropBatchRate = 0.0;
+    /** Probability an SSB overflow batch is delivered twice. */
+    double dupBatchRate = 0.0;
+    /** Probability a sample's DEAR miss address is aliased. */
+    double dearAliasRate = 0.0;
+    /** Bytes the aliased miss address may be displaced by (pow2 mask). */
+    std::uint64_t dearAliasSpanBytes = 1 << 20;
+    /** Probability a sample's PMU counters are jittered. */
+    double counterJitterRate = 0.0;
+    /** Max per-counter jitter, in per-mille of the sampled value. */
+    std::uint32_t counterJitterPerMille = 50;
+    /** Probability a sample's BTB path is corrupted (targets swapped). */
+    double btbCorruptRate = 0.0;
+
+    // --- patching path ------------------------------------------------
+    /** Probability a trace commit/patch fails (rejected, no effect). */
+    double patchFailRate = 0.0;
+
+    // --- memory system ------------------------------------------------
+    /** Probability a memory fill pays extra latency. */
+    double memJitterRate = 0.0;
+    /** Max extra fill latency in cycles (uniform in [1, max]). */
+    std::uint32_t memJitterMaxCycles = 96;
+    /** Probability a memory fill occupies the bus for extra cycles. */
+    double busSqueezeRate = 0.0;
+    /** Extra bus occupancy per squeezed fill, in cycles. */
+    std::uint32_t busSqueezeCycles = 24;
+
+    /** True when any channel can fire (a plan is worth constructing). */
+    bool
+    any() const
+    {
+        return dropBatchRate > 0 || dupBatchRate > 0 ||
+               dearAliasRate > 0 || counterJitterRate > 0 ||
+               btbCorruptRate > 0 || patchFailRate > 0 ||
+               memJitterRate > 0 || busSqueezeRate > 0;
+    }
+};
+
+/** Count of injections per channel (the `fault.*` metrics). */
+struct FaultStats
+{
+    std::uint64_t batchesDropped = 0;
+    std::uint64_t batchesDuplicated = 0;
+    std::uint64_t dearAliased = 0;
+    std::uint64_t countersJittered = 0;
+    std::uint64_t btbCorrupted = 0;
+    std::uint64_t patchesFailed = 0;
+    std::uint64_t memFillsJittered = 0;
+    std::uint64_t busSqueezes = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return batchesDropped + batchesDuplicated + dearAliased +
+               countersJittered + btbCorrupted + patchesFailed +
+               memFillsJittered + busSqueezes;
+    }
+};
+
+/**
+ * One run's fault schedule.  Owned by the experiment harness; the
+ * Sampler, AdoreRuntime, and CacheHierarchy hold non-owning pointers
+ * (null = no faults).  Not thread-safe: one plan per simulation run,
+ * exactly like EventTrace.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(const FaultConfig &config);
+
+    const FaultConfig &config() const { return config_; }
+    const FaultStats &stats() const { return stats_; }
+
+    /// @name PMU-path decisions (called by Sampler)
+    /// @{
+    bool dropBatch();
+    bool duplicateBatch();
+    /** Maybe alias @p missAddr; @return true when mutated. */
+    bool aliasDear(std::uint64_t &missAddr);
+    /**
+     * Maybe jitter the cumulative PMU counters of one sample.
+     * Perturbs each value by up to counterJitterPerMille of itself
+     * (never below zero).  @return true when mutated.
+     */
+    bool jitterCounters(std::uint64_t &cycles, std::uint64_t &misses,
+                        std::uint64_t &retired);
+    /**
+     * Maybe corrupt a BTB path of @p n entries: pick two entries and
+     * swap their targets (both stay plausible code addresses, but the
+     * implied path is wrong).  @return the pair to swap via @p a/@p b,
+     * or false to leave the path alone.
+     */
+    bool corruptBtbPath(std::uint32_t n, std::uint32_t &a,
+                        std::uint32_t &b);
+    /// @}
+
+    /// @name Patching-path decisions (called by AdoreRuntime)
+    /// @{
+    bool patchFails();
+    /// @}
+
+    /// @name Memory-system decisions (called by CacheHierarchy)
+    /// @{
+    /** Extra cycles to add to the next memory-fill latency (0 = none). */
+    std::uint32_t memLatencyJitter();
+    /** Extra bus-occupancy cycles for the next fill (0 = none). */
+    std::uint32_t busSqueeze();
+    /// @}
+
+  private:
+    /** Independent per-channel stream: seed ^ a channel constant. */
+    static Rng channelRng(std::uint64_t seed, std::uint64_t channel);
+
+    FaultConfig config_;
+    FaultStats stats_;
+    Rng dropRng_;
+    Rng dupRng_;
+    Rng dearRng_;
+    Rng counterRng_;
+    Rng btbRng_;
+    Rng patchRng_;
+    Rng memRng_;
+    Rng busRng_;
+};
+
+} // namespace adore::fault
+
+#endif // ADORE_FAULT_FAULT_PLAN_HH

@@ -1,0 +1,209 @@
+#include "harness/chaos.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "workloads/workloads.hh"
+
+namespace adore
+{
+
+fault::FaultConfig
+defaultChaosFaults()
+{
+    fault::FaultConfig f;
+    f.dropBatchRate = 0.05;
+    f.dupBatchRate = 0.03;
+    f.dearAliasRate = 0.05;
+    f.counterJitterRate = 0.10;
+    f.btbCorruptRate = 0.05;
+    f.patchFailRate = 0.10;
+    f.memJitterRate = 0.05;
+    f.busSqueezeRate = 0.05;
+    return f;
+}
+
+ChaosSpec::ChaosSpec() : faults(defaultChaosFaults()) {}
+
+namespace
+{
+
+/** snprintf into a std::string (all lines are short and bounded). */
+template <typename... Args>
+std::string
+fmt(const char *format, Args... args)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), format, args...);
+    return buf;
+}
+
+void
+require(ChaosReport &report, const ChaosRunResult &r, bool ok,
+        const std::string &what)
+{
+    if (!ok)
+        report.violations.push_back({r.workload, r.seed, what});
+}
+
+/** Invariant 2: one run's metrics must be internally consistent. */
+void
+checkSelfConsistent(ChaosReport &report, const ChaosRunResult &r,
+                    const RunMetrics &m, const char *which)
+{
+    std::string p = std::string(which) + ": ";
+    require(report, r, m.retired > 0, p + "no instructions retired");
+    if (m.retired > 0) {
+        double cpi = static_cast<double>(m.cycles) /
+                     static_cast<double>(m.retired);
+        require(report, r, m.cpi == cpi,
+                p + "cpi is not cycles/retired");
+    }
+    // Issued / dropped / useless are disjoint outcomes of a prefetch
+    // request, so no subset relation holds between them; the cache
+    // counters do have one.
+    const CacheStats *levels[] = {&m.l1iStats, &m.l1dStats, &m.l2Stats,
+                                  &m.l3Stats};
+    for (const CacheStats *s : levels) {
+        require(report, r, s->hits + s->misses <= s->accesses,
+                p + "cache hits+misses exceed accesses");
+    }
+    const AdoreStats &a = m.adoreStats;
+    require(report, r, a.tracesUnpatched <= a.tracesPatched,
+            p + "more traces unpatched than patched");
+    require(report, r, a.phasesReverted <= a.phasesOptimized,
+            p + "more batches reverted than optimized");
+    // A phase can generate prefetches whose commit then fails (patch
+    // fault / pool exhaustion), so phasesPrefetched is bounded by the
+    // phases that entered the optimizer, not by phasesOptimized.
+    require(report, r, a.phasesOptimized <= a.phasesDetected,
+            p + "more phases optimized than detected");
+    require(report, r, a.phasesPrefetched <= a.phasesDetected,
+            p + "more phases prefetched than detected");
+    if (m.guardrailsUsed) {
+        const GuardrailStats &g = m.guardrailStats;
+        require(report, r, g.patchFailures == a.tracesPatchFailed,
+                p + "guardrail patch failures disagree with runtime");
+        require(report, r,
+                g.poolExhaustedRejects == a.tracesRejectedPoolFull,
+                p + "guardrail pool rejects disagree with runtime");
+    }
+    if (m.faultsUsed) {
+        require(report, r,
+                m.faultStats.patchesFailed >= a.tracesPatchFailed,
+                p + "runtime saw more patch failures than injected");
+    }
+}
+
+} // namespace
+
+ChaosReport
+Experiment::runChaos(const ChaosSpec &spec)
+{
+    std::vector<std::string> names = spec.workloads;
+    if (names.empty()) {
+        for (const workloads::WorkloadInfo &w : workloads::allWorkloads())
+            names.push_back(w.name);
+    }
+
+    // Programs are shared read-only across the sweep.
+    std::vector<hir::Program> programs;
+    programs.reserve(names.size());
+    for (const std::string &name : names)
+        programs.push_back(workloads::make(name));
+
+    // Two specs per (workload, seed): baseline then chaotic.
+    std::vector<RunSpec> runSpecs;
+    for (std::size_t wi = 0; wi < names.size(); ++wi) {
+        for (std::uint64_t seed : spec.seeds) {
+            RunConfig base;
+            base.compile.level = OptLevel::O2;
+            base.compile.softwarePipelining = false;
+            base.compile.reserveAdoreRegs = true;
+            base.maxCycles = spec.maxCycles;
+            base.quietCycleLimit = true;  // bounded by budget on purpose
+            base.faults = spec.faults;
+            base.faults.seed = seed;
+
+            RunConfig chaotic = base;
+            chaotic.adore = true;
+            chaotic.adoreConfig = defaultAdoreConfig();
+            chaotic.adoreConfig.guardrails.enabled = true;
+            chaotic.adoreConfig.tracePoolCapacityBundles =
+                spec.poolCapacityBundles;
+
+            runSpecs.push_back({&programs[wi], base});
+            runSpecs.push_back({&programs[wi], chaotic});
+        }
+    }
+
+    std::vector<RunMetrics> results = runMany(runSpecs, spec.jobs);
+
+    ChaosReport report;
+    std::size_t idx = 0;
+    for (std::size_t wi = 0; wi < names.size(); ++wi) {
+        for (std::uint64_t seed : spec.seeds) {
+            ChaosRunResult r;
+            r.workload = names[wi];
+            r.seed = seed;
+            r.baseline = results[idx++];
+            r.chaotic = results[idx++];
+
+            checkSelfConsistent(report, r, r.baseline, "baseline");
+            checkSelfConsistent(report, r, r.chaotic, "chaotic");
+            require(report, r, r.chaotic.adoreUsed,
+                    "chaotic: ADORE was not attached");
+            require(report, r, r.chaotic.guardrailsUsed,
+                    "chaotic: guardrails were not enabled");
+            if (r.baseline.cpi > 0.0) {
+                require(report, r,
+                        r.chaotic.cpi <=
+                            r.baseline.cpi * spec.cpiMargin,
+                        fmt("cpi margin exceeded: %.3f > %.3f * %.2f",
+                            r.chaotic.cpi, r.baseline.cpi,
+                            spec.cpiMargin));
+            }
+
+            report.runs.push_back(std::move(r));
+        }
+    }
+    return report;
+}
+
+std::string
+ChaosReport::table() const
+{
+    std::string out;
+    out += "workload       seed  base-cpi  chaos-cpi  ratio  faults  "
+           "reverts  throttle  rejects\n";
+    for (const ChaosRunResult &r : runs) {
+        const GuardrailStats &g = r.chaotic.guardrailStats;
+        out += fmt(
+            "%-13s %5llu  %8.3f  %9.3f  %5.3f  %6llu  %7llu  %8llu  "
+            "%7llu\n",
+            r.workload.c_str(),
+            static_cast<unsigned long long>(r.seed), r.baseline.cpi,
+            r.chaotic.cpi, r.cpiRatio(),
+            static_cast<unsigned long long>(r.chaotic.faultStats.total()),
+            static_cast<unsigned long long>(g.stagedReverts +
+                                            g.fullReverts),
+            static_cast<unsigned long long>(g.prefetchDamped +
+                                            g.prefetchDisabled),
+            static_cast<unsigned long long>(g.poolExhaustedRejects +
+                                            g.patchFailures));
+    }
+    if (violations.empty()) {
+        out += fmt("\n%zu runs, all invariants held\n", runs.size());
+    } else {
+        out += fmt("\n%zu runs, %zu violations:\n", runs.size(),
+                   violations.size());
+        for (const ChaosViolation &v : violations) {
+            out += fmt("  %s seed=%llu: %s\n", v.workload.c_str(),
+                       static_cast<unsigned long long>(v.seed),
+                       v.what.c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace adore

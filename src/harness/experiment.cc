@@ -34,6 +34,18 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
         compiler.compile(prog, cfg.compile, machine.code(), data);
     machine.cpu().setPc(out.compileReport.entry);
 
+    // Chaos: one deterministic fault plan per run, shared by the PMU
+    // path, the patching path, and the memory system.  The memory
+    // channels also apply to ADORE-less baseline runs, so a chaos
+    // CPI-margin comparison sees the same degraded memory system on
+    // both sides.
+    std::unique_ptr<fault::FaultPlan> faults;
+    if (cfg.faults.any()) {
+        faults = std::make_unique<fault::FaultPlan>(cfg.faults);
+        machine.caches().setFaultPlan(faults.get());
+        out.faultsUsed = true;
+    }
+
     // The SWP-loop filter: ADORE must skip loops compiled with rotating
     // registers (paper Section 4.3).
     std::unordered_set<int> swp_loops;
@@ -44,6 +56,8 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
     std::unique_ptr<AdoreRuntime> adore;
     if (cfg.adore) {
         AdoreConfig acfg = cfg.adoreConfig;
+        if (faults)
+            acfg.faultPlan = faults.get();
         if (!swp_loops.empty()) {
             CodeImage *code = &machine.code();
             acfg.swpLoopFilter = [code, swp_loops](Addr pc) {
@@ -89,7 +103,7 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
     }
 
     auto result = machine.cpu().run(cfg.maxCycles);
-    if (!result.halted) {
+    if (!result.halted && !cfg.quietCycleLimit) {
         warn("%s: run hit the %llu-cycle limit before Halt",
              prog.name.c_str(),
              static_cast<unsigned long long>(cfg.maxCycles));
@@ -114,7 +128,13 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
     if (adore) {
         adore->detach();
         out.adoreStats = adore->stats();
+        if (adore->guardrails()) {
+            out.guardrailsUsed = true;
+            out.guardrailStats = adore->guardrails()->stats();
+        }
     }
+    if (faults)
+        out.faultStats = faults->stats();
     return out;
 }
 
@@ -203,6 +223,69 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
     add("compile.swp_loops", static_cast<double>(swp_loops),
         "software-pipelined loops");
 
+    if (metrics.faultsUsed) {
+        const fault::FaultStats &f = metrics.faultStats;
+        add("fault.batches_dropped",
+            static_cast<double>(f.batchesDropped),
+            "SSB overflow batches dropped before the UEB");
+        add("fault.batches_duplicated",
+            static_cast<double>(f.batchesDuplicated),
+            "SSB overflow batches delivered twice");
+        add("fault.dear_aliased", static_cast<double>(f.dearAliased),
+            "DEAR miss addresses aliased");
+        add("fault.counters_jittered",
+            static_cast<double>(f.countersJittered),
+            "samples with jittered PMU counters");
+        add("fault.btb_corrupted", static_cast<double>(f.btbCorrupted),
+            "samples with corrupted BTB paths");
+        add("fault.patches_failed",
+            static_cast<double>(f.patchesFailed),
+            "trace commits refused by injected patch failure");
+        add("fault.mem_fills_jittered",
+            static_cast<double>(f.memFillsJittered),
+            "memory fills with injected extra latency");
+        add("fault.bus_squeezes", static_cast<double>(f.busSqueezes),
+            "memory fills with injected extra bus occupancy");
+        add("fault.total", static_cast<double>(f.total()),
+            "total injected faults across all channels");
+    }
+
+    if (metrics.guardrailsUsed) {
+        const GuardrailStats &g = metrics.guardrailStats;
+        add("guardrail.staged_reverts",
+            static_cast<double>(g.stagedReverts),
+            "single-trace reverts (stage 1)");
+        add("guardrail.full_reverts", static_cast<double>(g.fullReverts),
+            "whole-batch reverts (stage 2)");
+        add("guardrail.reopt_blocked",
+            static_cast<double>(g.reoptBlocked),
+            "optimize attempts denied by re-optimization backoff");
+        add("guardrail.heads_blacklisted",
+            static_cast<double>(g.headsBlacklisted),
+            "trace heads permanently blacklisted");
+        add("guardrail.sampling_backoffs",
+            static_cast<double>(g.samplingBackoffs),
+            "sampling-interval doublings on phase thrash");
+        add("guardrail.sampling_restores",
+            static_cast<double>(g.samplingRestores),
+            "sampling-interval restorations after calm");
+        add("guardrail.prefetch_damped",
+            static_cast<double>(g.prefetchDamped),
+            "prefetch throttle transitions to damped");
+        add("guardrail.prefetch_disabled",
+            static_cast<double>(g.prefetchDisabled),
+            "prefetch throttle transitions to disabled");
+        add("guardrail.prefetch_restored",
+            static_cast<double>(g.prefetchRestored),
+            "prefetch throttle step-downs after calm");
+        add("guardrail.pool_exhausted_rejects",
+            static_cast<double>(g.poolExhaustedRejects),
+            "trace commits refused by pool exhaustion");
+        add("guardrail.patch_failures",
+            static_cast<double>(g.patchFailures),
+            "patch failures absorbed by the guardrails");
+    }
+
     add("adore.used", metrics.adoreUsed ? 1.0 : 0.0,
         "dynamic optimizer attached");
     if (!metrics.adoreUsed)
@@ -261,6 +344,12 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
         "optimization batches reverted as nonprofitable");
     add("adore.traces_unpatched", static_cast<double>(a.tracesUnpatched),
         "traces unpatched by reverts");
+    add("adore.traces_rejected_pool_full",
+        static_cast<double>(a.tracesRejectedPoolFull),
+        "trace commits rejected: trace pool exhausted");
+    add("adore.traces_patch_failed",
+        static_cast<double>(a.tracesPatchFailed),
+        "trace commits rejected: injected patch failure");
 }
 
 std::string

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "compiler/compiler.hh"
+#include "fault/fault_plan.hh"
 #include "harness/machine.hh"
 #include "observe/metrics_registry.hh"
 #include "runtime/adore.hh"
@@ -22,6 +23,9 @@
 namespace adore
 {
 
+struct ChaosSpec;
+struct ChaosReport;
+
 struct RunConfig
 {
     CompileOptions compile{};
@@ -29,9 +33,20 @@ struct RunConfig
     AdoreConfig adoreConfig{};
     MachineConfig machine{};
     Cycle maxCycles = 4'000'000'000ULL;
+    /** Suppress the warning when maxCycles is reached before Halt —
+     *  for sweeps (chaos smoke) that bound runs by budget on purpose. */
+    bool quietCycleLimit = false;
     /** When nonzero, sample CPI / DEAR-per-1000-insn series at this
      *  cycle interval (Figs. 8 and 9). */
     Cycle seriesInterval = 0;
+    /**
+     * Chaos fault schedule (DESIGN.md §10).  When any channel rate is
+     * nonzero, run() builds a deterministic FaultPlan from the seed and
+     * wires it into the sampler, the runtime's patching path, and the
+     * memory hierarchy.  All-zero rates (the default) construct no plan
+     * and leave every path bit-identical to a fault-free build.
+     */
+    fault::FaultConfig faults{};
 };
 
 struct RunMetrics
@@ -45,6 +60,10 @@ struct RunMetrics
     CompileReport compileReport;
     bool adoreUsed = false;
     AdoreStats adoreStats;
+    bool faultsUsed = false;        ///< a FaultPlan was constructed
+    fault::FaultStats faultStats;   ///< per-channel injection counts
+    bool guardrailsUsed = false;    ///< guardrails were enabled
+    GuardrailStats guardrailStats;
     HierarchyStats memStats;
     CacheStats l1iStats;
     CacheStats l1dStats;
@@ -117,6 +136,13 @@ class Experiment
 
     /** The full metric set of @p metrics as a flat JSON object. */
     static std::string metricsJson(const RunMetrics &metrics);
+
+    /**
+     * Chaos soak (harness/chaos.hh): run every workload × fault seed of
+     * @p spec twice (no-ADORE baseline and guardrailed chaotic run) and
+     * check the survival invariants.  Defined in chaos.cc.
+     */
+    static ChaosReport runChaos(const ChaosSpec &spec);
 
     /** Default ADORE configuration matched to the scaled machine. */
     static AdoreConfig defaultAdoreConfig();

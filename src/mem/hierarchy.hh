@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault_plan.hh"
 #include "mem/cache.hh"
 
 namespace adore
@@ -350,6 +351,14 @@ class CacheHierarchy
     /** Drop all cached lines (used between experiment runs). */
     void flushAll();
 
+    /**
+     * Attach a fault plan (nullptr = none, the default).  A plan may
+     * add per-fill latency jitter and bus-bandwidth squeeze to memory
+     * fills — the memory-system chaos channels.  One predictable null
+     * check on the (miss-only) fill path; nothing on hits.
+     */
+    void setFaultPlan(fault::FaultPlan *plan) { faults_ = plan; }
+
   private:
     /**
      * Resolve a miss below L2: probe L3, then memory; schedule fills.
@@ -391,8 +400,17 @@ class CacheHierarchy
     scheduleMemoryFill(Cycle now)
     {
         Cycle start = std::max(now, busFreeAt_);
-        busFreeAt_ = start + config_.busOccupancy;
-        return start + config_.memLatency;
+        std::uint32_t occupancy = config_.busOccupancy;
+        std::uint32_t latency = config_.memLatency;
+        if (faults_) {
+            // Chaos channels: a squeezed fill holds the bus longer
+            // (bandwidth contention from "other" traffic); a jittered
+            // fill pays extra latency (row conflicts, refresh).
+            occupancy += faults_->busSqueeze();
+            latency += faults_->memLatencyJitter();
+        }
+        busFreeAt_ = start + occupancy;
+        return start + latency;
     }
 
     /**
@@ -416,6 +434,7 @@ class CacheHierarchy
     Cache l3_;
     Cycle busFreeAt_ = 0;
     std::uint64_t generation_ = 0;
+    fault::FaultPlan *faults_ = nullptr;  ///< not owned; may be null
     /** Dedup for back-to-back lfetches: keyed on L2 line number. */
     std::array<InFlightMemo, 8> prefetchMshr_{};
     /** Dedup for below-L2 resolution: keyed on L3 line number. */

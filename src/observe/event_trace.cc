@@ -63,6 +63,14 @@ struct KindNameVisitor
     {
         return "TraceReverted";
     }
+    const char *operator()(const GuardrailEvent &) const
+    {
+        return "Guardrail";
+    }
+    const char *operator()(const FaultInjectedEvent &) const
+    {
+        return "FaultInjected";
+    }
 };
 
 struct LineVisitor
@@ -128,6 +136,19 @@ struct LineVisitor
     std::string operator()(const TraceRevertedEvent &e) const
     {
         return fmt("trace reverted: 0x%" PRIx64 " unpatched", e.origAddr);
+    }
+    std::string operator()(const GuardrailEvent &e) const
+    {
+        if (e.addr) {
+            return fmt("guardrail %s: addr=0x%" PRIx64 " value=%" PRIu64,
+                       e.action, e.addr, e.value);
+        }
+        return fmt("guardrail %s: value=%" PRIu64, e.action, e.value);
+    }
+    std::string operator()(const FaultInjectedEvent &e) const
+    {
+        return fmt("fault injected (%s): arg=0x%" PRIx64, e.channel,
+                   e.arg);
     }
 };
 

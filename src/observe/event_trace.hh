@@ -128,11 +128,34 @@ struct TraceRevertedEvent
     std::uint64_t origAddr = 0;
 };
 
+/** A self-healing guardrail changed the runtime's behaviour. */
+struct GuardrailEvent
+{
+    /** "staged-revert" | "full-revert" | "reopt-blocked" |
+     *  "reopt-blacklist" | "sampling-backoff" | "sampling-restore" |
+     *  "prefetch-damped" | "prefetch-disabled" | "prefetch-restored" |
+     *  "pool-exhausted" | "patch-failed" */
+    const char *action = "";
+    std::uint64_t addr = 0;   ///< affected trace head / pc (0 = global)
+    std::uint64_t value = 0;  ///< action-specific magnitude (see action)
+};
+
+/** The fault plan fired one injected fault. */
+struct FaultInjectedEvent
+{
+    /** FaultPlan channel name: "drop-batch" | "dup-batch" |
+     *  "dear-alias" | "counter-jitter" | "btb-corrupt" |
+     *  "patch-fail" | "mem-jitter" | "bus-squeeze" */
+    const char *channel = "";
+    std::uint64_t arg = 0;  ///< channel-specific detail (addr/cycles/...)
+};
+
 using EventPayload =
     std::variant<SamplingBatchEvent, PhaseChangeEvent, StablePhaseEvent,
                  PhaseSkippedEvent, TraceSelectedEvent, SliceClassifiedEvent,
                  DelinquentLoadEvent, PrefetchInsertedEvent,
-                 TracePatchedEvent, TraceRevertedEvent>;
+                 TracePatchedEvent, TraceRevertedEvent, GuardrailEvent,
+                 FaultInjectedEvent>;
 
 struct Event
 {

@@ -93,6 +93,17 @@ struct ArgsVisitor
     {
         return std::string("{\"orig\": ") + hexAddr(e.origAddr) + "}";
     }
+    std::string operator()(const GuardrailEvent &e) const
+    {
+        return std::string("{\"action\": \"") + e.action +
+               "\", \"addr\": " + hexAddr(e.addr) +
+               fmt(", \"value\": %" PRIu64 "}", e.value);
+    }
+    std::string operator()(const FaultInjectedEvent &e) const
+    {
+        return std::string("{\"channel\": \"") + e.channel +
+               "\", \"arg\": " + hexAddr(e.arg) + "}";
+    }
 };
 
 } // namespace

@@ -1,5 +1,7 @@
 #include "pmu/sampler.hh"
 
+#include <utility>
+
 namespace adore
 {
 
@@ -16,9 +18,27 @@ Sampler::takeSample(const Sample &sample)
         return 0;
 
     ssb_.push_back(sample);
-    ssb_.back().index = samplesTaken_;
+    Sample &recorded = ssb_.back();
+    recorded.index = samplesTaken_;
     ++samplesTaken_;
     nextSampleAt_ = sample.cycles + config_.interval;
+
+    // Chaos channels: perturb the recorded n-tuple, never the live PMU
+    // state — the fault model is an unreliable *sampling* path, not an
+    // unreliable machine.
+    if (faults_) {
+        if (recorded.dear.valid)
+            faults_->aliasDear(recorded.dear.missAddr);
+        faults_->jitterCounters(recorded.cycles,
+                                recorded.dcacheMissCount,
+                                recorded.retiredCount);
+        std::uint32_t a = 0;
+        std::uint32_t b = 0;
+        if (faults_->corruptBtbPath(
+                static_cast<std::uint32_t>(recorded.btb.size()), a, b)) {
+            std::swap(recorded.btb[a].target, recorded.btb[b].target);
+        }
+    }
 
     Cycle overhead = config_.interruptCycles;
 
@@ -26,8 +46,15 @@ Sampler::takeSample(const Sample &sample)
         ++overflows_;
         overhead += static_cast<Cycle>(config_.copyCyclesPerSample) *
                     ssb_.size();
-        if (handler_)
+        // Chaos channels: a dropped batch never reaches the UEB (the
+        // overflow "signal" was lost); a duplicated batch is delivered
+        // twice (the handler re-ran on a stale buffer).
+        bool dropped = faults_ && faults_->dropBatch();
+        if (!dropped && handler_) {
             handler_(ssb_);
+            if (faults_ && faults_->duplicateBatch())
+                handler_(ssb_);
+        }
         ssb_.clear();
     }
     return overhead;

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "pmu/pmu.hh"
 
 namespace adore
@@ -76,6 +77,28 @@ class Sampler
     Cycle nextSampleAt() const { return nextSampleAt_; }
 
     /**
+     * Attach a fault plan (nullptr = none, the default).  A plan may
+     * drop or duplicate overflow batches and perturb individual samples
+     * (DEAR aliasing, counter jitter, BTB path corruption) before they
+     * reach the UEB — the PMU-unreliability chaos channels.
+     */
+    void setFaultPlan(fault::FaultPlan *plan) { faults_ = plan; }
+
+    /**
+     * Retime the sampler to @p interval cycles per sample (the
+     * guardrails' sampling-rate backoff).  Takes effect from the next
+     * sample; callers outside a Cpu event service must refresh the
+     * Cpu's event watermark (Cpu::noteEventSourcesChanged).
+     */
+    void
+    setInterval(Cycle interval)
+    {
+        config_.interval = interval ? interval : 1;
+    }
+
+    Cycle interval() const { return config_.interval; }
+
+    /**
      * Record one sample; called by the CPU when the cycle counter crosses
      * the sampling interval.
      * @return overhead cycles to charge to the main thread.
@@ -105,6 +128,7 @@ class Sampler
     Cycle nextSampleAt_ = 0;
     std::uint64_t samplesTaken_ = 0;
     std::uint64_t overflows_ = 0;
+    fault::FaultPlan *faults_ = nullptr;  ///< not owned; may be null
 };
 
 /**

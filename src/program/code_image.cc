@@ -20,6 +20,19 @@ CodeImage::appendText(const Bundle &bundle)
 Addr
 CodeImage::allocTrace(std::size_t bundles)
 {
+    Addr addr = tryAllocTrace(bundles);
+    panic_if(addr == badAddr,
+             "trace pool exhausted: %zu bundles requested, %zu free "
+             "of %zu",
+             bundles, poolRemaining(), poolCapacity_);
+    return addr;
+}
+
+Addr
+CodeImage::tryAllocTrace(std::size_t bundles)
+{
+    if (poolCapacity_ != 0 && pool_.size() + bundles > poolCapacity_)
+        return badAddr;
     Addr addr = poolBase + pool_.size() * isa::bundleBytes;
     pool_.resize(pool_.size() + bundles);
     ++version_;

@@ -31,11 +31,47 @@ class CodeImage
     /** Trace pool base: far from text, as a separate shared mapping. */
     static constexpr Addr poolBase = 0x10000000;
 
+    /** Sentinel address: a pool allocation that was refused. */
+    static constexpr Addr badAddr = ~Addr{0};
+
     /** Append a bundle to the text segment; returns its address. */
     Addr appendText(const Bundle &bundle);
 
-    /** Reserve @p bundles consecutive pool slots; returns base address. */
+    /**
+     * Reserve @p bundles consecutive pool slots; returns base address.
+     * Panics when the pool is capacity-bounded and full — callers that
+     * must handle exhaustion use tryAllocTrace().
+     */
     Addr allocTrace(std::size_t bundles);
+
+    /**
+     * Capacity-aware allocation: like allocTrace(), but returns
+     * badAddr instead of panicking when the reservation would exceed
+     * the configured pool capacity.  The pool is left untouched on
+     * refusal, so the caller can retry with a smaller trace or treat
+     * exhaustion as a recoverable fault (the guardrail path).
+     */
+    Addr tryAllocTrace(std::size_t bundles);
+
+    /**
+     * Bound the trace pool to @p bundles total (0 = unbounded, the
+     * default).  Models the fixed-size shared mapping dyn_open creates:
+     * a real pool cannot grow on demand.  Shrinking below the current
+     * allocation only affects future allocations.
+     */
+    void setPoolCapacity(std::size_t bundles) { poolCapacity_ = bundles; }
+
+    std::size_t poolCapacity() const { return poolCapacity_; }
+
+    /** Pool slots still allocatable (SIZE_MAX when unbounded). */
+    std::size_t
+    poolRemaining() const
+    {
+        if (poolCapacity_ == 0)
+            return static_cast<std::size_t>(-1);
+        return poolCapacity_ > pool_.size() ? poolCapacity_ - pool_.size()
+                                            : 0;
+    }
 
     /** Overwrite a bundle anywhere in the image. */
     void writeBundle(Addr addr, const Bundle &bundle);
@@ -103,6 +139,7 @@ class CodeImage
     std::vector<Bundle> pool_;
     std::unordered_map<Addr, Bundle> savedBundles_;
     std::uint64_t version_ = 0;
+    std::size_t poolCapacity_ = 0;  ///< max pool bundles; 0 = unbounded
 };
 
 } // namespace adore

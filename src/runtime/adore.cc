@@ -41,6 +41,16 @@ AdoreRuntime::attach()
     traceSelector_.setEventTrace(events_);
     prefetchGen_.setEventTrace(events_);
 
+    if (config_.faultPlan)
+        sampler_.setFaultPlan(config_.faultPlan);
+    if (config_.tracePoolCapacityBundles)
+        cpu_.code().setPoolCapacity(config_.tracePoolCapacityBundles);
+    if (config_.guardrails.enabled) {
+        guardrails_ = std::make_unique<Guardrails>(config_.guardrails);
+        guardrails_->setEventTrace(events_);
+    }
+    baseSamplingInterval_ = config_.sampler.interval;
+
     sampler_.setOverflowHandler([this](const std::vector<Sample> &ssb) {
         ueb_.pushWindow(ssb);
     });
@@ -66,6 +76,8 @@ AdoreRuntime::onPoll(Cycle now)
 {
     if (events_)
         events_->setNow(now);
+    if (guardrails_)
+        guardrails_->beginPoll();
 
     // Consume any profile windows that arrived since the last poll.
     while (windowsConsumed_ < ueb_.totalWindows()) {
@@ -92,6 +104,8 @@ AdoreRuntime::onPoll(Cycle now)
             break;
           case PhaseDetector::Event::PhaseChange:
             ++stats_.phaseChanges;
+            if (guardrails_)
+                guardrails_->notePhaseChange();
             break;
           case PhaseDetector::Event::StablePhase: {
             ++stats_.phasesDetected;
@@ -108,10 +122,13 @@ AdoreRuntime::onPoll(Cycle now)
                         batches_.empty() ? 0.0
                                          : batches_.back().cpiBefore});
                 }
-                if (config_.revertUnprofitableTraces &&
-                    !batches_.empty() && !batches_.back().reverted &&
-                    phase.cpi > batches_.back().cpiBefore *
-                                    config_.revertCpiRatio) {
+                if (guardrails_) {
+                    guardrailProfitabilityCheck(phase);
+                } else if (config_.revertUnprofitableTraces &&
+                           !batches_.empty() &&
+                           !batches_.back().reverted &&
+                           phase.cpi > batches_.back().cpiBefore *
+                                           config_.revertCpiRatio) {
                     revertBatch(batches_.back());
                 }
             } else if (!phase.highMissRate) {
@@ -125,6 +142,96 @@ AdoreRuntime::onPoll(Cycle now)
             }
             break;
           }
+        }
+    }
+
+    if (config_.faultPlan && events_)
+        emitFaultDeltas();
+    if (guardrails_)
+        endPollGuardrails();
+}
+
+void
+AdoreRuntime::emitFaultDeltas()
+{
+    const fault::FaultStats &fs = config_.faultPlan->stats();
+    auto delta = [this](const char *channel, std::uint64_t cur,
+                        std::uint64_t &last) {
+        if (cur > last)
+            events_->emit(observe::FaultInjectedEvent{channel, cur - last});
+        last = cur;
+    };
+    delta("drop-batch", fs.batchesDropped, lastFaultStats_.batchesDropped);
+    delta("dup-batch", fs.batchesDuplicated,
+          lastFaultStats_.batchesDuplicated);
+    delta("dear-alias", fs.dearAliased, lastFaultStats_.dearAliased);
+    delta("counter-jitter", fs.countersJittered,
+          lastFaultStats_.countersJittered);
+    delta("btb-corrupt", fs.btbCorrupted, lastFaultStats_.btbCorrupted);
+    delta("patch-fail", fs.patchesFailed, lastFaultStats_.patchesFailed);
+    delta("mem-jitter", fs.memFillsJittered,
+          lastFaultStats_.memFillsJittered);
+    delta("bus-squeeze", fs.busSqueezes, lastFaultStats_.busSqueezes);
+}
+
+void
+AdoreRuntime::endPollGuardrails()
+{
+    const HierarchyStats &mem = cpu_.caches().stats();
+    guardrails_->noteMemPressure(
+        mem.prefetchesIssued - lastPrefetchesIssued_,
+        mem.prefetchesDropped - lastPrefetchesDropped_);
+    lastPrefetchesIssued_ = mem.prefetchesIssued;
+    lastPrefetchesDropped_ = mem.prefetchesDropped;
+
+    guardrails_->endPoll();
+
+    // Apply sampling-rate backoff.  The poll runs inside a Cpu periodic
+    // hook and the Cpu recomputes its event watermark after hooks, so
+    // the retimed interval takes effect from the next sample.
+    Cycle want = baseSamplingInterval_ * guardrails_->samplingMultiplier();
+    if (sampler_.interval() != want)
+        sampler_.setInterval(want);
+}
+
+void
+AdoreRuntime::guardrailProfitabilityCheck(const PhaseInfo &phase)
+{
+    // Per-trace monitoring: attribute the in-pool phase to the patched
+    // trace whose pool range holds the phase's PCcenter, newest batch
+    // first (pool ranges are unique per commit).
+    for (auto it = batches_.rbegin(); it != batches_.rend(); ++it) {
+        OptimizedBatch &batch = *it;
+        if (batch.reverted)
+            continue;
+        for (const PatchedTrace &t : batch.traces) {
+            if (phase.pcCenter < t.poolStart ||
+                phase.pcCenter >= t.poolEnd) {
+                continue;
+            }
+            if (!cpu_.code().isPatched(t.head))
+                return;  // already individually reverted
+            if (phase.cpi <= batch.cpiBefore *
+                                 config_.guardrails.revertCpiRatio) {
+                return;  // profitable enough: leave it in
+            }
+            if (batch.revertStage == 0) {
+                // Stage 1: surgically revert only the offending trace.
+                batch.revertStage = 1;
+                if (unpatchHead(batch, t.head, false))
+                    guardrails_->noteStagedRevert(t.head);
+            } else {
+                // Stage 2: the batch regressed again — revert the rest.
+                std::uint64_t n = 0;
+                Addr first = t.head;
+                for (const PatchedTrace &u : batch.traces) {
+                    if (unpatchHead(batch, u.head, false))
+                        ++n;
+                }
+                batch.revertStage = 2;
+                guardrails_->noteFullRevert(first, n);
+            }
+            return;
         }
     }
 }
@@ -158,7 +265,32 @@ AdoreRuntime::commitTrace(const Trace &trace,
 {
     CodeImage &code = cpu_.code();
     std::size_t total = init_bundles.size() + trace.bundles.size() + 1;
-    Addr base = code.allocTrace(total);
+
+    // Chaos channel: the live patch itself may fail (e.g. the real
+    // system's mprotect/bundle-swap race).  Checked before allocation
+    // so a refused patch leaks no pool space.  Recoverable: the trace
+    // is skipped and may be retried on a later phase.
+    if (config_.faultPlan && config_.faultPlan->patchFails()) {
+        ++stats_.tracesPatchFailed;
+        if (guardrails_)
+            guardrails_->notePatchFailed(trace.startAddr);
+        return CodeImage::badAddr;
+    }
+
+    Addr base = code.tryAllocTrace(total);
+    if (base == CodeImage::badAddr) {
+        // Trace-pool exhaustion: reject, record, continue running.
+        ++stats_.tracesRejectedPoolFull;
+        if (guardrails_) {
+            guardrails_->notePoolExhausted(trace.startAddr);
+        } else if (events_) {
+            events_->emit(observe::GuardrailEvent{
+                "pool-exhausted", trace.startAddr,
+                static_cast<std::uint64_t>(total)});
+        }
+        return CodeImage::badAddr;
+    }
+
     Addr body_start =
         base + init_bundles.size() * isa::bundleBytes;
 
@@ -205,18 +337,90 @@ AdoreRuntime::commitTrace(const Trace &trace,
 void
 AdoreRuntime::revertBatch(OptimizedBatch &batch)
 {
-    for (Addr head : batch.patchedHeads) {
-        if (cpu_.code().isPatched(head)) {
-            cpu_.code().unpatch(head);
+    for (const PatchedTrace &t : batch.traces) {
+        if (cpu_.code().isPatched(t.head)) {
+            cpu_.code().unpatch(t.head);
             ++stats_.tracesUnpatched;
             if (events_)
-                events_->emit(observe::TraceRevertedEvent{head});
+                events_->emit(observe::TraceRevertedEvent{t.head});
         }
-        blacklist_.insert(head);
+        blacklist_.insert(t.head);
     }
     batch.reverted = true;
     ++stats_.phasesReverted;
     cpu_.chargeCycles(config_.patchCyclesPerTrace);
+}
+
+bool
+AdoreRuntime::unpatchHead(OptimizedBatch &batch, Addr head, bool blacklist)
+{
+    if (!cpu_.code().isPatched(head))
+        return false;
+    cpu_.code().unpatch(head);
+    ++stats_.tracesUnpatched;
+    if (events_)
+        events_->emit(observe::TraceRevertedEvent{head});
+    if (blacklist || !guardrails_)
+        blacklist_.insert(head);
+    else
+        guardrails_->noteTraceReverted(head);
+    cpu_.chargeCycles(config_.patchCyclesPerTrace);
+
+    bool anyPatched = false;
+    for (const PatchedTrace &t : batch.traces) {
+        if (cpu_.code().isPatched(t.head)) {
+            anyPatched = true;
+            break;
+        }
+    }
+    if (!anyPatched && !batch.reverted) {
+        batch.reverted = true;
+        ++stats_.phasesReverted;
+    }
+    return true;
+}
+
+std::vector<Addr>
+AdoreRuntime::patchedHeadsOf(std::size_t index) const
+{
+    std::vector<Addr> out;
+    if (index >= batches_.size())
+        return out;
+    for (const PatchedTrace &t : batches_[index].traces) {
+        if (cpu_.code().isPatched(t.head))
+            out.push_back(t.head);
+    }
+    return out;
+}
+
+bool
+AdoreRuntime::revertTrace(Addr head)
+{
+    // Newest batch first: a head whose backoff expired may have been
+    // re-optimized into a later batch.
+    for (auto it = batches_.rbegin(); it != batches_.rend(); ++it) {
+        for (const PatchedTrace &t : it->traces) {
+            if (t.head == head)
+                return unpatchHead(*it, head, true);
+        }
+    }
+    return false;
+}
+
+bool
+AdoreRuntime::revertBatchAt(std::size_t index)
+{
+    if (index >= batches_.size())
+        return false;
+    OptimizedBatch &batch = batches_[index];
+    if (batch.reverted)
+        return false;
+    bool any = false;
+    for (const PatchedTrace &t : batch.traces) {
+        if (unpatchHead(batch, t.head, true))
+            any = true;
+    }
+    return any;
 }
 
 void
@@ -232,6 +436,12 @@ AdoreRuntime::optimizePhase(Cycle now)
 
     bool any_patched = false;
     bool any_prefetched = false;
+
+    // Auto-throttle: under bus saturation the guardrails damp (1) or
+    // disable (0) prefetch generation per trace.
+    int load_cap = config_.maxPrefetchLoadsPerTrace;
+    if (guardrails_)
+        load_cap = guardrails_->prefetchLoadCap(load_cap);
 
     for (Trace &trace : traces) {
         ++stats_.tracesSelected;
@@ -249,6 +459,9 @@ AdoreRuntime::optimizePhase(Cycle now)
         }
         if (blacklist_.count(trace.startAddr)) {
             continue;  // previously reverted as nonprofitable
+        }
+        if (guardrails_ && !guardrails_->allowOptimize(trace.startAddr)) {
+            continue;  // reverted head still in re-optimization backoff
         }
         if (config_.swpLoopFilter &&
             config_.swpLoopFilter(trace.startAddr)) {
@@ -270,7 +483,8 @@ AdoreRuntime::optimizePhase(Cycle now)
             continue;
 
         PrefetchGenResult gen;
-        if (trace.isLoop) {
+        bool throttled_off = guardrails_ && load_cap == 0;
+        if (trace.isLoop && !throttled_off) {
             // Delinquent loads of this trace, hottest first (top-3).
             std::vector<DelinquentLoad> loads;
             DependenceSlicer slicer(trace, events_);
@@ -298,11 +512,8 @@ AdoreRuntime::optimizePhase(Cycle now)
                               return a.totalLatency > b.totalLatency;
                           return a.origPc < b.origPc;
                       });
-            if (loads.size() > static_cast<std::size_t>(
-                                   config_.maxPrefetchLoadsPerTrace)) {
-                loads.resize(static_cast<std::size_t>(
-                    config_.maxPrefetchLoadsPerTrace));
-            }
+            if (loads.size() > static_cast<std::size_t>(load_cap))
+                loads.resize(static_cast<std::size_t>(load_cap));
 
             if (events_) {
                 for (const DelinquentLoad &dl : loads) {
@@ -337,8 +548,14 @@ AdoreRuntime::optimizePhase(Cycle now)
             continue;
         }
 
-        commitTrace(trace, gen.initBundles);
-        batch.patchedHeads.push_back(trace.startAddr);
+        Addr base = commitTrace(trace, gen.initBundles);
+        if (base == CodeImage::badAddr)
+            continue;  // patch failed or pool exhausted: recoverable
+        std::size_t total =
+            gen.initBundles.size() + trace.bundles.size() + 1;
+        batch.traces.push_back(
+            {trace.startAddr, base,
+             base + total * isa::bundleBytes});
         ++stats_.tracesPatched;
         any_patched = true;
         cpu_.chargeCycles(config_.patchCyclesPerTrace);

@@ -29,7 +29,9 @@
 #include <unordered_set>
 
 #include "cpu/cpu.hh"
+#include "fault/fault_plan.hh"
 #include "observe/event_trace.hh"
+#include "runtime/guardrails.hh"
 #include "runtime/phase_detector.hh"
 #include "runtime/prefetch_gen.hh"
 #include "runtime/trace_selector.hh"
@@ -73,6 +75,26 @@ struct AdoreConfig
     /** CPI growth ratio that triggers a revert. */
     double revertCpiRatio = 1.05;
     /**
+     * Self-healing guardrails (DESIGN.md §10): staged per-trace revert
+     * with re-optimization backoff, sampling-rate backoff on phase
+     * thrash, prefetch auto-throttle, and recoverable resource
+     * failures.  Off by default; independent of (and superseding, when
+     * enabled) the legacy revertUnprofitableTraces whole-batch check.
+     */
+    GuardrailConfig guardrails{};
+    /**
+     * Fault-injection plan (not owned; may be null).  Wired into the
+     * sampler at attach(); the memory-system channels are wired by the
+     * harness, which owns the hierarchy.
+     */
+    fault::FaultPlan *faultPlan = nullptr;
+    /**
+     * Trace-pool capacity in bundles (0 = unlimited).  When bounded,
+     * commitTrace treats exhaustion as a recoverable reject: the trace
+     * is skipped, a stat and event are recorded, and the run continues.
+     */
+    std::size_t tracePoolCapacityBundles = 0;
+    /**
      * Decision-event sink (not owned; may be null).  When null and
      * verbose logging is on, the runtime creates a private echo-only
      * trace so the decision lines still reach the log.
@@ -105,6 +127,8 @@ struct AdoreStats
     int slotsFilled = 0;
     std::uint64_t phasesReverted = 0;   ///< nonprofitable batches undone
     std::uint64_t tracesUnpatched = 0;
+    std::uint64_t tracesRejectedPoolFull = 0;  ///< pool-exhaustion rejects
+    std::uint64_t tracesPatchFailed = 0;       ///< injected patch failures
 };
 
 class AdoreRuntime
@@ -124,6 +148,31 @@ class AdoreRuntime
     UserEventBuffer &ueb() { return ueb_; }
     PhaseDetector &phaseDetector() { return phaseDetector_; }
     observe::EventTrace *events() const { return events_; }
+
+    /** Guardrail state machines (null unless enabled in the config). */
+    const Guardrails *guardrails() const { return guardrails_.get(); }
+
+    /** Optimization batches committed so far (including reverted). */
+    std::size_t batchCount() const { return batches_.size(); }
+
+    /** Heads of batch @p index that are still patched. */
+    std::vector<Addr> patchedHeadsOf(std::size_t index) const;
+
+    /**
+     * Revert a single optimized trace by its original head address —
+     * any trace of any batch, not just the most recent.  Unpatches the
+     * head, blacklists it, counts tracesUnpatched, and completes the
+     * owning batch (phasesReverted) when its last head goes.
+     * @return false when @p head is unknown or already unpatched.
+     */
+    bool revertTrace(Addr head);
+
+    /**
+     * Revert every still-patched trace of batch @p index (any batch,
+     * not just the most recent).  @return false when @p index is out of
+     * range or the batch was already reverted.
+     */
+    bool revertBatchAt(std::size_t index);
 
   private:
     void onPoll(Cycle now);
@@ -145,16 +194,42 @@ class AdoreRuntime
     Addr commitTrace(const Trace &trace,
                      const std::vector<Bundle> &init_bundles);
 
+    /** One committed trace of a batch, with its pool footprint. */
+    struct PatchedTrace
+    {
+        Addr head = 0;       ///< original-code head (patch site)
+        Addr poolStart = 0;  ///< first pool byte of the trace
+        Addr poolEnd = 0;    ///< one past the last pool byte
+    };
+
     /** One optimization batch, remembered for profitability checks. */
     struct OptimizedBatch
     {
         double cpiBefore = 0.0;
-        std::vector<Addr> patchedHeads;
-        bool reverted = false;
+        std::vector<PatchedTrace> traces;
+        bool reverted = false;  ///< no patched head remains
+        int revertStage = 0;    ///< guardrail staged-revert progress
     };
 
     /** Revert the most recent unreverted batch (unpatch its heads). */
     void revertBatch(OptimizedBatch &batch);
+
+    /**
+     * Unpatch one head of @p batch (stats + event + charge); marks the
+     * batch reverted when its last head goes.  @p blacklist routes the
+     * head to the permanent blacklist (legacy semantics) instead of the
+     * guardrails' backoff.  @return false when not patched.
+     */
+    bool unpatchHead(OptimizedBatch &batch, Addr head, bool blacklist);
+
+    /** Guardrail staged revert for an in-pool phase that regressed. */
+    void guardrailProfitabilityCheck(const PhaseInfo &phase);
+
+    /** End-of-poll guardrail feeding: mem pressure, sampler retiming. */
+    void endPollGuardrails();
+
+    /** Emit per-channel FaultInjectedEvents for this poll's deltas. */
+    void emitFaultDeltas();
 
     Cpu &cpu_;
     AdoreConfig config_;
@@ -171,6 +246,12 @@ class AdoreRuntime
     std::vector<OptimizedBatch> batches_;
     /** Heads of reverted traces: never re-optimized. */
     std::unordered_set<Addr> blacklist_;
+    /** Guardrail state machines; null unless enabled. */
+    std::unique_ptr<Guardrails> guardrails_;
+    Cycle baseSamplingInterval_ = 0;  ///< pre-backoff sampling interval
+    std::uint64_t lastPrefetchesIssued_ = 0;
+    std::uint64_t lastPrefetchesDropped_ = 0;
+    fault::FaultStats lastFaultStats_;  ///< per-poll delta reference
 };
 
 } // namespace adore

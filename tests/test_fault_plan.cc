@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault-injection plan (src/fault):
+ * replay determinism, per-channel stream independence, rate endpoints,
+ * and the safety envelopes of each perturbation (no underflow, plausible
+ * addresses, valid BTB swap pairs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_plan.hh"
+
+namespace adore::fault
+{
+namespace
+{
+
+FaultConfig
+allChannels(std::uint64_t seed)
+{
+    FaultConfig f;
+    f.seed = seed;
+    f.dropBatchRate = 0.3;
+    f.dupBatchRate = 0.3;
+    f.dearAliasRate = 0.5;
+    f.counterJitterRate = 0.5;
+    f.btbCorruptRate = 0.5;
+    f.patchFailRate = 0.3;
+    f.memJitterRate = 0.5;
+    f.busSqueezeRate = 0.5;
+    return f;
+}
+
+TEST(FaultPlan, DefaultConfigHasNoChannels)
+{
+    EXPECT_FALSE(FaultConfig{}.any());
+    FaultConfig f;
+    f.memJitterRate = 0.01;
+    EXPECT_TRUE(f.any());
+}
+
+TEST(FaultPlan, SameSeedReplaysIdenticalSchedule)
+{
+    FaultPlan a(allChannels(42));
+    FaultPlan b(allChannels(42));
+
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(a.dropBatch(), b.dropBatch());
+        EXPECT_EQ(a.duplicateBatch(), b.duplicateBatch());
+        std::uint64_t addrA = 0x1000 + i * 64, addrB = addrA;
+        EXPECT_EQ(a.aliasDear(addrA), b.aliasDear(addrB));
+        EXPECT_EQ(addrA, addrB);
+        std::uint64_t c1 = 1000 + i, m1 = 10 + i, r1 = 500 + i;
+        std::uint64_t c2 = c1, m2 = m1, r2 = r1;
+        EXPECT_EQ(a.jitterCounters(c1, m1, r1),
+                  b.jitterCounters(c2, m2, r2));
+        EXPECT_EQ(c1, c2);
+        EXPECT_EQ(m1, m2);
+        EXPECT_EQ(r1, r2);
+        std::uint32_t xa = 0, ya = 0, xb = 0, yb = 0;
+        EXPECT_EQ(a.corruptBtbPath(8, xa, ya),
+                  b.corruptBtbPath(8, xb, yb));
+        EXPECT_EQ(xa, xb);
+        EXPECT_EQ(ya, yb);
+        EXPECT_EQ(a.patchFails(), b.patchFails());
+        EXPECT_EQ(a.memLatencyJitter(), b.memLatencyJitter());
+        EXPECT_EQ(a.busSqueeze(), b.busSqueeze());
+    }
+    EXPECT_EQ(a.stats().total(), b.stats().total());
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge)
+{
+    FaultPlan a(allChannels(1));
+    FaultPlan b(allChannels(2));
+    int differing = 0;
+    for (int i = 0; i < 200; ++i)
+        differing += a.dropBatch() != b.dropBatch() ? 1 : 0;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, ChannelsAreIndependentStreams)
+{
+    // Enabling an extra channel must not shift another channel's
+    // schedule: the dear decisions must be identical whether or not the
+    // drop channel is also live and being drawn from.
+    FaultConfig dearOnly;
+    dearOnly.seed = 7;
+    dearOnly.dearAliasRate = 0.5;
+
+    FaultConfig both = dearOnly;
+    both.dropBatchRate = 0.5;
+
+    FaultPlan a(dearOnly);
+    FaultPlan b(both);
+    for (int i = 0; i < 300; ++i) {
+        b.dropBatch();  // interleave draws on the other channel
+        std::uint64_t addrA = 0x4000000 + i * 8, addrB = addrA;
+        EXPECT_EQ(a.aliasDear(addrA), b.aliasDear(addrB));
+        EXPECT_EQ(addrA, addrB);
+    }
+}
+
+TEST(FaultPlan, RateEndpoints)
+{
+    FaultConfig never;
+    never.seed = 3;
+    FaultPlan off(never);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(off.dropBatch());
+        EXPECT_FALSE(off.patchFails());
+        EXPECT_EQ(off.memLatencyJitter(), 0u);
+        EXPECT_EQ(off.busSqueeze(), 0u);
+    }
+    EXPECT_EQ(off.stats().total(), 0u);
+
+    FaultConfig always = allChannels(3);
+    always.dropBatchRate = 1.0;
+    always.patchFailRate = 1.0;
+    always.memJitterRate = 1.0;
+    FaultPlan on(always);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(on.dropBatch());
+        EXPECT_TRUE(on.patchFails());
+        EXPECT_GE(on.memLatencyJitter(), 1u);
+    }
+    EXPECT_EQ(on.stats().batchesDropped, 100u);
+    EXPECT_EQ(on.stats().patchesFailed, 100u);
+    EXPECT_EQ(on.stats().memFillsJittered, 100u);
+}
+
+TEST(FaultPlan, CounterJitterNeverUnderflows)
+{
+    FaultConfig f;
+    f.seed = 11;
+    f.counterJitterRate = 1.0;
+    f.counterJitterPerMille = 5000;  // 5x the value: must clamp
+    FaultPlan plan(f);
+    for (int i = 0; i < 300; ++i) {
+        std::uint64_t v = 1'000'000 + static_cast<std::uint64_t>(i);
+        std::uint64_t c = v, m = v / 2, r = v / 3;
+        plan.jitterCounters(c, m, r);
+        // span clamps to the value itself, so the result stays within
+        // [0, 2v] — never wraps.
+        EXPECT_LE(c, 2 * v);
+        EXPECT_LE(m, 2 * (v / 2));
+        EXPECT_LE(r, 2 * (v / 3));
+    }
+}
+
+TEST(FaultPlan, DearAliasKeepsDoublewordAlignment)
+{
+    FaultConfig f;
+    f.seed = 13;
+    f.dearAliasRate = 1.0;
+    FaultPlan plan(f);
+    int mutated = 0;
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t addr = 0x200000 + i * 16;  // 8-aligned
+        std::uint64_t orig = addr;
+        plan.aliasDear(addr);
+        mutated += addr != orig ? 1 : 0;
+        EXPECT_EQ(addr % 8, 0u);
+    }
+    EXPECT_GT(mutated, 0);
+}
+
+TEST(FaultPlan, BtbCorruptPicksValidDistinctPair)
+{
+    FaultConfig f;
+    f.seed = 17;
+    f.btbCorruptRate = 1.0;
+    FaultPlan plan(f);
+
+    std::uint32_t a = 0, b = 0;
+    EXPECT_FALSE(plan.corruptBtbPath(0, a, b));
+    EXPECT_FALSE(plan.corruptBtbPath(1, a, b));
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(plan.corruptBtbPath(8, a, b));
+        EXPECT_NE(a, b);
+        EXPECT_LT(a, 8u);
+        EXPECT_LT(b, 8u);
+    }
+}
+
+TEST(FaultPlan, StatsCountEveryInjection)
+{
+    FaultConfig f = allChannels(23);
+    FaultPlan plan(f);
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 200; ++i) {
+        fired += plan.dropBatch() ? 1 : 0;
+        fired += plan.duplicateBatch() ? 1 : 0;
+        fired += plan.patchFails() ? 1 : 0;
+        fired += plan.memLatencyJitter() > 0 ? 1 : 0;
+        fired += plan.busSqueeze() > 0 ? 1 : 0;
+    }
+    EXPECT_EQ(plan.stats().total(), fired);
+}
+
+} // namespace
+} // namespace adore::fault
