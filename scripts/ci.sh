@@ -7,9 +7,15 @@
 # the sanitizers catch that class of bug where the bit-identity tests
 # cannot (a wild read that happens to return the right answer).
 #
+# A TSan build then runs the concurrency shard — the async-toggle and
+# optimizer-service tests plus a fixed-seed free-running chaos smoke —
+# because the free-running optimizer worker is the one place real data
+# races can live, and only TSan sees them (the deterministic barrier
+# tests cannot).
+#
 # Usage: scripts/ci.sh [build-dir]           (default: build-ci)
-#   ADORE_CI_SKIP_SANITIZERS=1 skips the second build (for very slow or
-#   sanitizer-less hosts).
+#   ADORE_CI_SKIP_SANITIZERS=1 skips the sanitizer builds (for very
+#   slow or sanitizer-less hosts).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,6 +55,20 @@ if [[ "${ADORE_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --build "$SAN_DIR" -j "$(nproc)" --target adore_tests
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
         ctest --test-dir "$SAN_DIR" --output-on-failure
+
+    TSAN_DIR="${BUILD_DIR}-tsan"
+    TSAN_FLAGS="-O1 -g -fsanitize=thread -fno-omit-frame-pointer"
+    cmake -B "$TSAN_DIR" -S . "${GEN[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    cmake --build "$TSAN_DIR" -j "$(nproc)" --target adore_tests adore_chaos
+    TSAN_OPTIONS=halt_on_error=1 \
+        ctest --test-dir "$TSAN_DIR" --output-on-failure \
+            -R 'AsyncToggle|OptimizerService|SpscQueue'
+    TSAN_OPTIONS=halt_on_error=1 \
+        "$TSAN_DIR"/tools/adore_chaos --threads \
+            --workloads mcf,art,equake --seeds 3 --max-cycles 8000000
 fi
 
 echo "ci.sh: all checks passed"

@@ -17,6 +17,7 @@ constexpr std::uint64_t kDearChannel = 0x517ac2e96fd38b05ULL;
 constexpr std::uint64_t kCounterChannel = 0xc8e65a013d9bf407ULL;
 constexpr std::uint64_t kBtbChannel = 0x24d90b7e5c1fa809ULL;
 constexpr std::uint64_t kPatchChannel = 0x6fa3d18c40e75b0bULL;
+constexpr std::uint64_t kStallChannel = 0x4b9e2d71c8a6f513ULL;
 constexpr std::uint64_t kMemChannel = 0xe21b48f79a63cd0dULL;
 constexpr std::uint64_t kBusChannel = 0x80c6f35b27d41e0fULL;
 
@@ -38,6 +39,7 @@ FaultPlan::FaultPlan(const FaultConfig &config)
       counterRng_(channelRng(config.seed, kCounterChannel)),
       btbRng_(channelRng(config.seed, kBtbChannel)),
       patchRng_(channelRng(config.seed, kPatchChannel)),
+      stallRng_(channelRng(config.seed, kStallChannel)),
       memRng_(channelRng(config.seed, kMemChannel)),
       busRng_(channelRng(config.seed, kBusChannel))
 {
@@ -133,6 +135,17 @@ FaultPlan::patchFails()
     }
     ++stats_.patchesFailed;
     return true;
+}
+
+std::uint64_t
+FaultPlan::optimizerStall()
+{
+    if (config_.optimizerStallRate <= 0 ||
+        stallRng_.real() >= config_.optimizerStallRate) {
+        return 0;
+    }
+    ++stats_.optimizerStalls;
+    return config_.optimizerStallCycles;
 }
 
 std::uint32_t

@@ -64,6 +64,18 @@ struct FaultConfig
     /** Probability a trace commit/patch fails (rejected, no effect). */
     double patchFailRate = 0.0;
 
+    // --- optimizer service --------------------------------------------
+    /**
+     * Probability one phase optimization stalls (the optimizer thread
+     * wedges on a lock, pages, or loops).  A stall longer than the
+     * watchdog deadline (AdoreConfig::watchdogDeadlineCycles) cancels
+     * the phase and degrades to unoptimized execution.
+     */
+    double optimizerStallRate = 0.0;
+    /** Injected stall length in virtual cycles.  The default exceeds
+     *  the default watchdog deadline, so every injected stall fires. */
+    std::uint64_t optimizerStallCycles = 400'000;
+
     // --- memory system ------------------------------------------------
     /** Probability a memory fill pays extra latency. */
     double memJitterRate = 0.0;
@@ -81,7 +93,8 @@ struct FaultConfig
         return dropBatchRate > 0 || dupBatchRate > 0 ||
                dearAliasRate > 0 || counterJitterRate > 0 ||
                btbCorruptRate > 0 || patchFailRate > 0 ||
-               memJitterRate > 0 || busSqueezeRate > 0;
+               optimizerStallRate > 0 || memJitterRate > 0 ||
+               busSqueezeRate > 0;
     }
 };
 
@@ -94,6 +107,7 @@ struct FaultStats
     std::uint64_t countersJittered = 0;
     std::uint64_t btbCorrupted = 0;
     std::uint64_t patchesFailed = 0;
+    std::uint64_t optimizerStalls = 0;
     std::uint64_t memFillsJittered = 0;
     std::uint64_t busSqueezes = 0;
 
@@ -102,15 +116,20 @@ struct FaultStats
     {
         return batchesDropped + batchesDuplicated + dearAliased +
                countersJittered + btbCorrupted + patchesFailed +
-               memFillsJittered + busSqueezes;
+               optimizerStalls + memFillsJittered + busSqueezes;
     }
 };
 
 /**
  * One run's fault schedule.  Owned by the experiment harness; the
  * Sampler, AdoreRuntime, and CacheHierarchy hold non-owning pointers
- * (null = no faults).  Not thread-safe: one plan per simulation run,
- * exactly like EventTrace.
+ * (null = no faults).  One plan per simulation run, exactly like
+ * EventTrace.  Channels are not individually thread-safe, but each
+ * channel owns its Rng and its stats counter is a distinct memory
+ * location, so the free-running optimizer service may drive the
+ * patching/stall channels from the worker thread while the main thread
+ * drives the PMU and memory channels — as long as no single channel is
+ * called from two threads (DESIGN.md §11).
  */
 class FaultPlan
 {
@@ -148,6 +167,16 @@ class FaultPlan
     bool patchFails();
     /// @}
 
+    /// @name Optimizer-service decisions (called by AdoreRuntime)
+    /// @{
+    /**
+     * Virtual cycles the next phase optimization stalls for (0 = no
+     * stall).  Drawn once per optimizePhase entry; the watchdog cancels
+     * the phase when the stall exceeds its deadline.
+     */
+    std::uint64_t optimizerStall();
+    /// @}
+
     /// @name Memory-system decisions (called by CacheHierarchy)
     /// @{
     /** Extra cycles to add to the next memory-fill latency (0 = none). */
@@ -168,6 +197,7 @@ class FaultPlan
     Rng counterRng_;
     Rng btbRng_;
     Rng patchRng_;
+    Rng stallRng_;
     Rng memRng_;
     Rng busRng_;
 };

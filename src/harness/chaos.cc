@@ -18,6 +18,7 @@ defaultChaosFaults()
     f.counterJitterRate = 0.10;
     f.btbCorruptRate = 0.05;
     f.patchFailRate = 0.10;
+    f.optimizerStallRate = 0.20;
     f.memJitterRate = 0.05;
     f.busSqueezeRate = 0.05;
     return f;
@@ -87,6 +88,8 @@ checkSelfConsistent(ChaosReport &report, const ChaosRunResult &r,
         require(report, r,
                 g.poolExhaustedRejects == a.tracesRejectedPoolFull,
                 p + "guardrail pool rejects disagree with runtime");
+        require(report, r, g.watchdogFires == a.phasesWatchdogCancelled,
+                p + "guardrail watchdog fires disagree with runtime");
     }
     if (m.faultsUsed) {
         require(report, r,
@@ -131,6 +134,8 @@ Experiment::runChaos(const ChaosSpec &spec)
             chaotic.adoreConfig.guardrails.enabled = true;
             chaotic.adoreConfig.tracePoolCapacityBundles =
                 spec.poolCapacityBundles;
+            if (spec.freeRunning)
+                chaotic.adoreConfig.mode = OptimizerMode::FreeRunning;
 
             runSpecs.push_back({&programs[wi], base});
             runSpecs.push_back({&programs[wi], chaotic});
@@ -167,6 +172,21 @@ Experiment::runChaos(const ChaosSpec &spec)
             report.runs.push_back(std::move(r));
         }
     }
+
+    // Sweep-level: with the stall channel armed, the watchdog must have
+    // fired somewhere — a schedule that never trips it isn't exercising
+    // the cancellation path at all.
+    if (spec.faults.optimizerStallRate > 0.0 && !report.runs.empty()) {
+        std::uint64_t fires = 0;
+        for (const ChaosRunResult &r : report.runs)
+            fires += r.chaotic.guardrailStats.watchdogFires;
+        if (fires == 0) {
+            report.violations.push_back(
+                {"<sweep>", 0,
+                 "optimizer stalls injected but the watchdog never "
+                 "fired"});
+        }
+    }
     return report;
 }
 
@@ -175,12 +195,12 @@ ChaosReport::table() const
 {
     std::string out;
     out += "workload       seed  base-cpi  chaos-cpi  ratio  faults  "
-           "reverts  throttle  rejects\n";
+           "reverts  throttle  rejects  watchdog\n";
     for (const ChaosRunResult &r : runs) {
         const GuardrailStats &g = r.chaotic.guardrailStats;
         out += fmt(
             "%-13s %5llu  %8.3f  %9.3f  %5.3f  %6llu  %7llu  %8llu  "
-            "%7llu\n",
+            "%7llu  %8llu\n",
             r.workload.c_str(),
             static_cast<unsigned long long>(r.seed), r.baseline.cpi,
             r.chaotic.cpi, r.cpiRatio(),
@@ -190,7 +210,8 @@ ChaosReport::table() const
             static_cast<unsigned long long>(g.prefetchDamped +
                                             g.prefetchDisabled),
             static_cast<unsigned long long>(g.poolExhaustedRejects +
-                                            g.patchFailures));
+                                            g.patchFailures),
+            static_cast<unsigned long long>(g.watchdogFires));
     }
     if (violations.empty()) {
         out += fmt("\n%zu runs, all invariants held\n", runs.size());

@@ -19,6 +19,10 @@ Experiment::defaultAdoreConfig()
     cfg.sampler.ssbSamples = 64;
     cfg.uebMultiplier = 16;
     cfg.pollPeriod = 64'000;
+    // The optimizer runs on its own thread behind the bounded sample
+    // queue; the barrier handshake keeps results bit-identical to the
+    // synchronous in-hook optimizer (tests/test_async_toggle.cc).
+    cfg.mode = OptimizerMode::AsyncBarrier;
     return cfg;
 }
 
@@ -126,8 +130,14 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
     out.l2Stats = machine.caches().l2().stats();
     out.l3Stats = machine.caches().l3().stats();
     if (adore) {
-        adore->detach();
+        adore->detach();  // quiesces (joins) the optimizer service
         out.adoreStats = adore->stats();
+        out.samplerStats = adore->sampler().stats();
+        out.optimizerMode = adore->config().mode;
+        if (adore->optimizerService()) {
+            out.optimizerServiceUsed = true;
+            out.optimizerStats = adore->optimizerService()->statsSnapshot();
+        }
         if (adore->guardrails()) {
             out.guardrailsUsed = true;
             out.guardrailStats = adore->guardrails()->stats();
@@ -241,6 +251,9 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
         add("fault.patches_failed",
             static_cast<double>(f.patchesFailed),
             "trace commits refused by injected patch failure");
+        add("fault.optimizer_stalls",
+            static_cast<double>(f.optimizerStalls),
+            "injected optimizer stalls (watchdog channel)");
         add("fault.mem_fills_jittered",
             static_cast<double>(f.memFillsJittered),
             "memory fills with injected extra latency");
@@ -284,6 +297,9 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
         add("guardrail.patch_failures",
             static_cast<double>(g.patchFailures),
             "patch failures absorbed by the guardrails");
+        add("guardrail.watchdog_fires",
+            static_cast<double>(g.watchdogFires),
+            "optimizer phases cancelled by the watchdog");
     }
 
     add("adore.used", metrics.adoreUsed ? 1.0 : 0.0,
@@ -350,6 +366,62 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
     add("adore.traces_patch_failed",
         static_cast<double>(a.tracesPatchFailed),
         "trace commits rejected: injected patch failure");
+    add("adore.phases_watchdog_cancelled",
+        static_cast<double>(a.phasesWatchdogCancelled),
+        "phase optimizations cancelled by the watchdog");
+    add("adore.traces_commit_stale",
+        static_cast<double>(a.tracesCommitStale),
+        "async trace commits refused: head patched meanwhile");
+
+    const SamplerStats &p = metrics.samplerStats;
+    add("pmu.samples_taken", static_cast<double>(p.samplesTaken),
+        "PMU samples recorded into the SSB");
+    add("pmu.overflows", static_cast<double>(p.overflows),
+        "SSB overflow signals");
+    add("pmu.batches_delivered",
+        static_cast<double>(p.batchesDelivered),
+        "SSB batches accepted by the overflow handler");
+    add("pmu.dropped_batches", static_cast<double>(p.totalDropped()),
+        "SSB batches lost for any reason");
+    add("pmu.dropped_fault", static_cast<double>(p.droppedFault),
+        "SSB batches dropped by the injected drop-batch fault");
+    add("pmu.dropped_consumer_behind",
+        static_cast<double>(p.droppedConsumerBehind),
+        "SSB batches dropped: optimizer sample queue was full");
+
+    add("optimizer.mode",
+        static_cast<double>(static_cast<int>(metrics.optimizerMode)),
+        "optimizer threading mode (0 sync, 1 barrier, 2 free)");
+    if (metrics.optimizerServiceUsed) {
+        const OptimizerServiceStats &o = metrics.optimizerStats;
+        add("optimizer.queue_enqueued",
+            static_cast<double>(o.batchesEnqueued),
+            "sample batches accepted by the bounded queue");
+        add("optimizer.queue_dropped",
+            static_cast<double>(o.batchesDropped),
+            "sample batches refused: bounded queue full");
+        add("optimizer.ticks_processed",
+            static_cast<double>(o.ticksProcessed),
+            "free-running poll ticks processed by the worker");
+        add("optimizer.ticks_dropped",
+            static_cast<double>(o.ticksDropped),
+            "poll ticks dropped (deltas carried to the next tick)");
+        add("optimizer.barrier_polls",
+            static_cast<double>(o.barrierPolls),
+            "barrier-mode polls executed by the worker");
+        add("optimizer.commits_applied",
+            static_cast<double>(o.commitsApplied),
+            "planned trace commits applied at safe points");
+        add("optimizer.commits_stale",
+            static_cast<double>(o.commitsStale),
+            "planned trace commits refused stale at apply");
+        add("optimizer.requests_dropped",
+            static_cast<double>(o.requestsDropped),
+            "commit/unpatch requests refused: queue full");
+        add("optimizer.watchdog_host_cancels",
+            static_cast<double>(o.watchdogHostCancels),
+            "host-time watchdog cancellations requested");
+    }
 }
 
 std::string
@@ -412,6 +484,7 @@ Experiment::collectProfile(const hir::Program &prog,
                 prev = d;
                 totals[d.pc] += d.latency;
             }
+            return true;
         });
     machine.cpu().setSampler(&sampler);
     sampler.setEnabled(true, 0);

@@ -18,6 +18,7 @@
 #include "harness/machine.hh"
 #include "observe/metrics_registry.hh"
 #include "runtime/adore.hh"
+#include "runtime/optimizer_service.hh"
 #include "support/stats.hh"
 
 namespace adore
@@ -60,6 +61,10 @@ struct RunMetrics
     CompileReport compileReport;
     bool adoreUsed = false;
     AdoreStats adoreStats;
+    SamplerStats samplerStats;      ///< PMU delivery/drop accounting
+    OptimizerMode optimizerMode = OptimizerMode::Synchronous;
+    bool optimizerServiceUsed = false;  ///< an async worker ran
+    OptimizerServiceStats optimizerStats;
     bool faultsUsed = false;        ///< a FaultPlan was constructed
     fault::FaultStats faultStats;   ///< per-channel injection counts
     bool guardrailsUsed = false;    ///< guardrails were enabled

@@ -71,6 +71,10 @@ struct KindNameVisitor
     {
         return "FaultInjected";
     }
+    const char *operator()(const OptimizerQueueEvent &) const
+    {
+        return "OptimizerQueue";
+    }
 };
 
 struct LineVisitor
@@ -149,6 +153,12 @@ struct LineVisitor
     {
         return fmt("fault injected (%s): arg=0x%" PRIx64, e.channel,
                    e.arg);
+    }
+    std::string operator()(const OptimizerQueueEvent &e) const
+    {
+        return fmt("optimizer queue dropped %" PRIu64
+                   " batch(es) at depth %" PRIu64,
+                   e.dropped, e.depth);
     }
 };
 

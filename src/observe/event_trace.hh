@@ -134,7 +134,7 @@ struct GuardrailEvent
     /** "staged-revert" | "full-revert" | "reopt-blocked" |
      *  "reopt-blacklist" | "sampling-backoff" | "sampling-restore" |
      *  "prefetch-damped" | "prefetch-disabled" | "prefetch-restored" |
-     *  "pool-exhausted" | "patch-failed" */
+     *  "pool-exhausted" | "patch-failed" | "watchdog-cancel" */
     const char *action = "";
     std::uint64_t addr = 0;   ///< affected trace head / pc (0 = global)
     std::uint64_t value = 0;  ///< action-specific magnitude (see action)
@@ -145,9 +145,16 @@ struct FaultInjectedEvent
 {
     /** FaultPlan channel name: "drop-batch" | "dup-batch" |
      *  "dear-alias" | "counter-jitter" | "btb-corrupt" |
-     *  "patch-fail" | "mem-jitter" | "bus-squeeze" */
+     *  "patch-fail" | "optimizer-stall" | "mem-jitter" | "bus-squeeze" */
     const char *channel = "";
     std::uint64_t arg = 0;  ///< channel-specific detail (addr/cycles/...)
+};
+
+/** The optimizer service's bounded sample queue dropped batches. */
+struct OptimizerQueueEvent
+{
+    std::uint64_t dropped = 0;  ///< batches refused since the last event
+    std::uint64_t depth = 0;    ///< queue occupancy when the drop fired
 };
 
 using EventPayload =
@@ -155,7 +162,7 @@ using EventPayload =
                  PhaseSkippedEvent, TraceSelectedEvent, SliceClassifiedEvent,
                  DelinquentLoadEvent, PrefetchInsertedEvent,
                  TracePatchedEvent, TraceRevertedEvent, GuardrailEvent,
-                 FaultInjectedEvent>;
+                 FaultInjectedEvent, OptimizerQueueEvent>;
 
 struct Event
 {

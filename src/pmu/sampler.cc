@@ -19,8 +19,8 @@ Sampler::takeSample(const Sample &sample)
 
     ssb_.push_back(sample);
     Sample &recorded = ssb_.back();
-    recorded.index = samplesTaken_;
-    ++samplesTaken_;
+    recorded.index = stats_.samplesTaken;
+    ++stats_.samplesTaken;
     nextSampleAt_ = sample.cycles + config_.interval;
 
     // Chaos channels: perturb the recorded n-tuple, never the live PMU
@@ -43,21 +43,35 @@ Sampler::takeSample(const Sample &sample)
     Cycle overhead = config_.interruptCycles;
 
     if (ssb_.size() >= config_.ssbSamples) {
-        ++overflows_;
+        ++stats_.overflows;
         overhead += static_cast<Cycle>(config_.copyCyclesPerSample) *
                     ssb_.size();
         // Chaos channels: a dropped batch never reaches the UEB (the
         // overflow "signal" was lost); a duplicated batch is delivered
-        // twice (the handler re-ran on a stale buffer).
-        bool dropped = faults_ && faults_->dropBatch();
-        if (!dropped && handler_) {
-            handler_(ssb_);
+        // twice (the handler re-ran on a stale buffer).  A handler that
+        // refuses a batch (bounded optimizer queue full) is the third,
+        // non-injected drop kind: the consumer fell behind.
+        if (faults_ && faults_->dropBatch()) {
+            ++stats_.droppedFault;
+        } else if (!handler_) {
+            ++stats_.droppedNoHandler;
+        } else {
+            deliver();
             if (faults_ && faults_->duplicateBatch())
-                handler_(ssb_);
+                deliver();
         }
         ssb_.clear();
     }
     return overhead;
+}
+
+void
+Sampler::deliver()
+{
+    if (handler_(ssb_))
+        ++stats_.batchesDelivered;
+    else
+        ++stats_.droppedConsumerBehind;
 }
 
 std::vector<Sample>

@@ -50,14 +50,46 @@ struct SamplerConfig
     std::uint32_t copyCyclesPerSample = 2;  ///< charged per overflow copy
 };
 
+/**
+ * Sampling-path accounting (the `pmu.*` metrics).  Every SSB overflow
+ * resolves to exactly one first-delivery outcome — delivered, dropped
+ * by an injected fault, dropped because the consumer was behind (the
+ * optimizer service's bounded queue refused the batch), or dropped
+ * because no handler was installed — so
+ *   overflows == batchesDelivered + droppedFault
+ *              + droppedConsumerBehind + droppedNoHandler - duplicates
+ * where a fault-duplicated batch adds one extra delivered or
+ * consumer-behind count for its second delivery attempt.
+ */
+struct SamplerStats
+{
+    std::uint64_t samplesTaken = 0;
+    std::uint64_t overflows = 0;
+    std::uint64_t batchesDelivered = 0;      ///< handler accepted the SSB
+    std::uint64_t droppedFault = 0;          ///< injected drop-batch fault
+    std::uint64_t droppedConsumerBehind = 0; ///< bounded queue was full
+    std::uint64_t droppedNoHandler = 0;      ///< no overflow handler
+
+    /** Batches lost for any reason (`pmu.dropped_batches`). */
+    std::uint64_t
+    totalDropped() const
+    {
+        return droppedFault + droppedConsumerBehind + droppedNoHandler;
+    }
+};
+
 class Sampler
 {
   public:
     /**
-     * Overflow handler: receives the full SSB contents; returns nothing —
-     * copy overhead is charged by the sampler itself.
+     * Overflow handler: receives the full SSB contents and returns true
+     * when the batch was accepted.  False means the consumer is behind
+     * (e.g. the optimizer service's bounded sample queue is full): the
+     * batch is dropped and counted in droppedConsumerBehind.  Copy
+     * overhead is charged by the sampler itself either way — the
+     * "kernel" copied the buffer before learning the queue was full.
      */
-    using OverflowHandler = std::function<void(const std::vector<Sample> &)>;
+    using OverflowHandler = std::function<bool(const std::vector<Sample> &)>;
 
     explicit Sampler(const SamplerConfig &config) : config_(config) {}
 
@@ -106,8 +138,9 @@ class Sampler
     Cycle takeSample(const Sample &sample);
 
     const SamplerConfig &config() const { return config_; }
-    std::uint64_t samplesTaken() const { return samplesTaken_; }
-    std::uint64_t overflows() const { return overflows_; }
+    const SamplerStats &stats() const { return stats_; }
+    std::uint64_t samplesTaken() const { return stats_.samplesTaken; }
+    std::uint64_t overflows() const { return stats_.overflows; }
 
     /** Cycle span covered by one full SSB (one profile window). */
     Cycle
@@ -121,13 +154,15 @@ class Sampler
     void doubleWindow() { config_.ssbSamples *= 2; }
 
   private:
+    /** Run the handler on the full SSB and account the outcome. */
+    void deliver();
+
     SamplerConfig config_;
     bool enabled_ = false;
     std::vector<Sample> ssb_;
     OverflowHandler handler_;
     Cycle nextSampleAt_ = 0;
-    std::uint64_t samplesTaken_ = 0;
-    std::uint64_t overflows_ = 0;
+    SamplerStats stats_;
     fault::FaultPlan *faults_ = nullptr;  ///< not owned; may be null
 };
 

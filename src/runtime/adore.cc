@@ -3,11 +3,26 @@
 #include <algorithm>
 
 #include "isa/builder.hh"
+#include "runtime/optimizer_service.hh"
 #include "runtime/slicer.hh"
 #include "support/logging.hh"
 
 namespace adore
 {
+
+const char *
+optimizerModeName(OptimizerMode mode)
+{
+    switch (mode) {
+      case OptimizerMode::Synchronous:
+        return "sync";
+      case OptimizerMode::AsyncBarrier:
+        return "barrier";
+      case OptimizerMode::FreeRunning:
+        return "free";
+    }
+    return "?";
+}
 
 AdoreRuntime::AdoreRuntime(Cpu &cpu, const AdoreConfig &config)
     : cpu_(cpu),
@@ -18,6 +33,18 @@ AdoreRuntime::AdoreRuntime(Cpu &cpu, const AdoreConfig &config)
       traceSelector_(cpu.code(), config.traceSelect),
       prefetchGen_(config.prefetchGen)
 {
+}
+
+AdoreRuntime::~AdoreRuntime()
+{
+    if (service_)
+        service_->shutdown();
+}
+
+bool
+AdoreRuntime::deferredCommits() const
+{
+    return service_ && config_.mode == OptimizerMode::FreeRunning;
 }
 
 void
@@ -51,24 +78,46 @@ AdoreRuntime::attach()
     }
     baseSamplingInterval_ = config_.sampler.interval;
 
-    sampler_.setOverflowHandler([this](const std::vector<Sample> &ssb) {
-        ueb_.pushWindow(ssb);
-    });
     phaseDetector_.setDoubleWindowCallback([this] {
-        sampler_.doubleWindow();
         ++stats_.windowDoublings;
+        if (deferredCommits()) {
+            // The sampler belongs to the main thread; the worker only
+            // requests the resize and main applies it at a safe point.
+            service_->requestDoubleWindow();
+        } else {
+            sampler_.doubleWindow();
+        }
     });
 
     cpu_.setSampler(&sampler_);
     sampler_.setEnabled(true, cpu_.cycle());
-    cpu_.addPeriodicHook(config_.pollPeriod,
-                         [this](Cycle now) { onPoll(now); });
+
+    if (config_.mode == OptimizerMode::Synchronous) {
+        sampler_.setOverflowHandler(
+            [this](const std::vector<Sample> &ssb) {
+                ueb_.pushWindow(ssb);
+                return true;
+            });
+        cpu_.addPeriodicHook(config_.pollPeriod,
+                             [this](Cycle now) { onPoll(now); });
+    } else {
+        service_ = std::make_unique<OptimizerService>(*this);
+        sampler_.setOverflowHandler(
+            [this](const std::vector<Sample> &ssb) {
+                return service_->enqueueBatch(ssb);
+            });
+        cpu_.addPeriodicHook(config_.pollPeriod,
+                             [this](Cycle now) { service_->poll(now); });
+        service_->start();
+    }
 }
 
 void
 AdoreRuntime::detach()
 {
     sampler_.setEnabled(false);
+    if (service_)
+        service_->shutdown();
 }
 
 void
@@ -79,6 +128,17 @@ AdoreRuntime::onPoll(Cycle now)
     if (guardrails_)
         guardrails_->beginPoll();
 
+    consumeWindows(now);
+
+    if (config_.faultPlan && events_)
+        emitFaultDeltas(config_.faultPlan->stats());
+    if (guardrails_)
+        endPollGuardrails();
+}
+
+void
+AdoreRuntime::consumeWindows(Cycle now)
+{
     // Consume any profile windows that arrived since the last poll.
     while (windowsConsumed_ < ueb_.totalWindows()) {
         std::uint64_t behind = ueb_.totalWindows() - windowsConsumed_;
@@ -144,17 +204,11 @@ AdoreRuntime::onPoll(Cycle now)
           }
         }
     }
-
-    if (config_.faultPlan && events_)
-        emitFaultDeltas();
-    if (guardrails_)
-        endPollGuardrails();
 }
 
 void
-AdoreRuntime::emitFaultDeltas()
+AdoreRuntime::emitFaultDeltas(const fault::FaultStats &fs)
 {
-    const fault::FaultStats &fs = config_.faultPlan->stats();
     auto delta = [this](const char *channel, std::uint64_t cur,
                         std::uint64_t &last) {
         if (cur > last)
@@ -169,6 +223,8 @@ AdoreRuntime::emitFaultDeltas()
           lastFaultStats_.countersJittered);
     delta("btb-corrupt", fs.btbCorrupted, lastFaultStats_.btbCorrupted);
     delta("patch-fail", fs.patchesFailed, lastFaultStats_.patchesFailed);
+    delta("optimizer-stall", fs.optimizerStalls,
+          lastFaultStats_.optimizerStalls);
     delta("mem-jitter", fs.memFillsJittered,
           lastFaultStats_.memFillsJittered);
     delta("bus-squeeze", fs.busSqueezes, lastFaultStats_.busSqueezes);
@@ -178,19 +234,29 @@ void
 AdoreRuntime::endPollGuardrails()
 {
     const HierarchyStats &mem = cpu_.caches().stats();
-    guardrails_->noteMemPressure(
-        mem.prefetchesIssued - lastPrefetchesIssued_,
-        mem.prefetchesDropped - lastPrefetchesDropped_);
+    std::uint64_t issued = mem.prefetchesIssued - lastPrefetchesIssued_;
+    std::uint64_t dropped = mem.prefetchesDropped - lastPrefetchesDropped_;
     lastPrefetchesIssued_ = mem.prefetchesIssued;
     lastPrefetchesDropped_ = mem.prefetchesDropped;
+    finishPollGuardrails(issued, dropped);
+}
 
+void
+AdoreRuntime::finishPollGuardrails(std::uint64_t issued_delta,
+                                   std::uint64_t dropped_delta)
+{
+    guardrails_->noteMemPressure(issued_delta, dropped_delta);
     guardrails_->endPoll();
 
     // Apply sampling-rate backoff.  The poll runs inside a Cpu periodic
     // hook and the Cpu recomputes its event watermark after hooks, so
-    // the retimed interval takes effect from the next sample.
+    // the retimed interval takes effect from the next sample.  In
+    // free-running mode the worker cannot touch the sampler; it
+    // publishes the wanted interval and main applies it at its poll.
     Cycle want = baseSamplingInterval_ * guardrails_->samplingMultiplier();
-    if (sampler_.interval() != want)
+    if (deferredCommits())
+        service_->publishSamplingInterval(want);
+    else if (sampler_.interval() != want)
         sampler_.setInterval(want);
 }
 
@@ -199,9 +265,12 @@ AdoreRuntime::guardrailProfitabilityCheck(const PhaseInfo &phase)
 {
     // Per-trace monitoring: attribute the in-pool phase to the patched
     // trace whose pool range holds the phase's PCcenter, newest batch
-    // first (pool ranges are unique per commit).
-    for (auto it = batches_.rbegin(); it != batches_.rend(); ++it) {
-        OptimizedBatch &batch = *it;
+    // first (pool ranges are unique per commit).  In free-running mode
+    // the worker consults its shadow patch set (the code image belongs
+    // to the main thread) and defers the unpatch via the service.
+    bool deferred = deferredCommits();
+    for (std::size_t bi = batches_.size(); bi-- > 0;) {
+        OptimizedBatch &batch = batches_[bi];
         if (batch.reverted)
             continue;
         for (const PatchedTrace &t : batch.traces) {
@@ -209,7 +278,9 @@ AdoreRuntime::guardrailProfitabilityCheck(const PhaseInfo &phase)
                 phase.pcCenter >= t.poolEnd) {
                 continue;
             }
-            if (!cpu_.code().isPatched(t.head))
+            bool patched = deferred ? service_->shadowRevertible(t.head)
+                                    : cpu_.code().isPatched(t.head);
+            if (!patched)
                 return;  // already individually reverted
             if (phase.cpi <= batch.cpiBefore *
                                  config_.guardrails.revertCpiRatio) {
@@ -218,18 +289,35 @@ AdoreRuntime::guardrailProfitabilityCheck(const PhaseInfo &phase)
             if (batch.revertStage == 0) {
                 // Stage 1: surgically revert only the offending trace.
                 batch.revertStage = 1;
-                if (unpatchHead(batch, t.head, false))
+                if (deferred) {
+                    service_->requestUnpatch(bi, {t.head}, false,
+                                             UnpatchKind::Staged);
+                } else if (unpatchHead(batch, t.head, false)) {
                     guardrails_->noteStagedRevert(t.head);
+                }
             } else {
                 // Stage 2: the batch regressed again — revert the rest.
-                std::uint64_t n = 0;
-                Addr first = t.head;
-                for (const PatchedTrace &u : batch.traces) {
-                    if (unpatchHead(batch, u.head, false))
-                        ++n;
+                if (deferred) {
+                    std::vector<Addr> heads;
+                    for (const PatchedTrace &u : batch.traces) {
+                        if (service_->shadowRevertible(u.head))
+                            heads.push_back(u.head);
+                    }
+                    batch.revertStage = 2;
+                    if (!heads.empty()) {
+                        service_->requestUnpatch(bi, std::move(heads),
+                                                 false, UnpatchKind::Full);
+                    }
+                } else {
+                    std::uint64_t n = 0;
+                    Addr first = t.head;
+                    for (const PatchedTrace &u : batch.traces) {
+                        if (unpatchHead(batch, u.head, false))
+                            ++n;
+                    }
+                    batch.revertStage = 2;
+                    guardrails_->noteFullRevert(first, n);
                 }
-                batch.revertStage = 2;
-                guardrails_->noteFullRevert(first, n);
             }
             return;
         }
@@ -263,7 +351,6 @@ Addr
 AdoreRuntime::commitTrace(const Trace &trace,
                           const std::vector<Bundle> &init_bundles)
 {
-    CodeImage &code = cpu_.code();
     std::size_t total = init_bundles.size() + trace.bundles.size() + 1;
 
     // Chaos channel: the live patch itself may fail (e.g. the real
@@ -277,7 +364,7 @@ AdoreRuntime::commitTrace(const Trace &trace,
         return CodeImage::badAddr;
     }
 
-    Addr base = code.tryAllocTrace(total);
+    Addr base = writeTraceToPool(trace, init_bundles);
     if (base == CodeImage::badAddr) {
         // Trace-pool exhaustion: reject, record, continue running.
         ++stats_.tracesRejectedPoolFull;
@@ -290,6 +377,26 @@ AdoreRuntime::commitTrace(const Trace &trace,
         }
         return CodeImage::badAddr;
     }
+
+    if (events_) {
+        events_->emit(observe::TracePatchedEvent{
+            trace.startAddr, base,
+            static_cast<std::uint32_t>(trace.bundles.size()),
+            static_cast<std::uint32_t>(init_bundles.size())});
+    }
+    return base;
+}
+
+Addr
+AdoreRuntime::writeTraceToPool(const Trace &trace,
+                               const std::vector<Bundle> &init_bundles)
+{
+    CodeImage &code = cpu_.code();
+    std::size_t total = init_bundles.size() + trace.bundles.size() + 1;
+
+    Addr base = code.tryAllocTrace(total);
+    if (base == CodeImage::badAddr)
+        return CodeImage::badAddr;
 
     Addr body_start =
         base + init_bundles.size() * isa::bundleBytes;
@@ -325,30 +432,43 @@ AdoreRuntime::commitTrace(const Trace &trace,
                      exit_bundle);
 
     code.patch(trace.startAddr, base);
-    if (events_) {
-        events_->emit(observe::TracePatchedEvent{
-            trace.startAddr, base,
-            static_cast<std::uint32_t>(trace.bundles.size()),
-            static_cast<std::uint32_t>(init_bundles.size())});
-    }
     return base;
 }
 
 void
 AdoreRuntime::revertBatch(OptimizedBatch &batch)
 {
-    for (const PatchedTrace &t : batch.traces) {
-        if (cpu_.code().isPatched(t.head)) {
-            cpu_.code().unpatch(t.head);
-            ++stats_.tracesUnpatched;
-            if (events_)
-                events_->emit(observe::TraceRevertedEvent{t.head});
+    if (deferredCommits()) {
+        // Free-running: defer the unpatches to the main thread; the
+        // bookkeeping completes when the ack comes back.  Marking the
+        // batch reverted now prevents a re-trigger on the next window.
+        std::size_t bi = &batch - batches_.data();
+        std::vector<Addr> heads;
+        for (const PatchedTrace &t : batch.traces) {
+            blacklist_.insert(t.head);
+            if (service_->shadowRevertible(t.head))
+                heads.push_back(t.head);
         }
-        blacklist_.insert(t.head);
+        batch.reverted = true;
+        ++stats_.phasesReverted;
+        if (!heads.empty()) {
+            service_->requestUnpatch(bi, std::move(heads), true,
+                                     UnpatchKind::Legacy);
+        }
+        return;
     }
-    batch.reverted = true;
-    ++stats_.phasesReverted;
-    cpu_.chargeCycles(config_.patchCyclesPerTrace);
+
+    // Charge per still-patched head: each unpatch is its own brief
+    // stop-and-copy pause, exactly like the patch that installed it
+    // (unpatchHead charges patchCyclesPerTrace per head it reverts).
+    for (const PatchedTrace &t : batch.traces) {
+        if (!unpatchHead(batch, t.head, true))
+            blacklist_.insert(t.head);  // keep blacklist-all semantics
+    }
+    if (!batch.reverted) {
+        batch.reverted = true;
+        ++stats_.phasesReverted;
+    }
 }
 
 bool
@@ -396,6 +516,10 @@ AdoreRuntime::patchedHeadsOf(std::size_t index) const
 bool
 AdoreRuntime::revertTrace(Addr head)
 {
+    // External revert API: the worker owns the batch bookkeeping while
+    // a free-running service is live, so refuse rather than race.
+    if (deferredCommits() && service_->running())
+        return false;
     // Newest batch first: a head whose backoff expired may have been
     // re-optimized into a later batch.
     for (auto it = batches_.rbegin(); it != batches_.rend(); ++it) {
@@ -410,6 +534,8 @@ AdoreRuntime::revertTrace(Addr head)
 bool
 AdoreRuntime::revertBatchAt(std::size_t index)
 {
+    if (deferredCommits() && service_->running())
+        return false;  // see revertTrace
     if (index >= batches_.size())
         return false;
     OptimizedBatch &batch = batches_[index];
@@ -424,18 +550,59 @@ AdoreRuntime::revertBatchAt(std::size_t index)
 }
 
 void
+AdoreRuntime::cancelPhaseByWatchdog(Addr pc_center, std::uint64_t magnitude)
+{
+    ++stats_.phasesWatchdogCancelled;
+    if (guardrails_) {
+        guardrails_->noteWatchdogFire(pc_center, magnitude);
+    } else if (events_) {
+        events_->emit(observe::GuardrailEvent{"watchdog-cancel", pc_center,
+                                              magnitude});
+    }
+}
+
+void
 AdoreRuntime::optimizePhase(Cycle now)
 {
     (void)now;
+    const Addr pcCenter = phaseDetector_.current().pcCenter;
+
+    // Deterministic watchdog layer: an injected optimizer stall beyond
+    // the virtual-cycle deadline cancels the phase before any work is
+    // done and degrades via the guardrail throttle.  Applies in every
+    // mode, so the chaos schedule replays identically.
+    if (config_.faultPlan) {
+        std::uint64_t stall = config_.faultPlan->optimizerStall();
+        if (stall > config_.watchdogDeadlineCycles) {
+            cancelPhaseByWatchdog(pcCenter, stall);
+            return;
+        }
+    }
+
+    bool deferred = deferredCommits();
+    if (deferred)
+        service_->beginPhase();
+
     std::vector<Sample> samples = ueb_.flatten();
-    std::vector<Trace> traces = traceSelector_.select(samples);
+    std::vector<Trace> traces;
+    if (deferred) {
+        // The trace selector walks the code image, which the main
+        // thread mutates at its safe points: hold the patch lock for
+        // the walk (the rest of the phase works on Trace copies).
+        auto lock = service_->lockPatches();
+        traces = traceSelector_.select(samples);
+    } else {
+        traces = traceSelector_.select(samples);
+    }
     auto dear = aggregateDear(samples);
 
     OptimizedBatch batch;
     batch.cpiBefore = phaseDetector_.current().cpi;
 
+    std::vector<CommitPlanItem> planItems;
     bool any_patched = false;
     bool any_prefetched = false;
+    bool cancelled = false;
 
     // Auto-throttle: under bus saturation the guardrails damp (1) or
     // disable (0) prefetch generation per trace.
@@ -444,6 +611,15 @@ AdoreRuntime::optimizePhase(Cycle now)
         load_cap = guardrails_->prefetchLoadCap(load_cap);
 
     for (Trace &trace : traces) {
+        // Host-time watchdog (free-running): honor a cancellation
+        // requested by the main thread between traces.
+        if (deferred && service_->cancelled()) {
+            cancelled = true;
+            break;
+        }
+        if (config_.perTraceTestHook)
+            config_.perTraceTestHook(trace.startAddr);
+
         ++stats_.tracesSelected;
         if (trace.isLoop)
             ++stats_.loopTraces;
@@ -453,7 +629,10 @@ AdoreRuntime::optimizePhase(Cycle now)
             continue;  // too small to gain anything from relayout
         }
 
-        if (cpu_.code().isPatched(trace.startAddr)) {
+        bool alreadyPatched =
+            deferred ? service_->shadowPatched(trace.startAddr)
+                     : cpu_.code().isPatched(trace.startAddr);
+        if (alreadyPatched) {
             ++stats_.tracesSkippedPatched;
             continue;
         }
@@ -489,6 +668,12 @@ AdoreRuntime::optimizePhase(Cycle now)
             std::vector<DelinquentLoad> loads;
             DependenceSlicer slicer(trace, events_);
             for (const auto &[pc, agg] : dear) {
+                // Host-time watchdog: also honored mid-slice, so a
+                // stalled classification can't wedge the worker.
+                if (deferred && service_->cancelled()) {
+                    cancelled = true;
+                    break;
+                }
                 int bidx = trace.bundleIndexOfOrigPc(pc);
                 if (bidx < 0)
                     continue;
@@ -506,6 +691,8 @@ AdoreRuntime::optimizePhase(Cycle now)
                 dl.slice = slicer.classify(dl.pos);
                 loads.push_back(dl);
             }
+            if (cancelled)
+                break;
             std::sort(loads.begin(), loads.end(),
                       [](const DelinquentLoad &a, const DelinquentLoad &b) {
                           if (a.totalLatency != b.totalLatency)
@@ -548,6 +735,21 @@ AdoreRuntime::optimizePhase(Cycle now)
             continue;
         }
 
+        if (deferred) {
+            // Plan the commit; main applies it at its next safe point.
+            // The injected patch-failure channel is drawn here so it
+            // stays on the worker thread (same decision point as the
+            // inline path: once per commit-worthy trace).
+            if (config_.faultPlan && config_.faultPlan->patchFails()) {
+                ++stats_.tracesPatchFailed;
+                if (guardrails_)
+                    guardrails_->notePatchFailed(trace.startAddr);
+                continue;
+            }
+            planItems.push_back({trace, gen.initBundles});
+            continue;
+        }
+
         Addr base = commitTrace(trace, gen.initBundles);
         if (base == CodeImage::badAddr)
             continue;  // patch failed or pool exhausted: recoverable
@@ -559,6 +761,20 @@ AdoreRuntime::optimizePhase(Cycle now)
         ++stats_.tracesPatched;
         any_patched = true;
         cpu_.chargeCycles(config_.patchCyclesPerTrace);
+    }
+
+    if (deferred) {
+        service_->endPhase();
+        if (cancelled) {
+            // Degrade to unoptimized execution: discard the half-built
+            // plan; nothing was committed.
+            cancelPhaseByWatchdog(pcCenter, config_.watchdogDeadlineNs);
+        } else if (!planItems.empty()) {
+            service_->requestCommit(batch.cpiBefore, std::move(planItems));
+        }
+        if (any_prefetched)
+            ++stats_.phasesPrefetched;
+        return;
     }
 
     if (any_patched) {

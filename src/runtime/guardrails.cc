@@ -110,6 +110,21 @@ Guardrails::notePatchFailed(Addr head)
     emit("patch-failed", head, stats_.patchFailures);
 }
 
+void
+Guardrails::noteWatchdogFire(Addr head, std::uint64_t stall_cycles)
+{
+    ++stats_.watchdogFires;
+    if (throttle_ == Throttle::Normal) {
+        throttle_ = Throttle::Damped;
+        ++stats_.prefetchDamped;
+    } else if (throttle_ == Throttle::Damped) {
+        throttle_ = Throttle::Disabled;
+        ++stats_.prefetchDisabled;
+    }
+    throttleCalmPolls_ = 0;
+    emit("watchdog-cancel", head, stall_cycles);
+}
+
 bool
 Guardrails::allowOptimize(Addr head)
 {

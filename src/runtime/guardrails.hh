@@ -108,6 +108,7 @@ struct GuardrailStats
     std::uint64_t prefetchRestored = 0; ///< throttle step-downs
     std::uint64_t poolExhaustedRejects = 0;
     std::uint64_t patchFailures = 0;
+    std::uint64_t watchdogFires = 0;    ///< stalled optimizations cancelled
 };
 
 class Guardrails
@@ -156,6 +157,15 @@ class Guardrails
 
     /** A live patch failed for @p head's trace. */
     void notePatchFailed(Addr head);
+
+    /**
+     * The watchdog cancelled a stalled phase optimization around
+     * @p head (phase PCcenter; 0 when unknown) after @p stall_cycles.
+     * Beyond counting, the throttle steps down one notch: a stalled
+     * optimizer is a sign the service is overloaded, so the next phases
+     * are optimized more conservatively until calm polls recover it.
+     */
+    void noteWatchdogFire(Addr head, std::uint64_t stall_cycles);
 
     /** May the optimizer (re-)optimize @p head this poll? */
     bool allowOptimize(Addr head);

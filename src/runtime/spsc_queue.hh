@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bounded single-producer / single-consumer queue for the concurrent
+ * optimizer service (DESIGN.md §11).
+ *
+ * The ADORE paper's optimizer thread is fed by a kernel sampling buffer
+ * of fixed size: when the consumer falls behind, batches are dropped at
+ * the producer, never blocking the application.  This queue models that
+ * contract exactly:
+ *
+ *  - bounded: capacity is fixed at construction, tryPush never
+ *    allocates and never blocks — it returns false when the consumer is
+ *    behind, and the caller accounts the drop;
+ *  - SPSC: exactly one producer thread and one consumer thread.  The
+ *    main (mutator) thread produces sample batches and virtual-time
+ *    ticks; the optimizer worker consumes them.  The commit/ack
+ *    channels run a second pair in the opposite direction;
+ *  - lock-free: one atomic head (consumer-owned) and one atomic tail
+ *    (producer-owned) with acquire/release ordering.  The release store
+ *    of tail_ publishes the slot contents to the consumer's acquire
+ *    load; symmetrically for head_ and slot reuse.
+ */
+
+#ifndef ADORE_RUNTIME_SPSC_QUEUE_HH
+#define ADORE_RUNTIME_SPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace adore
+{
+
+template <typename T>
+class BoundedSpscQueue
+{
+  public:
+    explicit BoundedSpscQueue(std::size_t capacity)
+        : slots_(capacity ? capacity + 1 : 2)
+    {
+    }
+
+    /** Usable capacity (one ring slot is sacrificed to full/empty). */
+    std::size_t capacity() const { return slots_.size() - 1; }
+
+    /**
+     * Producer side: enqueue @p value.  @return false (value untouched)
+     * when the queue is full — the consumer is behind and the caller
+     * must drop and account the item.
+     */
+    bool
+    tryPush(T &&value)
+    {
+        std::size_t tail = tail_.load(std::memory_order_relaxed);
+        std::size_t next = inc(tail);
+        if (next == head_.load(std::memory_order_acquire))
+            return false;  // full: consumer behind
+        slots_[tail] = std::move(value);
+        tail_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    tryPush(const T &value)
+    {
+        T copy(value);
+        return tryPush(std::move(copy));
+    }
+
+    /** Consumer side: dequeue into @p out.  @return false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::size_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return false;  // empty
+        out = std::move(slots_[head]);
+        slots_[head] = T{};  // release payload resources eagerly
+        head_.store(inc(head), std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Approximate occupancy.  Exact when called by either endpoint with
+     * the other side quiescent (the barrier-mode drain and all tests);
+     * otherwise a point-in-time estimate.
+     */
+    std::size_t
+    size() const
+    {
+        std::size_t head = head_.load(std::memory_order_acquire);
+        std::size_t tail = tail_.load(std::memory_order_acquire);
+        return tail >= head ? tail - head : tail + slots_.size() - head;
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    std::size_t
+    inc(std::size_t i) const
+    {
+        return i + 1 == slots_.size() ? 0 : i + 1;
+    }
+
+    std::vector<T> slots_;
+    std::atomic<std::size_t> head_{0};  ///< next pop (consumer-owned)
+    std::atomic<std::size_t> tail_{0};  ///< next push (producer-owned)
+};
+
+} // namespace adore
+
+#endif // ADORE_RUNTIME_SPSC_QUEUE_HH

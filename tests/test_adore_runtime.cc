@@ -270,5 +270,67 @@ TEST(AdoreRuntime, DetachStopsSampling)
     EXPECT_EQ(rt.sampler().samplesTaken(), samples);
 }
 
+TEST(AdoreRuntime, RevertChargesPerStillPatchedHead)
+{
+    // Reverting a batch is one brief stop-and-copy pause *per patched
+    // head* — exactly symmetric with the per-trace patch charge.  A
+    // once-per-batch charge would undercount multi-trace batches, so
+    // this pins the charged cycles on a batch with >= 2 patched heads
+    // (ammp-style phase: a pointer chase and an indirect gather sharing
+    // one stable phase, each selected as its own trace).
+    hir::Program prog;
+    prog.name = "twotrace";
+    int list = workloads::linkedList(prog, "atoms", 4'000, 128, 0.12);
+    int data = workloads::fpStream(prog, "coords", 256 * 1024);
+    int idx = workloads::indexArray(prog, "nbr", 96 * 1024, 34 * 1024);
+    hir::LoopBody chase;
+    chase.chases.push_back({list, 8});
+    chase.extraFpOps = 16;
+    int l_chase = workloads::addLoop(prog, "chase", 3'900, chase);
+    hir::LoopBody gather;
+    gather.refs.push_back(workloads::indirect(data, idx));
+    gather.extraFpOps = 14;
+    int l_gather = workloads::addLoop(prog, "gather", 96 * 1024, gather);
+    workloads::phase(prog, {l_chase, l_gather}, 8);
+
+    RunConfig cfg = baseConfig();
+    cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    cfg.adoreConfig.mode = OptimizerMode::Synchronous;
+
+    Machine machine(cfg.machine);
+    DataLayout dlayout(machine.memory());
+    Compiler compiler(cfg.machine.hier);
+    CompileReport rep =
+        compiler.compile(prog, cfg.compile, machine.code(), dlayout);
+    machine.cpu().setPc(rep.entry);
+    AdoreRuntime rt(machine.cpu(), cfg.adoreConfig);
+    rt.attach();
+    auto res = machine.cpu().run(cfg.maxCycles);
+    EXPECT_TRUE(res.halted);
+
+    std::size_t bi = rt.batchCount();
+    std::size_t heads = 0;
+    for (std::size_t i = 0; i < rt.batchCount(); ++i) {
+        std::size_t n = rt.patchedHeadsOf(i).size();
+        if (n >= 2) {
+            bi = i;
+            heads = n;
+            break;
+        }
+    }
+    ASSERT_LT(bi, rt.batchCount()) << "no batch with >= 2 patched heads";
+
+    std::uint64_t unpatched_before = rt.stats().tracesUnpatched;
+    Cycle before = machine.cpu().cycle();
+    ASSERT_TRUE(rt.revertBatchAt(bi));
+    Cycle charged = machine.cpu().cycle() - before;
+
+    EXPECT_EQ(charged,
+              heads * cfg.adoreConfig.patchCyclesPerTrace);
+    EXPECT_EQ(rt.stats().tracesUnpatched - unpatched_before, heads);
+    EXPECT_TRUE(rt.patchedHeadsOf(bi).empty());
+    rt.detach();
+}
+
 } // namespace
 } // namespace adore

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Toggle-and-compare test for the concurrent optimizer service's
+ * barrier mode (DESIGN.md §11).
+ *
+ * AsyncBarrier moves the whole ADORE poll onto a worker thread but
+ * blocks the mutator until the worker finishes, so it must be a pure
+ * host-threading change: running any workload with mode=Synchronous and
+ * mode=AsyncBarrier must produce bit-identical simulated results —
+ * cycles, every cache counter, every ADORE decision stat, the sampler's
+ * delivery/drop accounting, and the *rendered decision-event stream*
+ * element by element.  A divergence means the handshake leaked
+ * host-thread timing into the modeled machine, which would also break
+ * the chaos harness's determinism contract.
+ *
+ * The chaos variant repeats the comparison under the full fault
+ * schedule with guardrails and a bounded trace pool, so the revert,
+ * throttle, watchdog-cancel, and pool-exhaustion paths are covered too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/chaos.hh"
+#include "harness/experiment.hh"
+#include "observe/event_trace.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace adore;
+
+struct AsyncRun
+{
+    RunMetrics metrics;
+    std::vector<std::string> events;
+};
+
+AsyncRun
+runWith(const hir::Program &prog, OptimizerMode mode, bool chaos)
+{
+    RunConfig cfg;
+    cfg.compile.level = OptLevel::O2;
+    cfg.compile.softwarePipelining = false;
+    cfg.compile.reserveAdoreRegs = true;
+    cfg.adore = true;
+    cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    cfg.adoreConfig.mode = mode;
+    cfg.maxCycles = 3'000'000ULL;
+    cfg.quietCycleLimit = true;
+    if (chaos) {
+        cfg.faults = defaultChaosFaults();
+        cfg.faults.seed = 7;
+        cfg.adoreConfig.guardrails.enabled = true;
+        cfg.adoreConfig.tracePoolCapacityBundles = 768;
+    }
+
+    observe::EventTrace trace(16384);
+    trace.enable();
+    cfg.adoreConfig.events = &trace;
+
+    AsyncRun out;
+    out.metrics = Experiment::run(prog, cfg);
+    for (const observe::Event &e : trace.snapshot())
+        out.events.push_back(observe::renderEventLine(e));
+    return out;
+}
+
+void
+expectSameCacheStats(const CacheStats &a, const CacheStats &b,
+                     const char *level)
+{
+    EXPECT_EQ(a.accesses, b.accesses) << level;
+    EXPECT_EQ(a.hits, b.hits) << level;
+    EXPECT_EQ(a.misses, b.misses) << level;
+    EXPECT_EQ(a.inFlightHits, b.inFlightHits) << level;
+    EXPECT_EQ(a.prefetchFills, b.prefetchFills) << level;
+    EXPECT_EQ(a.demandFills, b.demandFills) << level;
+    EXPECT_EQ(a.evictions, b.evictions) << level;
+}
+
+void
+expectSameAdoreStats(const AdoreStats &a, const AdoreStats &b)
+{
+    EXPECT_EQ(a.windowsProcessed, b.windowsProcessed);
+    EXPECT_EQ(a.windowDoublings, b.windowDoublings);
+    EXPECT_EQ(a.phasesDetected, b.phasesDetected);
+    EXPECT_EQ(a.phaseChanges, b.phaseChanges);
+    EXPECT_EQ(a.phasesSkippedLowMiss, b.phasesSkippedLowMiss);
+    EXPECT_EQ(a.phasesSkippedInPool, b.phasesSkippedInPool);
+    EXPECT_EQ(a.phasesOptimized, b.phasesOptimized);
+    EXPECT_EQ(a.phasesPrefetched, b.phasesPrefetched);
+    EXPECT_EQ(a.tracesSelected, b.tracesSelected);
+    EXPECT_EQ(a.loopTraces, b.loopTraces);
+    EXPECT_EQ(a.tracesPatched, b.tracesPatched);
+    EXPECT_EQ(a.tracesSkippedLfetch, b.tracesSkippedLfetch);
+    EXPECT_EQ(a.tracesSkippedSwp, b.tracesSkippedSwp);
+    EXPECT_EQ(a.tracesSkippedPatched, b.tracesSkippedPatched);
+    EXPECT_EQ(a.directPrefetches, b.directPrefetches);
+    EXPECT_EQ(a.indirectPrefetches, b.indirectPrefetches);
+    EXPECT_EQ(a.pointerPrefetches, b.pointerPrefetches);
+    EXPECT_EQ(a.loadsSkippedNoRegs, b.loadsSkippedNoRegs);
+    EXPECT_EQ(a.loadsSkippedUnknown, b.loadsSkippedUnknown);
+    EXPECT_EQ(a.bundlesInserted, b.bundlesInserted);
+    EXPECT_EQ(a.slotsFilled, b.slotsFilled);
+    EXPECT_EQ(a.phasesReverted, b.phasesReverted);
+    EXPECT_EQ(a.tracesUnpatched, b.tracesUnpatched);
+    EXPECT_EQ(a.tracesRejectedPoolFull, b.tracesRejectedPoolFull);
+    EXPECT_EQ(a.tracesPatchFailed, b.tracesPatchFailed);
+    EXPECT_EQ(a.phasesWatchdogCancelled, b.phasesWatchdogCancelled);
+    EXPECT_EQ(a.tracesCommitStale, b.tracesCommitStale);
+}
+
+void
+expectSameRuns(const AsyncRun &sync, const AsyncRun &barrier)
+{
+    const RunMetrics &a = sync.metrics;
+    const RunMetrics &b = barrier.metrics;
+
+    EXPECT_EQ(a.halted, b.halted);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.dearMisses, b.dearMisses);
+
+    EXPECT_EQ(a.memStats.loads, b.memStats.loads);
+    EXPECT_EQ(a.memStats.stores, b.memStats.stores);
+    EXPECT_EQ(a.memStats.prefetchesIssued, b.memStats.prefetchesIssued);
+    EXPECT_EQ(a.memStats.prefetchesDropped, b.memStats.prefetchesDropped);
+    EXPECT_EQ(a.memStats.prefetchesUseless, b.memStats.prefetchesUseless);
+    EXPECT_EQ(a.memStats.ifetches, b.memStats.ifetches);
+    EXPECT_EQ(a.memStats.ifetchMisses, b.memStats.ifetchMisses);
+
+    expectSameCacheStats(a.l1iStats, b.l1iStats, "L1I");
+    expectSameCacheStats(a.l1dStats, b.l1dStats, "L1D");
+    expectSameCacheStats(a.l2Stats, b.l2Stats, "L2");
+    expectSameCacheStats(a.l3Stats, b.l3Stats, "L3");
+
+    expectSameAdoreStats(a.adoreStats, b.adoreStats);
+
+    // Sampler accounting: the barrier queue never drops on its own
+    // because every batch is drained at the next poll, so even the
+    // drop counters must line up with the synchronous run's.
+    EXPECT_EQ(a.samplerStats.samplesTaken, b.samplerStats.samplesTaken);
+    EXPECT_EQ(a.samplerStats.overflows, b.samplerStats.overflows);
+    EXPECT_EQ(a.samplerStats.batchesDelivered,
+              b.samplerStats.batchesDelivered);
+    EXPECT_EQ(a.samplerStats.droppedFault, b.samplerStats.droppedFault);
+    EXPECT_EQ(a.samplerStats.droppedConsumerBehind,
+              b.samplerStats.droppedConsumerBehind);
+    EXPECT_EQ(a.samplerStats.droppedNoHandler,
+              b.samplerStats.droppedNoHandler);
+
+    EXPECT_EQ(a.faultsUsed, b.faultsUsed);
+    EXPECT_EQ(a.faultStats.total(), b.faultStats.total());
+    EXPECT_EQ(a.faultStats.optimizerStalls, b.faultStats.optimizerStalls);
+    EXPECT_EQ(a.guardrailsUsed, b.guardrailsUsed);
+    EXPECT_EQ(a.guardrailStats.watchdogFires,
+              b.guardrailStats.watchdogFires);
+    EXPECT_EQ(a.guardrailStats.stagedReverts,
+              b.guardrailStats.stagedReverts);
+    EXPECT_EQ(a.guardrailStats.fullReverts, b.guardrailStats.fullReverts);
+    EXPECT_EQ(a.guardrailStats.patchFailures,
+              b.guardrailStats.patchFailures);
+    EXPECT_EQ(a.guardrailStats.poolExhaustedRejects,
+              b.guardrailStats.poolExhaustedRejects);
+
+    // The decision-event stream is the strongest check: identical
+    // decisions, in the same order, at the same simulated cycles.
+    ASSERT_EQ(sync.events.size(), barrier.events.size());
+    for (std::size_t i = 0; i < sync.events.size(); ++i)
+        EXPECT_EQ(sync.events[i], barrier.events[i]) << "event " << i;
+}
+
+class AsyncToggle : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AsyncToggle, BarrierBitIdentical)
+{
+    setVerbose(false);
+    hir::Program prog = workloads::make(GetParam());
+    expectSameRuns(runWith(prog, OptimizerMode::Synchronous, false),
+                   runWith(prog, OptimizerMode::AsyncBarrier, false));
+}
+
+TEST_P(AsyncToggle, BarrierBitIdenticalUnderChaos)
+{
+    setVerbose(false);
+    hir::Program prog = workloads::make(GetParam());
+    expectSameRuns(runWith(prog, OptimizerMode::Synchronous, true),
+                   runWith(prog, OptimizerMode::AsyncBarrier, true));
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const workloads::WorkloadInfo &info : workloads::allWorkloads())
+        names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, AsyncToggle, ::testing::ValuesIn(allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

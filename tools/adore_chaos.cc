@@ -12,6 +12,10 @@
  *   adore_chaos --margin 1.15            chaotic-CPI margin vs baseline
  *   adore_chaos --max-cycles 20000000    per-run cycle budget
  *   adore_chaos --jobs N                 thread-pool width
+ *   adore_chaos --threads                free-running optimizer worker
+ *                                        per chaotic run (thread-stress
+ *                                        soak; watchdog fires counted in
+ *                                        the sweep table)
  *
  * Each (workload, seed) pair runs twice — a no-ADORE baseline and an
  * ADORE+guardrails run — under the same deterministic fault schedule.
@@ -38,7 +42,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--smoke | --soak] [--workloads a,b,c] "
-                 "[--seeds N] [--margin X] [--max-cycles N] [--jobs N]\n",
+                 "[--seeds N] [--margin X] [--max-cycles N] [--jobs N] "
+                 "[--threads]\n",
                  argv0);
     return 2;
 }
@@ -103,6 +108,8 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             spec.jobs = static_cast<unsigned>(
                 std::strtoul(value("--jobs"), nullptr, 10));
+        } else if (arg == "--threads") {
+            spec.freeRunning = true;
         } else {
             return usage(argv[0]);
         }
