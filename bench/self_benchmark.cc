@@ -15,8 +15,16 @@
  * the reference host.
  *
  * Usage: self_benchmark [--out PATH] [--repeats N] [--quick]
+ *                       [--exec-tier interpreter|direct] [--only NAME]
  *   --quick shrinks the loop iteration count and repeats so the
  *   bench_smoke CI target stays fast.
+ *   --only runs a single scenario by name (iteration aid; the JSON is
+ *   still written but holds just that scenario, so don't commit it).
+ *   --exec-tier selects the execution tier for every scenario
+ *   (default: the CpuConfig default).  Running with
+ *   `--exec-tier interpreter` reproduces the pre-superblock-tier
+ *   numbers at any commit, which is how the dispatch-bound baselines
+ *   below were re-measured.
  */
 
 #include <chrono>
@@ -28,6 +36,7 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "cpu/cpu.hh"
 #include "isa/builder.hh"
 #include "program/code_buffer.hh"
 
@@ -60,13 +69,15 @@ now()
  * is a direct measurement of per-instruction interpreter overhead.
  */
 ScenarioResult
-runInterpreterLoop(std::uint64_t iters, int repeats)
+runInterpreterLoop(std::uint64_t iters, int repeats, ExecTier tier)
 {
     ScenarioResult res;
     res.name = "interpreter_loop";
     res.bestWallSeconds = 1e300;
     for (int rep = 0; rep < repeats; ++rep) {
-        Machine machine;
+        MachineConfig mcfg;
+        mcfg.cpu.execTier = tier;
+        Machine machine(mcfg);
         CodeBuffer buf;
         Bundle init;
         init.add(build::movi(1, 0));
@@ -112,7 +123,7 @@ runInterpreterLoop(std::uint64_t iters, int repeats)
  * the scenario measures the memory hierarchy, not workload generation.
  */
 ScenarioResult
-runPointerChaseHot(std::uint64_t iters, int repeats)
+runPointerChaseHot(std::uint64_t iters, int repeats, ExecTier tier)
 {
     ScenarioResult res;
     res.name = "mcf_pointer_chase_hot";
@@ -125,7 +136,9 @@ runPointerChaseHot(std::uint64_t iters, int repeats)
     constexpr std::uint64_t hot_bytes = 2048;    // L1D-resident
 
     for (int rep = 0; rep < repeats; ++rep) {
-        Machine machine;
+        MachineConfig mcfg;
+        mcfg.cpu.execTier = tier;
+        Machine machine(mcfg);
         for (std::uint64_t i = 0; i < ring_nodes; ++i) {
             Addr next = ring_base + ((i + 1) % ring_nodes) * node_stride;
             machine.memory().writeU64(ring_base + i * node_stride, next);
@@ -186,15 +199,95 @@ runPointerChaseHot(std::uint64_t iters, int repeats)
     return res;
 }
 
+/**
+ * The superblock-tier scenario: a four-bundle hot loop of the shape the
+ * direct-threaded tier targets — L1D-resident streaming loads with
+ * post-increment, a store, dependent ALU work, a predicated wrap, and a
+ * compare-and-branch back edge.  Unlike interpreter_loop it carries
+ * data-memory traffic through the load/store fast paths, so it measures
+ * superblock dispatch with the memory handlers in the mix rather than
+ * pure ALU dispatch.  The whole loop body fits one superblock; once hot
+ * it runs as a single inlined-back-edge region.
+ */
+ScenarioResult
+runJitHotLoop(std::uint64_t iters, int repeats, ExecTier tier)
+{
+    ScenarioResult res;
+    res.name = "jit_hot_loop";
+    res.bestWallSeconds = 1e300;
+
+    constexpr Addr arr_base = 0x40000000;
+    constexpr std::uint64_t arr_bytes = 2048;    // L1D-resident
+
+    for (int rep = 0; rep < repeats; ++rep) {
+        MachineConfig mcfg;
+        mcfg.cpu.execTier = tier;
+        Machine machine(mcfg);
+        for (Addr off = 0; off < arr_bytes; off += 8)
+            machine.memory().writeU64(arr_base + off, off);
+
+        CodeBuffer buf;
+        Bundle init1;
+        init1.add(build::movi(1, 0));                // iteration counter
+        init1.add(build::movi(2, static_cast<std::int64_t>(iters)));
+        init1.add(build::movi(9, arr_base));         // array walker
+        buf.append(init1);
+        Bundle init2;
+        init2.add(build::movi(10, arr_base));        // array base
+        init2.add(build::movi(11, arr_base + arr_bytes));
+        buf.append(init2);
+        auto head = buf.newLabel();
+        buf.bind(head);
+        Bundle b1;
+        b1.add(build::ld(8, 12, 9, 8));   // stream from the hot array
+        b1.add(build::addi(3, 1, 3));
+        b1.add(build::addi(1, 1, 1));
+        buf.append(b1);
+        Bundle b2;
+        b2.add(build::ld(8, 13, 9, 8));
+        b2.add(build::add(15, 15, 12));
+        b2.add(build::shladd(16, 12, 1, 13));
+        buf.append(b2);
+        Bundle b3;
+        b3.add(build::st(8, 10, 15));     // accumulate back to the base
+        b3.add(build::cmp(Opcode::CmpLe, 2, 11, 9));  // walker past end?
+        Insn wrap = build::mov(9, 10);                // predicated reset
+        wrap.qp = 2;
+        b3.add(wrap);
+        buf.append(b3);
+        Bundle b4;
+        b4.add(build::cmp(Opcode::CmpLt, 1, 1, 2));
+        b4.add(build::br(1, 0));
+        buf.appendWithBranchTo(b4, head);
+        Bundle h;
+        h.add(build::halt());
+        buf.append(h);
+        buf.commitToText(machine.code());
+        machine.cpu().setPc(CodeImage::textBase);
+
+        double t0 = now();
+        machine.cpu().run(~Cycle{0});
+        double wall = now() - t0;
+
+        res.retired = machine.cpu().counters().retiredInsns;
+        res.bestWallSeconds = std::min(res.bestWallSeconds, wall);
+    }
+    res.simMips =
+        static_cast<double>(res.retired) / res.bestWallSeconds / 1e6;
+    return res;
+}
+
 /** A registered workload under the bench harness configuration. */
 ScenarioResult
-runWorkloadScenario(const std::string &name, bool adore, int repeats)
+runWorkloadScenario(const std::string &name, bool adore, int repeats,
+                    ExecTier tier)
 {
     ScenarioResult res;
     res.name = name + (adore ? "_o2_adore" : "_o2");
     res.bestWallSeconds = 1e300;
     hir::Program prog = workloads::make(name);
     RunConfig cfg = workloadConfig(restrictedOptions(OptLevel::O2), adore);
+    cfg.machine.cpu.execTier = tier;
     for (int rep = 0; rep < repeats; ++rep) {
         double t0 = now();
         RunMetrics m = Experiment::run(prog, cfg);
@@ -215,8 +308,10 @@ main(int argc, char **argv)
     setVerbose(false);
 
     std::string out_path = "BENCH_simulator.json";
+    std::string only;
     int repeats = 5;
     std::uint64_t iters = 20'000'000ULL;
+    ExecTier tier = CpuConfig().execTier;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
             out_path = argv[++i];
@@ -225,9 +320,23 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--quick")) {
             repeats = 2;
             iters = 2'000'000ULL;
+        } else if (!std::strcmp(argv[i], "--only") && i + 1 < argc) {
+            only = argv[++i];
+        } else if (!std::strcmp(argv[i], "--exec-tier") && i + 1 < argc) {
+            std::string name = argv[++i];
+            if (name == "interpreter") {
+                tier = ExecTier::Interpreter;
+            } else if (name == "direct" || name == "direct_threaded") {
+                tier = ExecTier::DirectThreaded;
+            } else {
+                std::fprintf(stderr, "unknown exec tier '%s'\n",
+                             name.c_str());
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--out PATH] [--repeats N] [--quick]\n",
+                         "usage: %s [--out PATH] [--repeats N] [--quick] "
+                         "[--exec-tier interpreter|direct]\n",
                          argv[0]);
             return 2;
         }
@@ -236,16 +345,21 @@ main(int argc, char **argv)
         repeats = 1;
 
     printHeader("Simulator self-benchmark (simulated MIPS on this host)");
+    std::printf("execution tier: %s\n\n", execTierName(tier));
 
     /*
-     * Pre-change baselines, measured on the reference host (1-core
-     * container, g++ -O2 RelWithDebInfo, best of 8).  The first five
-     * were captured at the commit immediately before the interpreter
-     * fast-path work; equake_o2 and mcf_pointer_chase_hot were captured
-     * at the commit immediately before the memory-hierarchy fast path
-     * (the first commit where those scenarios exist), on the same host.
-     * All are host-specific: compare improvement ratios, not absolute
-     * MIPS, when running elsewhere.
+     * Pre-change baselines, each captured on the reference host at the
+     * commit immediately before the perf change its scenario gates.
+     * gzip_o2 / art_o2 / mcf_o2 date from before the interpreter fast
+     * path (g++ -O2, best of 8); equake_o2 and mcf_pointer_chase_hot
+     * from before the memory-hierarchy fast path.  The dispatch-bound
+     * rows — interpreter_loop, jit_hot_loop, mcf_o2_adore — were
+     * re-measured at the commit introducing the direct-threaded
+     * superblock tier, with `--exec-tier interpreter`, repeats=10
+     * (-O3 Release), so their improvement column isolates the tier
+     * itself rather than accumulated interpreter work.  All values are
+     * host-specific: compare improvement ratios, not absolute MIPS,
+     * when running elsewhere.
      */
     struct Baseline
     {
@@ -253,25 +367,45 @@ main(int argc, char **argv)
         double seedMips;
     };
     const Baseline baselines[] = {
-        {"interpreter_loop", 89.1},
+        {"interpreter_loop", 162.8},
+        {"jit_hot_loop", 106.1},
         {"gzip_o2", 65.1},
         {"art_o2", 74.6},
         {"mcf_o2", 38.5},
-        {"mcf_o2_adore", 42.3},
+        {"mcf_o2_adore", 67.4},
         {"equake_o2", 121.97},
         {"mcf_pointer_chase_hot", 60.19},
     };
 
     std::vector<ScenarioResult> results;
-    results.push_back(runInterpreterLoop(iters, repeats));
-    results.push_back(runWorkloadScenario("gzip", false, repeats));
-    results.push_back(runWorkloadScenario("art", false, repeats));
-    results.push_back(runWorkloadScenario("mcf", false, repeats));
-    results.push_back(runWorkloadScenario("mcf", true, repeats));
-    results.push_back(runWorkloadScenario("equake", false, repeats));
-    results.push_back(
-        runPointerChaseHot(iters >= 20'000'000ULL ? 400'000ULL : 40'000ULL,
-                           repeats));
+    auto want = [&](const char *name) {
+        return only.empty() || only == name;
+    };
+    if (want("interpreter_loop"))
+        results.push_back(runInterpreterLoop(iters, repeats, tier));
+    if (want("jit_hot_loop"))
+        results.push_back(
+            runJitHotLoop(iters >= 20'000'000ULL ? iters / 2 : iters,
+                          repeats, tier));
+    if (want("gzip_o2"))
+        results.push_back(runWorkloadScenario("gzip", false, repeats, tier));
+    if (want("art_o2"))
+        results.push_back(runWorkloadScenario("art", false, repeats, tier));
+    if (want("mcf_o2"))
+        results.push_back(runWorkloadScenario("mcf", false, repeats, tier));
+    if (want("mcf_o2_adore"))
+        results.push_back(runWorkloadScenario("mcf", true, repeats, tier));
+    if (want("equake_o2"))
+        results.push_back(
+            runWorkloadScenario("equake", false, repeats, tier));
+    if (want("mcf_pointer_chase_hot"))
+        results.push_back(runPointerChaseHot(
+            iters >= 20'000'000ULL ? 400'000ULL : 40'000ULL, repeats,
+            tier));
+    if (results.empty()) {
+        std::fprintf(stderr, "unknown scenario '%s'\n", only.c_str());
+        return 2;
+    }
 
     for (ScenarioResult &res : results) {
         for (const Baseline &b : baselines)
@@ -310,6 +444,7 @@ main(int argc, char **argv)
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"benchmark\": \"simulator_self_benchmark\",\n");
     std::fprintf(f, "  \"metric\": \"simulated_mips\",\n");
+    std::fprintf(f, "  \"exec_tier\": \"%s\",\n", execTierName(tier));
     std::fprintf(f, "  \"repeats\": %d,\n", repeats);
     std::fprintf(f, "  \"statistic\": \"best_of_repeats\",\n");
     std::fprintf(f, "  \"scenarios\": [\n");
@@ -350,7 +485,22 @@ main(int argc, char **argv)
     std::fprintf(
         f,
         "    {\"milestone\": \"pre_memory_fast_path\", \"sim_mips\": "
-        "{\"equake_o2\": 121.97, \"mcf_pointer_chase_hot\": 60.19}}\n");
+        "{\"equake_o2\": 121.97, \"mcf_pointer_chase_hot\": 60.19}},\n");
+    std::fprintf(
+        f,
+        "    {\"milestone\": \"pre_exec_tier\", \"exec_tier\": "
+        "\"interpreter\", \"sim_mips\": {\"interpreter_loop\": 162.80, "
+        "\"jit_hot_loop\": 106.10, \"gzip_o2\": 100.00, \"art_o2\": "
+        "102.00, \"mcf_o2\": 62.30, \"mcf_o2_adore\": 67.40, "
+        "\"equake_o2\": 130.60, \"mcf_pointer_chase_hot\": 82.20}},\n");
+    std::fprintf(
+        f,
+        "    {\"milestone\": \"direct_threaded_tier\", \"exec_tier\": "
+        "\"direct_threaded\", \"sim_mips\": {\"interpreter_loop\": "
+        "279.30, \"jit_hot_loop\": 166.10, \"gzip_o2\": 177.00, "
+        "\"art_o2\": 106.30, \"mcf_o2\": 84.30, \"mcf_o2_adore\": "
+        "65.50, \"equake_o2\": 126.60, \"mcf_pointer_chase_hot\": "
+        "107.70}, \"dispatch_bound_geomean_vs_pre_exec_tier\": 1.64}\n");
     std::fprintf(f, "  ]\n");
     std::fprintf(f, "}\n");
     std::fclose(f);

@@ -13,6 +13,16 @@
 # races can live, and only TSan sees them (the deterministic barrier
 # tests cannot).
 #
+# Exec-tier coverage (DESIGN.md §12): the direct-threaded superblock
+# tier is the default, so every stage above already exercises it — the
+# full ctest sweep includes the TierToggle/ExecTier bit-identity suite
+# (and the ASan pass re-runs it with the executor's raw uop-array and
+# scoreboard indexing instrumented), and the chaos smoke runs with the
+# tier on.  Two additions keep both tiers honest: an interpreter-tier
+# chaos smoke so the legacy dispatch path cannot rot unexercised, and
+# an explicit tier pin on the TSan free-running run so the executor's
+# quiesce/patch interaction stays under the race detector.
+#
 # Usage: scripts/ci.sh [build-dir]           (default: build-ci)
 #   ADORE_CI_SKIP_SANITIZERS=1 skips the sanitizer builds (for very
 #   slow or sanitizer-less hosts).
@@ -37,7 +47,13 @@ cmake --build "$BUILD_DIR" --target bench_smoke
 # moderate fault schedule, baseline vs ADORE+guardrails.  Fails when any
 # run crashes, any metric set is self-inconsistent, or the guardrailed
 # CPI exceeds the margin against the no-ADORE baseline (DESIGN.md §10).
-"$BUILD_DIR"/tools/adore_chaos --smoke --max-cycles 8000000
+# Runs once per execution tier: direct-threaded (the default) and the
+# interpreter, so a tier-specific crash or guardrail miss fails CI no
+# matter which tier a user has configured.
+"$BUILD_DIR"/tools/adore_chaos --smoke --max-cycles 8000000 \
+    --exec-tier direct
+"$BUILD_DIR"/tools/adore_chaos --smoke --max-cycles 8000000 \
+    --exec-tier interpreter
 
 # Docs-drift gates: EXPERIMENTS.md generated blocks must match fresh
 # measurements (simulations are deterministic, so this is stable), and
@@ -67,7 +83,7 @@ if [[ "${ADORE_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
         ctest --test-dir "$TSAN_DIR" --output-on-failure \
             -R 'AsyncToggle|OptimizerService|SpscQueue'
     TSAN_OPTIONS=halt_on_error=1 \
-        "$TSAN_DIR"/tools/adore_chaos --threads \
+        "$TSAN_DIR"/tools/adore_chaos --threads --exec-tier direct \
             --workloads mcf,art,equake --seeds 3 --max-cycles 8000000
 fi
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "cpu/exec_tier.hh"
 #include "support/logging.hh"
 
 /**
@@ -20,6 +21,13 @@
 namespace adore
 {
 
+const char *
+execTierName(ExecTier tier)
+{
+    return tier == ExecTier::DirectThreaded ? "direct_threaded"
+                                            : "interpreter";
+}
+
 Cpu::Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
          const CpuConfig &config)
     : code_(code),
@@ -36,9 +44,32 @@ Cpu::Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
           std::countr_zero(caches.l1d().lineBytes()))),
       l2LineShift_(static_cast<std::uint32_t>(
           std::countr_zero(caches.l2().lineBytes()))),
+      execTierEnabled_(config.execTier == ExecTier::DirectThreaded),
       dear_(config.dearLatencyThreshold)
 {
     p_[0] = true;  // p0 is hardwired true
+    panic_if(config.bundleCacheEntries == 0 ||
+                 !std::has_single_bit(config.bundleCacheEntries),
+             "bundleCacheEntries must be a power of two, got %u",
+             config.bundleCacheEntries);
+    bundleCache_.resize(config.bundleCacheEntries);
+    bundleCacheMask_ = config.bundleCacheEntries - 1;
+    superblocks_ =
+        std::make_unique<SuperblockCache>(config.bundleCacheEntries);
+}
+
+Cpu::~Cpu() = default;
+
+const SuperblockStats &
+Cpu::superblockStats() const
+{
+    return superblocks_->stats();
+}
+
+const Superblock *
+Cpu::superblockAt(Addr head) const
+{
+    return superblocks_->probe(head, code_.version());
 }
 
 void
@@ -152,18 +183,10 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
     waitForSources(insn);
 
     auto write_r = [&](std::uint8_t rd, std::int64_t v, Cycle ready) {
-        if (rd == 0)
-            return;
-        r_[rd] = v;
-        rReady_[rd] = ready;
-        intWrittenMask_ |= 1u << rd;
+        writeIntReg(rd, v, ready);
     };
     auto write_f = [&](std::uint8_t fd, double v, Cycle ready) {
-        if (fd == 0)
-            return;
-        f_[fd] = v;
-        fReady_[fd] = ready;
-        fpWrittenMask_ |= static_cast<std::uint16_t>(1u << fd);
+        writeFpReg(fd, v, ready);
     };
     // Integer ALU arithmetic is two's-complement wrapping (the modeled
     // machine's semantics); compute in uint64_t so host signed overflow
@@ -444,19 +467,27 @@ Cpu::step()
     }
 
     // Decoded-bundle lookup through the direct-mapped cache, falling
-    // back to the bounds-checked-once contiguous-span fetch.
+    // back to the bounds-checked-once contiguous-span fetch.  The hit
+    // counter doubles as the execution tier's hotness signal: the
+    // superblockHotThreshold-th execution of an address (at an
+    // unchanged image version) promotes it to a superblock.
     std::uint64_t code_version = code_.version();
     BundleCacheEntry &entry =
-        bundleCache_[(bundle_addr / isa::bundleBytes) &
-                     (bundleCache_.size() - 1)];
+        bundleCache_[(bundle_addr / isa::bundleBytes) & bundleCacheMask_];
     const Bundle *bundle;
     if (bundle_addr == entry.addr && code_version == entry.version) {
         bundle = entry.bundle;
+        if (++entry.hits == config_.superblockHotThreshold &&
+            execTierEnabled_) {
+            buildSuperblockAt(bundle_addr);
+        }
     } else {
         bundle = code_.fetchFast(bundle_addr);
         panic_if(!bundle, "fetch outside image: 0x%llx",
                  static_cast<unsigned long long>(bundle_addr));
-        entry = {bundle_addr, code_version, bundle};
+        entry = {bundle_addr, code_version, bundle, 1};
+        if (config_.superblockHotThreshold == 1 && execTierEnabled_)
+            buildSuperblockAt(bundle_addr);
     }
 
     nextPc_ = bundle_addr + isa::bundleBytes;
@@ -486,8 +517,26 @@ Cpu::run(Cycle max_cycles)
     // was last computed (e.g. Sampler::setEnabled after setSampler).
     recomputeNextEvent();
 
-    while (!halted_ && cycle_ < max_cycles)
-        step();
+    if (execTierEnabled_) {
+        // Superblock dispatch: a valid block at pc executes flattened
+        // until a side exit, event service, or budget/version check
+        // fails; everything else (including hotness training and
+        // formation) goes through the interpreter step.  step() stays
+        // exactly one bundle either way, so direct step() drivers see
+        // pure interpreter behaviour.
+        while (!halted_ && cycle_ < max_cycles) {
+            Superblock *sb = superblocks_->lookup(isa::bundleAddr(pc_),
+                                                  code_.version());
+            if (sb) {
+                execSuperblock(sb, max_cycles);
+                continue;
+            }
+            step();
+        }
+    } else {
+        while (!halted_ && cycle_ < max_cycles)
+            step();
+    }
 
     syncDeferredMemStats();
     counters_.cycles = cycle_;

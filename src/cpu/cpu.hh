@@ -31,6 +31,7 @@
 #include <bit>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "cpu/branch_predictor.hh"
@@ -44,6 +45,24 @@
 namespace adore
 {
 
+class SuperblockCache;
+struct Superblock;
+struct SuperblockStats;
+
+/**
+ * Execution tier (DESIGN.md §12).  Interpreter runs every bundle
+ * through step(); DirectThreaded additionally promotes hot regions into
+ * flattened superblocks executed with pre-bound handler dispatch.  Both
+ * tiers produce bit-identical simulated results (metrics, sampler
+ * accounting, decision-event streams — tests/test_tier_toggle.cc), so
+ * DirectThreaded is the default; Interpreter remains the oracle the
+ * toggle tests compare against.
+ */
+enum class ExecTier : std::uint8_t { Interpreter, DirectThreaded };
+
+/** Stable tier name for reports/metrics ("interpreter" / ...). */
+const char *execTierName(ExecTier tier);
+
 struct CpuConfig
 {
     int bundlesPerCycle = 2;
@@ -51,6 +70,22 @@ struct CpuConfig
     std::uint32_t mispredictPenalty = 6;
     std::uint32_t fpOpLatency = 4;
     std::uint32_t dearLatencyThreshold = 8;
+    ExecTier execTier = ExecTier::DirectThreaded;
+    /**
+     * Decoded-bundle cache entries (power of two).  Four covers the
+     * bundle working set of tight loops; the superblock cache shares
+     * this sizing policy (same knob, same keying) since both track the
+     * bundles of the current hot region.
+     */
+    std::uint32_t bundleCacheEntries = 4;
+    /**
+     * Executions of one bundle address (at an unchanged image version)
+     * that trigger superblock formation: the threshold-th execution
+     * builds.  0 disables formation entirely.
+     */
+    std::uint32_t superblockHotThreshold = 16;
+    /** Maximum bundles stitched into one superblock. */
+    std::uint32_t superblockMaxBundles = 64;
 };
 
 class Cpu
@@ -58,6 +93,7 @@ class Cpu
   public:
     Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
         const CpuConfig &config = CpuConfig());
+    ~Cpu();  // out of line: SuperblockCache is incomplete here
 
     /// @name Architectural state
     /// @{
@@ -153,10 +189,38 @@ class Cpu
     CodeImage &code() { return code_; }
     const CpuConfig &config() const { return config_; }
 
+    /// @name Superblock execution tier (exec_tier.cc, DESIGN.md §12)
+    /// @{
+    /** Host-side tier accounting (builds, evictions, dispatches). */
+    const SuperblockStats &superblockStats() const;
+    /**
+     * The cached superblock headed at @p head, valid against the
+     * current image version, or null.  Side-effect-free (tests).
+     */
+    const Superblock *superblockAt(Addr head) const;
+    /// @}
+
   private:
     void execBundle(const Bundle &bundle, Addr bundle_addr);
     void execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr);
     void execBranch(const Insn &insn, Addr insn_pc, Addr bundle_addr);
+
+    /**
+     * Build a superblock headed at @p head from the current image and
+     * install it in the superblock cache.  Called from step() when a
+     * decoded-bundle-cache entry crosses superblockHotThreshold.
+     */
+    void buildSuperblockAt(Addr head);
+
+    /**
+     * Execute @p sb until a side exit, the back-edge failing, an event
+     * service, the cycle budget, or halt.  Defined in exec_tier.cc with
+     * computed-goto dispatch (portable switch fallback).  Calling with
+     * sb == nullptr performs no execution and returns the handler label
+     * table (null in switch-fallback builds) — the builder's one way to
+     * reach the function-local label addresses.
+     */
+    const void *const *execSuperblock(Superblock *sb, Cycle max_cycles);
 
     /** Stall until @p ready_at; resets the issue counter when stalling. */
     void
@@ -206,6 +270,33 @@ class Cpu
             fm &= fm - 1;
         }
         waitUntil(ready);
+    }
+
+    /**
+     * Register writeback with ready-time and written-this-bundle mask
+     * maintenance.  The single definition both execInsn and the
+     * superblock handlers (exec_tier.cc) use, so the two execution
+     * tiers cannot drift on writeback semantics.  r0/f0 are hardwired
+     * zero and never written.
+     */
+    void
+    writeIntReg(std::uint8_t rd, std::int64_t v, Cycle ready)
+    {
+        if (rd == 0)
+            return;
+        r_[rd] = v;
+        rReady_[rd] = ready;
+        intWrittenMask_ |= 1u << rd;
+    }
+
+    void
+    writeFpReg(std::uint8_t fd, double v, Cycle ready)
+    {
+        if (fd == 0)
+            return;
+        f_[fd] = v;
+        fReady_[fd] = ready;
+        fpWrittenMask_ |= static_cast<std::uint16_t>(1u << fd);
     }
 
     /**
@@ -426,18 +517,26 @@ class Cpu
     std::uint32_t l2LineShift_;
     /**
      * Small direct-mapped decoded-bundle cache keyed on (address, image
-     * version).  Four entries cover the bundle working set of tight
-     * loops (a one-entry cache thrashes the moment a loop spans two
-     * bundles).  Any writeBundle/patch/append bumps the image version
-     * and thus invalidates every entry.
+     * version).  CpuConfig::bundleCacheEntries sizes it; the default
+     * four entries cover the bundle working set of tight loops (a
+     * one-entry cache thrashes the moment a loop spans two bundles).
+     * Any writeBundle/patch/append bumps the image version and thus
+     * invalidates every entry.  The hit counter is the execution tier's
+     * hotness signal: when an entry's hits reach
+     * superblockHotThreshold, the address is superblock-worthy.
      */
     struct BundleCacheEntry
     {
         Addr addr = ~Addr{0};
         std::uint64_t version = 0;
         const Bundle *bundle = nullptr;
+        std::uint32_t hits = 0;
     };
-    std::array<BundleCacheEntry, 4> bundleCache_{};
+    std::vector<BundleCacheEntry> bundleCache_;
+    std::size_t bundleCacheMask_;
+    /** Superblock tier state (exec_tier.hh); sized like bundleCache_. */
+    std::unique_ptr<SuperblockCache> superblocks_;
+    bool execTierEnabled_;             ///< CpuConfig::execTier
     /** Earliest cycle at which the sampler or a hook can fire. */
     Cycle nextEventAt_ = ~Cycle{0};
 

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Direct-threaded superblock execution tier (DESIGN.md §12).
+ *
+ * The interpreter's step() pays per-bundle dispatch overhead — the
+ * decoded-bundle-cache probe, the per-slot opcode switch, and the call
+ * frames around execBundle — on every bundle, even inside a loop that
+ * executes the same few bundles millions of times.  This tier stitches
+ * the decoded bundles of a hot straight-line/loop region into one
+ * flattened micro-op array ("superblock"): each micro-op carries a copy
+ * of its decoded instruction, its precomputed addresses, and a
+ * pre-bound handler pointer, so Cpu::execSuperblock can run the region
+ * with computed-goto (labels-as-values) dispatch — one indirect jump
+ * per micro-op — falling back to a portable switch loop on compilers
+ * without the GNU extension.
+ *
+ * The tier is a pure host optimization: every handler performs exactly
+ * the simulated work of the interpreter path (ifetch timing, issue
+ * limits, stall-on-use waits, split-issue charges, DEAR/BTB reporting,
+ * the PMU event watermark), so metrics, sampler accounting, and
+ * decision-event streams are bit-identical with the tier on or off
+ * (tests/test_tier_toggle.cc).
+ *
+ * Invalidation reuses the CodeImage version machinery: a superblock
+ * records the image version it was built from, and any append, trace
+ * allocation, patch, or unpatch bumps the version, so stale blocks die
+ * at the next lookup exactly as decoded-bundle-cache entries do.  A
+ * block is never executing while the image mutates: all runtime image
+ * mutations happen inside periodic hooks, and the executor exits the
+ * block whenever the event watermark fires.
+ */
+
+#ifndef ADORE_CPU_EXEC_TIER_HH
+#define ADORE_CPU_EXEC_TIER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/bundle.hh"
+#include "isa/insn.hh"
+
+namespace adore
+{
+
+/**
+ * Micro-op kinds, one per executor handler.  The X-macro keeps the
+ * enum, the computed-goto label table, and the switch fallback in sync
+ * (exec_tier.cc builds all three from this list; order is load-bearing).
+ *
+ * Structural kinds frame each bundle: BundleStart replays step()'s
+ * prologue (ifetch, issue limit, written-mask reset) for the region's
+ * first bundle, BundleSeam replays the epilogue (split-issue charge,
+ * pc update, event watermark) plus the next bundle's prologue at every
+ * interior boundary, and BundleEndLast replays the final epilogue and
+ * decides whether to loop back to the head or leave the block.
+ * Instruction kinds map 1:1 onto opcodes (LdS shares Ld: identical
+ * execution semantics).
+ *
+ * Fused branch kinds exist purely to cut dispatches on the hot path;
+ * each is the exact concatenation of its constituent handlers, so they
+ * change host cost only, never simulated behaviour:
+ *  - BrLast        = a final-slot Br in the region's last bundle +
+ *                    BundleEndLast (the loop back-edge)
+ *  - Cmp**BrLast   = a compare immediately preceding that Br in the
+ *                    same bundle + BrLast (the canonical `cmp ; br`
+ *                    loop tail)
+ */
+#define ADORE_SB_UOP_KINDS(X)                                           \
+    X(BundleStart)                                                      \
+    X(BundleEndLast)                                                    \
+    X(Nop)                                                              \
+    X(Add)                                                              \
+    X(Sub)                                                              \
+    X(Addi)                                                             \
+    X(Shladd)                                                           \
+    X(Mov)                                                              \
+    X(Movi)                                                             \
+    X(And)                                                              \
+    X(Or)                                                               \
+    X(Xor)                                                              \
+    X(Shl)                                                              \
+    X(Shr)                                                              \
+    X(CmpLt)                                                            \
+    X(CmpLe)                                                            \
+    X(CmpEq)                                                            \
+    X(CmpNe)                                                            \
+    X(Ld)                                                               \
+    X(Ldf)                                                              \
+    X(St)                                                               \
+    X(Stf)                                                              \
+    X(Lfetch)                                                           \
+    X(Getf)                                                             \
+    X(Setf)                                                             \
+    X(Fma)                                                              \
+    X(Fadd)                                                             \
+    X(Fmul)                                                             \
+    X(Fsub)                                                             \
+    X(Br)                                                               \
+    X(BrCall)                                                           \
+    X(BrRet)                                                            \
+    X(Halt)                                                             \
+    X(BundleSeam)                                                       \
+    X(BrLast)                                                           \
+    X(CmpLtBrLast)                                                      \
+    X(CmpLeBrLast)                                                      \
+    X(CmpEqBrLast)                                                      \
+    X(CmpNeBrLast)
+
+enum class UopKind : std::uint8_t
+{
+#define ADORE_SB_ENUM(k) k,
+    ADORE_SB_UOP_KINDS(ADORE_SB_ENUM)
+#undef ADORE_SB_ENUM
+};
+
+constexpr std::size_t numUopKinds = [] {
+    std::size_t n = 0;
+#define ADORE_SB_COUNT(k) ++n;
+    ADORE_SB_UOP_KINDS(ADORE_SB_COUNT)
+#undef ADORE_SB_COUNT
+    return n;
+}();
+
+/**
+ * One flattened micro-op.  The decoded instruction is copied in at
+ * build time (not pointed to): bundle storage lives in std::vectors
+ * that reallocate on append, and a copy both removes that hazard and
+ * saves the pointer chase on the hot path.
+ */
+struct Uop
+{
+    /** Pre-bound computed-goto label (null in switch-fallback builds). */
+    const void *handler = nullptr;
+    UopKind kind = UopKind::Nop;
+    Insn insn;             ///< decoded instruction, masks predecoded
+    Insn insn2;            ///< Cmp**BrLast: the fused branch
+    Addr insnPc = 0;       ///< bundle addr | slot (DEAR/BTB/predictor pc)
+    Addr insnPc2 = 0;      ///< Cmp**BrLast: the fused branch's pc
+    Addr bundleAddr = 0;   ///< owning (executed) bundle address
+    /** BundleSeam: address of the bundle the seam starts (the epilogue
+     *  side uses bundleAddr, the prologue side this). */
+    Addr bundleAddr2 = 0;
+    /** BundleStart/BundleSeam: the started bundle's ifetch line. */
+    Addr fetchLine = 0;
+    /** Index of the owning bundle's epilogue uop (BundleEnd* or seam);
+     *  taken branches and halt jump here, mirroring the interpreter's
+     *  per-slot break.  Self-referential in fused-branch bundles, where
+     *  the branch carries its own epilogue. */
+    std::uint32_t endIdx = 0;
+};
+
+/**
+ * A superblock: single-entry, multi-exit run of decoded bundles
+ * starting at `head`, flattened into micro-ops.  `loopBack` marks the
+ * loop form — the last bundle's branch targets the head, and the
+ * executor loops to uop[0] in place (after revalidating the image
+ * version) instead of exiting.
+ */
+struct Superblock
+{
+    Addr head = 0;
+    std::uint64_t version = 0;     ///< CodeImage::version() at build
+    std::uint64_t patchEpoch = 0;  ///< CodeImage::patchEpoch() at build
+    bool loopBack = false;
+    std::uint32_t bundles = 0;
+    std::vector<Uop> uops;
+};
+
+/** Host-side tier accounting (no simulated-timing meaning). */
+struct SuperblockStats
+{
+    std::uint64_t built = 0;        ///< blocks constructed
+    std::uint64_t replaced = 0;     ///< blocks evicted by slot reuse
+    std::uint64_t invalidated = 0;  ///< stale blocks dropped at lookup
+    std::uint64_t dispatches = 0;   ///< run()-loop entries into a block
+    std::uint64_t loopTrips = 0;    ///< inline back-edge loops taken
+};
+
+/**
+ * Direct-mapped superblock cache keyed on head bundle address, sized by
+ * the same CpuConfig knob as the decoded-bundle cache (they cover the
+ * same working set: the bundles of the current hot region).  A lookup
+ * whose slot holds a block built from an older image version drops the
+ * block — the exact invalidation rule of the decoded-bundle cache.
+ */
+class SuperblockCache
+{
+  public:
+    /** @p entries must be a power of two (Cpu validates the config). */
+    explicit SuperblockCache(std::size_t entries)
+        : slots_(entries), mask_(entries - 1)
+    {
+    }
+
+    Superblock *
+    lookup(Addr head, std::uint64_t version)
+    {
+        std::unique_ptr<Superblock> &slot = slotFor(head);
+        if (!slot || slot->head != head)
+            return nullptr;
+        if (slot->version != version) {
+            slot.reset();
+            ++stats_.invalidated;
+            return nullptr;
+        }
+        return slot.get();
+    }
+
+    /** Side-effect-free probe (tests): no stale-block eviction. */
+    const Superblock *
+    probe(Addr head, std::uint64_t version) const
+    {
+        const std::unique_ptr<Superblock> &slot =
+            slots_[static_cast<std::size_t>(head / isa::bundleBytes) &
+                   mask_];
+        if (slot && slot->head == head && slot->version == version)
+            return slot.get();
+        return nullptr;
+    }
+
+    void
+    insert(std::unique_ptr<Superblock> sb)
+    {
+        std::unique_ptr<Superblock> &slot = slotFor(sb->head);
+        if (slot)
+            ++stats_.replaced;
+        slot = std::move(sb);
+        ++stats_.built;
+    }
+
+    std::size_t entries() const { return slots_.size(); }
+
+    SuperblockStats &stats() { return stats_; }
+    const SuperblockStats &stats() const { return stats_; }
+
+  private:
+    std::unique_ptr<Superblock> &
+    slotFor(Addr head)
+    {
+        return slots_[static_cast<std::size_t>(head / isa::bundleBytes) &
+                      mask_];
+    }
+
+    std::vector<std::unique_ptr<Superblock>> slots_;
+    std::size_t mask_;
+    SuperblockStats stats_;
+};
+
+} // namespace adore
+
+#endif // ADORE_CPU_EXEC_TIER_HH

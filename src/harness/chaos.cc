@@ -125,6 +125,7 @@ Experiment::runChaos(const ChaosSpec &spec)
             base.compile.reserveAdoreRegs = true;
             base.maxCycles = spec.maxCycles;
             base.quietCycleLimit = true;  // bounded by budget on purpose
+            base.machine.cpu.execTier = spec.execTier;
             base.faults = spec.faults;
             base.faults.seed = seed;
 

@@ -69,6 +69,10 @@ struct ChaosSpec
     /** Run the optimizer in free-running mode (adore_chaos --threads):
      *  a concurrent worker per chaotic run, host watchdog armed. */
     bool freeRunning = false;
+    /** Execution tier for both runs of every pair (adore_chaos
+     *  --exec-tier), so soaks cover the superblock tier and the pure
+     *  interpreter alike. */
+    ExecTier execTier = CpuConfig().execTier;
 
     ChaosSpec();
 };

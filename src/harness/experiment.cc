@@ -116,6 +116,7 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
     out.halted = result.halted;
     out.cycles = result.cycles;
     out.retired = result.retired;
+    out.execTier = cfg.machine.cpu.execTier;
     out.dearMisses = machine.cpu().counters().dcacheLoadMisses;
     out.cpi = out.retired ? static_cast<double>(out.cycles) /
                                 static_cast<double>(out.retired)
@@ -164,6 +165,9 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
     add("run.retired", static_cast<double>(metrics.retired),
         "retired instructions");
     add("run.cpi", metrics.cpi, "cycles per retired instruction");
+    add("run.exec_tier",
+        metrics.execTier == ExecTier::DirectThreaded ? 1.0 : 0.0,
+        "execution tier (0 = interpreter, 1 = direct_threaded)");
     add("run.dear_misses", static_cast<double>(metrics.dearMisses),
         "DEAR-qualifying D-cache load misses");
     add("run.dear_per_1000", metrics.dearPer1000,

@@ -62,6 +62,7 @@ struct RunMetrics
     bool adoreUsed = false;
     AdoreStats adoreStats;
     SamplerStats samplerStats;      ///< PMU delivery/drop accounting
+    ExecTier execTier = ExecTier::Interpreter;  ///< tier the run used
     OptimizerMode optimizerMode = OptimizerMode::Synchronous;
     bool optimizerServiceUsed = false;  ///< an async worker ran
     OptimizerServiceStats optimizerStats;

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests for the direct-threaded superblock execution tier (DESIGN.md
+ * §12): formation at the hotness threshold (with threshold-1 /
+ * threshold / threshold+1 edges), eviction on image patching and
+ * rebuild against the patched content, self-loop back-edge execution,
+ * the decoded-bundle-cache sizing knob, and sampling parity vs the
+ * interpreter on mcf_o2 with ADORE attached.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpu.hh"
+#include "cpu/exec_tier.hh"
+#include "harness/experiment.hh"
+#include "isa/builder.hh"
+#include "program/code_buffer.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace adore
+{
+namespace
+{
+
+/** A freely-configurable CPU rig (mirrors test_cpu.cc's CpuRig). */
+struct TierRig
+{
+    explicit TierRig(const CpuConfig &ccfg = CpuConfig())
+        : caches(hcfg), cpu(code, caches, memory, ccfg)
+    {
+    }
+
+    HierarchyConfig hcfg;
+    CodeImage code;
+    CacheHierarchy caches;
+    MainMemory memory;
+    Cpu cpu;
+};
+
+constexpr Addr kText = CodeImage::textBase;
+
+/**
+ * Commit the canonical test program:
+ *
+ *   bundle 0 (kText):      movi r1, <iters>
+ *   bundle 1 (head):       addi r2, <step>, r2 | addi r1, -1, r1 |
+ *                          (tail bundle)
+ *   bundle 2 (tail):       cmp.ne p1 = r1, r0 | br.p1 -> head
+ *   bundle 3:              halt
+ *
+ * A two-bundle counted self-loop whose trip count (and thus the head
+ * bundle's execution count) is exactly @p iters, with r2 accumulating
+ * step per trip as an architectural witness.
+ */
+struct LoopAddrs
+{
+    Addr head = 0;
+    Addr tail = 0;
+    Addr halt = 0;
+};
+
+LoopAddrs
+commitCountedLoop(CodeImage &code, std::int64_t iters,
+                  std::int64_t step = 1)
+{
+    LoopAddrs addrs;
+    addrs.head = kText + isa::bundleBytes;
+    addrs.tail = kText + 2 * isa::bundleBytes;
+    addrs.halt = kText + 3 * isa::bundleBytes;
+
+    CodeBuffer buf;
+    Bundle setup;
+    setup.add(build::movi(1, iters));
+    buf.append(setup);
+
+    Bundle head;
+    head.add(build::addi(2, step, 2));
+    head.add(build::addi(1, -1, 1));
+    buf.append(head);
+
+    Bundle tail;
+    tail.add(build::cmp(Opcode::CmpNe, 1, 1, 0));
+    tail.add(build::br(1, addrs.head));
+    buf.append(tail);
+
+    Bundle stop;
+    stop.add(build::halt());
+    buf.append(stop);
+
+    buf.commitToText(code);
+    return addrs;
+}
+
+/**
+ * Execute the bundle at @p addr exactly @p times through the
+ * interpreter step path (the path that trains the hotness counter),
+ * resetting pc each time so no other address trains.
+ */
+void
+stepAt(Cpu &cpu, Addr addr, int times)
+{
+    for (int i = 0; i < times; ++i) {
+        cpu.setPc(addr);
+        cpu.step();
+    }
+}
+
+TEST(ExecTier, FormationAtExactlyTheThreshold)
+{
+    CpuConfig ccfg;
+    ccfg.superblockHotThreshold = 4;
+    TierRig rig(ccfg);
+    LoopAddrs addrs = commitCountedLoop(rig.code, 1000);
+
+    // threshold - 1 executions: not hot yet.
+    stepAt(rig.cpu, addrs.head, 3);
+    EXPECT_EQ(rig.cpu.superblockStats().built, 0u);
+    EXPECT_EQ(rig.cpu.superblockAt(addrs.head), nullptr);
+
+    // The threshold-th execution builds.
+    stepAt(rig.cpu, addrs.head, 1);
+    EXPECT_EQ(rig.cpu.superblockStats().built, 1u);
+    const Superblock *sb = rig.cpu.superblockAt(addrs.head);
+    ASSERT_NE(sb, nullptr);
+    EXPECT_EQ(sb->head, addrs.head);
+    EXPECT_TRUE(sb->loopBack);
+    EXPECT_EQ(sb->bundles, 2u);  // head + tail (back-edge closes it)
+
+    // threshold + 1 and beyond: the existing block is kept, not rebuilt.
+    stepAt(rig.cpu, addrs.head, 5);
+    EXPECT_EQ(rig.cpu.superblockStats().built, 1u);
+    EXPECT_EQ(rig.cpu.superblockAt(addrs.head), sb);
+}
+
+TEST(ExecTier, ThresholdOneBuildsOnFirstExecution)
+{
+    CpuConfig ccfg;
+    ccfg.superblockHotThreshold = 1;
+    TierRig rig(ccfg);
+    LoopAddrs addrs = commitCountedLoop(rig.code, 10);
+
+    stepAt(rig.cpu, addrs.head, 1);
+    EXPECT_EQ(rig.cpu.superblockStats().built, 1u);
+    EXPECT_NE(rig.cpu.superblockAt(addrs.head), nullptr);
+}
+
+TEST(ExecTier, ThresholdZeroDisablesFormation)
+{
+    CpuConfig ccfg;
+    ccfg.superblockHotThreshold = 0;
+    TierRig rig(ccfg);
+    LoopAddrs addrs = commitCountedLoop(rig.code, 10);
+
+    stepAt(rig.cpu, addrs.head, 64);
+    EXPECT_EQ(rig.cpu.superblockStats().built, 0u);
+    EXPECT_EQ(rig.cpu.superblockAt(addrs.head), nullptr);
+}
+
+TEST(ExecTier, InterpreterTierNeverForms)
+{
+    CpuConfig ccfg;
+    ccfg.execTier = ExecTier::Interpreter;
+    ccfg.superblockHotThreshold = 2;
+    TierRig rig(ccfg);
+    LoopAddrs addrs = commitCountedLoop(rig.code, 10);
+
+    stepAt(rig.cpu, addrs.head, 32);
+    EXPECT_EQ(rig.cpu.superblockStats().built, 0u);
+}
+
+TEST(ExecTier, PatchEvictsAndRebuildSeesPatchedContent)
+{
+    CpuConfig ccfg;
+    ccfg.superblockHotThreshold = 3;
+    TierRig rig(ccfg);
+    LoopAddrs addrs = commitCountedLoop(rig.code, 1000);
+
+    stepAt(rig.cpu, addrs.head, 3);
+    ASSERT_NE(rig.cpu.superblockAt(addrs.head), nullptr);
+    std::uint64_t epoch_before = rig.code.patchEpoch();
+
+    // ADORE-style patch of the head: bumps both the image version and
+    // the patch epoch, so the block is stale immediately.
+    rig.code.patch(addrs.head, addrs.halt);
+    EXPECT_GT(rig.code.patchEpoch(), epoch_before);
+    EXPECT_EQ(rig.cpu.superblockAt(addrs.head), nullptr);
+
+    // A run() dispatch attempt at the head drops the stale block from
+    // its slot (the decoded-bundle cache's invalidation rule).
+    rig.cpu.setPc(addrs.head);
+    rig.cpu.run(rig.cpu.cycle() + 64);
+    EXPECT_EQ(rig.cpu.superblockStats().invalidated, 1u);
+    EXPECT_TRUE(rig.cpu.halted());  // patched branch -> halt bundle
+
+    // Unpatch bumps the version again: still no valid block.
+    rig.code.unpatch(addrs.head);
+    EXPECT_EQ(rig.cpu.superblockAt(addrs.head), nullptr);
+
+    // Rebuild must be stitched from the *current* bundle bytes, not
+    // remembered ones: overwrite the head so r2 steps by 5 per trip,
+    // retrain on a fresh CPU (the first one halted), and check the
+    // architectural witness.
+    TierRig fresh(ccfg);
+    commitCountedLoop(fresh.code, 100);
+    Bundle head5;
+    head5.add(build::addi(2, 5, 2));
+    head5.add(build::addi(1, -1, 1));
+    head5.padWithNops();
+    fresh.code.writeBundle(addrs.head, head5);
+    fresh.cpu.setPc(kText);
+    auto result = fresh.cpu.run(~Cycle{0});
+    EXPECT_TRUE(result.halted);
+    EXPECT_GE(fresh.cpu.superblockStats().built, 1u);
+    EXPECT_GT(fresh.cpu.superblockStats().loopTrips, 0u);
+    EXPECT_EQ(fresh.cpu.intReg(2), 500);  // 100 trips x step 5
+}
+
+TEST(ExecTier, SelfLoopBackEdgeMatchesInterpreter)
+{
+    CpuConfig direct;
+    direct.superblockHotThreshold = 4;
+    CpuConfig interp = direct;
+    interp.execTier = ExecTier::Interpreter;
+
+    TierRig a(direct);
+    TierRig b(interp);
+    commitCountedLoop(a.code, 5000, 3);
+    commitCountedLoop(b.code, 5000, 3);
+
+    a.cpu.setPc(kText);
+    b.cpu.setPc(kText);
+    auto ra = a.cpu.run(~Cycle{0});
+    auto rb = b.cpu.run(~Cycle{0});
+
+    // The tier actually engaged and looped in place...
+    EXPECT_GE(a.cpu.superblockStats().built, 1u);
+    EXPECT_GE(a.cpu.superblockStats().dispatches, 1u);
+    EXPECT_GT(a.cpu.superblockStats().loopTrips, 1000u);
+    EXPECT_EQ(b.cpu.superblockStats().built, 0u);
+
+    // ...and the simulated machine cannot tell.
+    EXPECT_TRUE(ra.halted);
+    EXPECT_TRUE(rb.halted);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.retired, rb.retired);
+    EXPECT_EQ(a.cpu.intReg(1), b.cpu.intReg(1));
+    EXPECT_EQ(a.cpu.intReg(2), 15000);
+    EXPECT_EQ(b.cpu.intReg(2), 15000);
+    const PerfCounters &ca = a.cpu.counters();
+    const PerfCounters &cb = b.cpu.counters();
+    EXPECT_EQ(ca.cycles, cb.cycles);
+    EXPECT_EQ(ca.retiredInsns, cb.retiredInsns);
+    EXPECT_EQ(ca.takenBranches, cb.takenBranches);
+    EXPECT_EQ(ca.mispredicts, cb.mispredicts);
+    EXPECT_EQ(ca.dcacheLoadMisses, cb.dcacheLoadMisses);
+}
+
+TEST(ExecTier, BundleCacheKnobKeepsMetricsBitIdentical)
+{
+    // The knob resizes a pure host-side cache, so 8 entries must
+    // produce exactly the metrics of the 4-entry default — on both
+    // tiers.
+    for (ExecTier tier : {ExecTier::Interpreter, ExecTier::DirectThreaded}) {
+        CpuConfig small;
+        small.execTier = tier;
+        CpuConfig large = small;
+        large.bundleCacheEntries = 8;
+
+        TierRig a(small);
+        TierRig b(large);
+        commitCountedLoop(a.code, 3000, 2);
+        commitCountedLoop(b.code, 3000, 2);
+        a.cpu.setPc(kText);
+        b.cpu.setPc(kText);
+        auto ra = a.cpu.run(~Cycle{0});
+        auto rb = b.cpu.run(~Cycle{0});
+        EXPECT_EQ(ra.cycles, rb.cycles) << execTierName(tier);
+        EXPECT_EQ(ra.retired, rb.retired) << execTierName(tier);
+        EXPECT_EQ(a.cpu.intReg(2), b.cpu.intReg(2)) << execTierName(tier);
+    }
+}
+
+/** mcf_o2 with ADORE attached: sampling and decision accounting must be
+ *  bit-identical across tiers (the ISSUE's sampling-parity gate; the
+ *  full 17-workload sweep lives in test_tier_toggle.cc). */
+TEST(ExecTier, SamplingParityOnMcfWithAdore)
+{
+    setVerbose(false);
+    hir::Program prog = workloads::make("mcf");
+
+    auto runTier = [&](ExecTier tier) {
+        RunConfig cfg;
+        cfg.compile.level = OptLevel::O2;
+        cfg.compile.softwarePipelining = false;
+        cfg.compile.reserveAdoreRegs = true;
+        cfg.adore = true;
+        cfg.adoreConfig = Experiment::defaultAdoreConfig();
+        cfg.machine.cpu.execTier = tier;
+        cfg.maxCycles = 3'000'000ULL;
+        cfg.quietCycleLimit = true;
+        return Experiment::run(prog, cfg);
+    };
+
+    RunMetrics interp = runTier(ExecTier::Interpreter);
+    RunMetrics direct = runTier(ExecTier::DirectThreaded);
+
+    EXPECT_EQ(interp.cycles, direct.cycles);
+    EXPECT_EQ(interp.retired, direct.retired);
+    EXPECT_EQ(interp.dearMisses, direct.dearMisses);
+    EXPECT_EQ(interp.samplerStats.samplesTaken,
+              direct.samplerStats.samplesTaken);
+    EXPECT_EQ(interp.samplerStats.overflows, direct.samplerStats.overflows);
+    EXPECT_EQ(interp.samplerStats.batchesDelivered,
+              direct.samplerStats.batchesDelivered);
+    EXPECT_EQ(interp.samplerStats.droppedFault,
+              direct.samplerStats.droppedFault);
+    EXPECT_EQ(interp.samplerStats.droppedConsumerBehind,
+              direct.samplerStats.droppedConsumerBehind);
+    EXPECT_EQ(interp.samplerStats.droppedNoHandler,
+              direct.samplerStats.droppedNoHandler);
+    EXPECT_EQ(interp.adoreStats.phasesDetected,
+              direct.adoreStats.phasesDetected);
+    EXPECT_EQ(interp.adoreStats.tracesPatched,
+              direct.adoreStats.tracesPatched);
+    EXPECT_EQ(interp.adoreStats.directPrefetches,
+              direct.adoreStats.directPrefetches);
+    EXPECT_EQ(interp.adoreStats.pointerPrefetches,
+              direct.adoreStats.pointerPrefetches);
+    EXPECT_EQ(interp.execTier, ExecTier::Interpreter);
+    EXPECT_EQ(direct.execTier, ExecTier::DirectThreaded);
+}
+
+/** Non-loop regions: a BrCall ends the region; the block still forms
+ *  and executes the straight-line prefix bit-identically. */
+TEST(ExecTier, StraightLineRegionWithCallExit)
+{
+    CpuConfig ccfg;
+    ccfg.superblockHotThreshold = 2;
+    TierRig rig(ccfg);
+
+    // head: r2 += 1 ; call -> func ; func: r2 += 10 ; ret ; after: halt
+    CodeBuffer buf;
+    Bundle setup;
+    setup.add(build::movi(1, 0));
+    buf.append(setup);
+    Addr head = kText + isa::bundleBytes;
+    Addr func = kText + 3 * isa::bundleBytes;
+    Bundle hb;
+    hb.add(build::addi(2, 1, 2));
+    hb.add(build::brCall(0, func));
+    buf.append(hb);
+    Bundle stop;
+    stop.add(build::halt());
+    buf.append(stop);  // call fallthrough
+    Bundle fb;
+    fb.add(build::addi(2, 10, 2));
+    fb.add(build::brRet(0));
+    buf.append(fb);
+    buf.commitToText(rig.code);
+
+    // Train the head hot, then run the whole program on a fresh CPU
+    // with the same image via a second rig sharing nothing.
+    stepAt(rig.cpu, head, 2);
+    const Superblock *sb = rig.cpu.superblockAt(head);
+    ASSERT_NE(sb, nullptr);
+    EXPECT_FALSE(sb->loopBack);
+    EXPECT_EQ(sb->bundles, 1u);  // BrCall ends the region
+
+    rig.cpu.setPc(head);
+    rig.cpu.run(~Cycle{0});
+    EXPECT_TRUE(rig.cpu.halted());
+    // Two trained head executions added 1 each; the final run adds 1 at
+    // the head, 10 in the callee, then returns to the fallthrough halt.
+    EXPECT_EQ(rig.cpu.intReg(2), 2 + 1 + 10);
+}
+
+} // namespace
+} // namespace adore

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Toggle-and-compare gate for the direct-threaded superblock tier
+ * (DESIGN.md §12): the ISSUE 6 bit-identity contract.
+ *
+ * The tier is a pure host optimization, so running any workload with
+ * execTier=DirectThreaded must produce results bit-identical to
+ * execTier=Interpreter — cycles, every cache counter, every ADORE
+ * decision stat, the sampler's delivery/drop accounting, and the
+ * *rendered decision-event stream* element by element.  The sweep
+ * covers the full workload registry in four variants: ADORE off
+ * (fault-free), ADORE synchronous (fault-free), ADORE synchronous
+ * under the full chaos schedule, and ADORE barrier mode under chaos —
+ * i.e. ADORE on/off x zero-rate/chaos x the two deterministic
+ * optimizer modes.
+ *
+ * FreeRunning is deliberately *not* a bit-identity variant: its commit
+ * timing is nondeterministic between reruns by design (DESIGN.md §11),
+ * so no two runs — same tier or not — need be identical.  The tier is
+ * instead held to the chaos survival invariants there
+ * (FreeRunningSurvivesChaos below and the TSan CI shard).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/chaos.hh"
+#include "harness/experiment.hh"
+#include "observe/event_trace.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace adore;
+
+struct TierRun
+{
+    RunMetrics metrics;
+    std::vector<std::string> events;
+};
+
+struct Variant
+{
+    bool adore = false;
+    OptimizerMode mode = OptimizerMode::Synchronous;
+    bool chaos = false;
+};
+
+TierRun
+runWith(const hir::Program &prog, ExecTier tier, const Variant &v)
+{
+    RunConfig cfg;
+    cfg.compile.level = OptLevel::O2;
+    cfg.compile.softwarePipelining = false;
+    cfg.compile.reserveAdoreRegs = true;
+    cfg.machine.cpu.execTier = tier;
+    cfg.adore = v.adore;
+    cfg.maxCycles = 3'000'000ULL;
+    cfg.quietCycleLimit = true;
+    if (v.adore) {
+        cfg.adoreConfig = Experiment::defaultAdoreConfig();
+        cfg.adoreConfig.mode = v.mode;
+    }
+    if (v.chaos) {
+        cfg.faults = defaultChaosFaults();
+        cfg.faults.seed = 7;
+        cfg.adoreConfig.guardrails.enabled = true;
+        cfg.adoreConfig.tracePoolCapacityBundles = 768;
+    }
+
+    observe::EventTrace trace(16384);
+    trace.enable();
+    if (v.adore)
+        cfg.adoreConfig.events = &trace;
+
+    TierRun out;
+    out.metrics = Experiment::run(prog, cfg);
+    for (const observe::Event &e : trace.snapshot())
+        out.events.push_back(observe::renderEventLine(e));
+    return out;
+}
+
+void
+expectSameCacheStats(const CacheStats &a, const CacheStats &b,
+                     const char *level)
+{
+    EXPECT_EQ(a.accesses, b.accesses) << level;
+    EXPECT_EQ(a.hits, b.hits) << level;
+    EXPECT_EQ(a.misses, b.misses) << level;
+    EXPECT_EQ(a.inFlightHits, b.inFlightHits) << level;
+    EXPECT_EQ(a.prefetchFills, b.prefetchFills) << level;
+    EXPECT_EQ(a.demandFills, b.demandFills) << level;
+    EXPECT_EQ(a.evictions, b.evictions) << level;
+}
+
+void
+expectSameAdoreStats(const AdoreStats &a, const AdoreStats &b)
+{
+    EXPECT_EQ(a.windowsProcessed, b.windowsProcessed);
+    EXPECT_EQ(a.windowDoublings, b.windowDoublings);
+    EXPECT_EQ(a.phasesDetected, b.phasesDetected);
+    EXPECT_EQ(a.phaseChanges, b.phaseChanges);
+    EXPECT_EQ(a.phasesSkippedLowMiss, b.phasesSkippedLowMiss);
+    EXPECT_EQ(a.phasesSkippedInPool, b.phasesSkippedInPool);
+    EXPECT_EQ(a.phasesOptimized, b.phasesOptimized);
+    EXPECT_EQ(a.phasesPrefetched, b.phasesPrefetched);
+    EXPECT_EQ(a.tracesSelected, b.tracesSelected);
+    EXPECT_EQ(a.loopTraces, b.loopTraces);
+    EXPECT_EQ(a.tracesPatched, b.tracesPatched);
+    EXPECT_EQ(a.tracesSkippedLfetch, b.tracesSkippedLfetch);
+    EXPECT_EQ(a.tracesSkippedSwp, b.tracesSkippedSwp);
+    EXPECT_EQ(a.tracesSkippedPatched, b.tracesSkippedPatched);
+    EXPECT_EQ(a.directPrefetches, b.directPrefetches);
+    EXPECT_EQ(a.indirectPrefetches, b.indirectPrefetches);
+    EXPECT_EQ(a.pointerPrefetches, b.pointerPrefetches);
+    EXPECT_EQ(a.loadsSkippedNoRegs, b.loadsSkippedNoRegs);
+    EXPECT_EQ(a.loadsSkippedUnknown, b.loadsSkippedUnknown);
+    EXPECT_EQ(a.bundlesInserted, b.bundlesInserted);
+    EXPECT_EQ(a.slotsFilled, b.slotsFilled);
+    EXPECT_EQ(a.phasesReverted, b.phasesReverted);
+    EXPECT_EQ(a.tracesUnpatched, b.tracesUnpatched);
+    EXPECT_EQ(a.tracesRejectedPoolFull, b.tracesRejectedPoolFull);
+    EXPECT_EQ(a.tracesPatchFailed, b.tracesPatchFailed);
+    EXPECT_EQ(a.phasesWatchdogCancelled, b.phasesWatchdogCancelled);
+    EXPECT_EQ(a.tracesCommitStale, b.tracesCommitStale);
+}
+
+void
+expectSameRuns(const TierRun &interp, const TierRun &direct)
+{
+    const RunMetrics &a = interp.metrics;
+    const RunMetrics &b = direct.metrics;
+
+    EXPECT_EQ(a.halted, b.halted);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retired, b.retired);
+    EXPECT_EQ(a.dearMisses, b.dearMisses);
+
+    EXPECT_EQ(a.memStats.loads, b.memStats.loads);
+    EXPECT_EQ(a.memStats.stores, b.memStats.stores);
+    EXPECT_EQ(a.memStats.prefetchesIssued, b.memStats.prefetchesIssued);
+    EXPECT_EQ(a.memStats.prefetchesDropped, b.memStats.prefetchesDropped);
+    EXPECT_EQ(a.memStats.prefetchesUseless, b.memStats.prefetchesUseless);
+    EXPECT_EQ(a.memStats.ifetches, b.memStats.ifetches);
+    EXPECT_EQ(a.memStats.ifetchMisses, b.memStats.ifetchMisses);
+
+    expectSameCacheStats(a.l1iStats, b.l1iStats, "L1I");
+    expectSameCacheStats(a.l1dStats, b.l1dStats, "L1D");
+    expectSameCacheStats(a.l2Stats, b.l2Stats, "L2");
+    expectSameCacheStats(a.l3Stats, b.l3Stats, "L3");
+
+    expectSameAdoreStats(a.adoreStats, b.adoreStats);
+
+    EXPECT_EQ(a.samplerStats.samplesTaken, b.samplerStats.samplesTaken);
+    EXPECT_EQ(a.samplerStats.overflows, b.samplerStats.overflows);
+    EXPECT_EQ(a.samplerStats.batchesDelivered,
+              b.samplerStats.batchesDelivered);
+    EXPECT_EQ(a.samplerStats.droppedFault, b.samplerStats.droppedFault);
+    EXPECT_EQ(a.samplerStats.droppedConsumerBehind,
+              b.samplerStats.droppedConsumerBehind);
+    EXPECT_EQ(a.samplerStats.droppedNoHandler,
+              b.samplerStats.droppedNoHandler);
+
+    EXPECT_EQ(a.faultsUsed, b.faultsUsed);
+    EXPECT_EQ(a.faultStats.total(), b.faultStats.total());
+    EXPECT_EQ(a.faultStats.optimizerStalls, b.faultStats.optimizerStalls);
+    EXPECT_EQ(a.guardrailsUsed, b.guardrailsUsed);
+    EXPECT_EQ(a.guardrailStats.watchdogFires,
+              b.guardrailStats.watchdogFires);
+    EXPECT_EQ(a.guardrailStats.stagedReverts,
+              b.guardrailStats.stagedReverts);
+    EXPECT_EQ(a.guardrailStats.fullReverts, b.guardrailStats.fullReverts);
+    EXPECT_EQ(a.guardrailStats.patchFailures,
+              b.guardrailStats.patchFailures);
+    EXPECT_EQ(a.guardrailStats.poolExhaustedRejects,
+              b.guardrailStats.poolExhaustedRejects);
+
+    // The decision-event stream is the strongest check: identical
+    // decisions, in the same order, at the same simulated cycles.
+    ASSERT_EQ(interp.events.size(), direct.events.size());
+    for (std::size_t i = 0; i < interp.events.size(); ++i)
+        EXPECT_EQ(interp.events[i], direct.events[i]) << "event " << i;
+}
+
+void
+compareTiers(const std::string &workload, const Variant &v)
+{
+    setVerbose(false);
+    hir::Program prog = workloads::make(workload);
+    expectSameRuns(runWith(prog, ExecTier::Interpreter, v),
+                   runWith(prog, ExecTier::DirectThreaded, v));
+}
+
+class TierToggle : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TierToggle, NoAdoreBitIdentical)
+{
+    compareTiers(GetParam(),
+                 {false, OptimizerMode::Synchronous, false});
+}
+
+TEST_P(TierToggle, AdoreSyncBitIdentical)
+{
+    compareTiers(GetParam(), {true, OptimizerMode::Synchronous, false});
+}
+
+TEST_P(TierToggle, AdoreSyncBitIdenticalUnderChaos)
+{
+    compareTiers(GetParam(), {true, OptimizerMode::Synchronous, true});
+}
+
+TEST_P(TierToggle, AdoreBarrierBitIdenticalUnderChaos)
+{
+    compareTiers(GetParam(), {true, OptimizerMode::AsyncBarrier, true});
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const workloads::WorkloadInfo &info : workloads::allWorkloads())
+        names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, TierToggle, ::testing::ValuesIn(allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+/** FreeRunning: nondeterministic commit timing rules out bit-identity;
+ *  the tier must instead keep every chaos survival invariant. */
+TEST(TierToggleFreeRunning, SurvivesChaosWithTierEnabled)
+{
+    setVerbose(false);
+    ChaosSpec spec;
+    spec.workloads = {"mcf", "art", "equake"};
+    spec.seeds = {1, 2, 3};
+    spec.maxCycles = 8'000'000ULL;
+    spec.freeRunning = true;
+    spec.execTier = ExecTier::DirectThreaded;
+    ChaosReport report = Experiment::runChaos(spec);
+    EXPECT_TRUE(report.ok()) << report.table();
+}
+
+} // namespace

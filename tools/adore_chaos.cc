@@ -16,6 +16,9 @@
  *                                        per chaotic run (thread-stress
  *                                        soak; watchdog fires counted in
  *                                        the sweep table)
+ *   adore_chaos --exec-tier TIER         execution tier for every run:
+ *                                        "interpreter" or "direct"
+ *                                        (default: the CpuConfig default)
  *
  * Each (workload, seed) pair runs twice — a no-ADORE baseline and an
  * ADORE+guardrails run — under the same deterministic fault schedule.
@@ -43,7 +46,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--smoke | --soak] [--workloads a,b,c] "
                  "[--seeds N] [--margin X] [--max-cycles N] [--jobs N] "
-                 "[--threads]\n",
+                 "[--threads] [--exec-tier interpreter|direct]\n",
                  argv0);
     return 2;
 }
@@ -110,6 +113,17 @@ main(int argc, char **argv)
                 std::strtoul(value("--jobs"), nullptr, 10));
         } else if (arg == "--threads") {
             spec.freeRunning = true;
+        } else if (arg == "--exec-tier") {
+            std::string tier = value("--exec-tier");
+            if (tier == "interpreter") {
+                spec.execTier = ExecTier::Interpreter;
+            } else if (tier == "direct" || tier == "direct_threaded") {
+                spec.execTier = ExecTier::DirectThreaded;
+            } else {
+                std::fprintf(stderr, "unknown exec tier '%s'\n",
+                             tier.c_str());
+                return usage(argv[0]);
+            }
         } else {
             return usage(argv[0]);
         }
@@ -120,6 +134,7 @@ main(int argc, char **argv)
     }
 
     setVerbose(false);
+    std::printf("exec tier: %s\n", execTierName(spec.execTier));
     ChaosReport report = Experiment::runChaos(spec);
     std::fputs(report.table().c_str(), stdout);
     return report.ok() ? 0 : 1;

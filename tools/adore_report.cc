@@ -24,6 +24,7 @@
 #include <cstring>
 #include <string>
 
+#include "cpu/cpu.hh"
 #include "observe/exporters.hh"
 #include "observe/report.hh"
 #include "support/logging.hh"
@@ -50,6 +51,9 @@ usage(const char *argv0)
 int
 listScenarios()
 {
+    // Tier note goes to stderr: stdout stays a parseable name list.
+    std::fprintf(stderr, "execution tier: %s\n",
+                 execTierName(CpuConfig().execTier));
     for (const std::string &name : report::allScenarioNames())
         std::printf("%s\n", name.c_str());
     return 0;
