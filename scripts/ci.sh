@@ -18,10 +18,16 @@
 # full ctest sweep includes the TierToggle/ExecTier bit-identity suite
 # (and the ASan pass re-runs it with the executor's raw uop-array and
 # scoreboard indexing instrumented), and the chaos smoke runs with the
-# tier on.  Two additions keep both tiers honest: an interpreter-tier
-# chaos smoke so the legacy dispatch path cannot rot unexercised, and
-# an explicit tier pin on the TSan free-running run so the executor's
-# quiesce/patch interaction stays under the race detector.
+# tier on.  Additions that keep both tiers honest: an interpreter-tier
+# chaos smoke so the legacy dispatch path cannot rot unexercised, an
+# explicit tier pin on the TSan free-running run so the executor's
+# quiesce/patch interaction stays under the race detector, a bench-smoke
+# perf gate that fails if the direct-threaded tier runs mcf_o2_adore
+# more than 5% slower than the interpreter (a tier that loses to the
+# path it replaces is a regression even when bit-identical), and an
+# explicit ASan re-run of the region-keyed chaining/invalidation
+# surface (ExecTier + TierToggle) since stale chain links are exactly
+# the use-after-free shape ASan exists to catch.
 #
 # Usage: scripts/ci.sh [build-dir]           (default: build-ci)
 #   ADORE_CI_SKIP_SANITIZERS=1 skips the sanitizer builds (for very
@@ -42,6 +48,31 @@ cmake -B "$BUILD_DIR" -S . "${GEN[@]}" \
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 cmake --build "$BUILD_DIR" --target bench_smoke
+
+# Bench-smoke perf gate (DESIGN.md §12): mcf_o2_adore — the scenario the
+# superblock tier exists to speed up, and the one ADORE repatches while
+# it runs — must not be more than 5% slower under the default
+# direct-threaded tier than under the interpreter.  --quick keeps the
+# gate cheap; the margin absorbs host noise at --quick sizes.
+BENCH_TMP="$(mktemp -d)"
+"$BUILD_DIR"/bench/self_benchmark --quick --only mcf_o2_adore \
+    --exec-tier interpreter --out "$BENCH_TMP/interp.json" >/dev/null
+"$BUILD_DIR"/bench/self_benchmark --quick --only mcf_o2_adore \
+    --exec-tier direct --out "$BENCH_TMP/direct.json" >/dev/null
+bench_mips() {
+    sed -nE 's/.*"name": "mcf_o2_adore".*"sim_mips": ([0-9.]+).*/\1/p' "$1"
+}
+INTERP_MIPS="$(bench_mips "$BENCH_TMP/interp.json")"
+DIRECT_MIPS="$(bench_mips "$BENCH_TMP/direct.json")"
+rm -rf "$BENCH_TMP"
+echo "bench gate: mcf_o2_adore interpreter=${INTERP_MIPS:-?}" \
+     "direct=${DIRECT_MIPS:-?} sim-MIPS"
+if ! awk -v d="${DIRECT_MIPS:-0}" -v i="${INTERP_MIPS:-0}" \
+        'BEGIN { exit !(d > 0 && i > 0 && d >= 0.95 * i) }'; then
+    echo "ci.sh: FAIL - direct-threaded tier runs mcf_o2_adore >5%" \
+         "slower than the interpreter" >&2
+    exit 1
+fi
 
 # Chaos smoke: 3 workloads x 5 fixed fault seeds under the default
 # moderate fault schedule, baseline vs ADORE+guardrails.  Fails when any
@@ -71,6 +102,15 @@ if [[ "${ADORE_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     cmake --build "$SAN_DIR" -j "$(nproc)" --target adore_tests
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
         ctest --test-dir "$SAN_DIR" --output-on-failure
+
+    # Tier-pinned ASan pass over the region-keyed invalidation and
+    # chain unlink paths: the chain graph holds raw Superblock
+    # pointers, so a missed unlink is a use-after-free that only this
+    # instrumentation can prove absent (the bit-identity suite would
+    # happily read the stale memory).
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+        "$SAN_DIR"/tests/adore_tests \
+            --gtest_filter='ExecTier.*:*TierToggle*'
 
     TSAN_DIR="${BUILD_DIR}-tsan"
     TSAN_FLAGS="-O1 -g -fsanitize=thread -fno-omit-frame-pointer"

@@ -54,8 +54,8 @@ Cpu::Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
              config.bundleCacheEntries);
     bundleCache_.resize(config.bundleCacheEntries);
     bundleCacheMask_ = config.bundleCacheEntries - 1;
-    superblocks_ =
-        std::make_unique<SuperblockCache>(config.bundleCacheEntries);
+    superblocks_ = std::make_unique<SuperblockCache>(
+        config.bundleCacheEntries, config.superblockMaxInvalidations);
 }
 
 Cpu::~Cpu() = default;
@@ -69,7 +69,7 @@ Cpu::superblockStats() const
 const Superblock *
 Cpu::superblockAt(Addr head) const
 {
-    return superblocks_->probe(head, code_.version());
+    return superblocks_->probe(head, code_);
 }
 
 void
@@ -470,12 +470,12 @@ Cpu::step()
     // back to the bounds-checked-once contiguous-span fetch.  The hit
     // counter doubles as the execution tier's hotness signal: the
     // superblockHotThreshold-th execution of an address (at an
-    // unchanged image version) promotes it to a superblock.
-    std::uint64_t code_version = code_.version();
+    // unchanged region cache key) promotes it to a superblock.
+    std::uint64_t code_key = code_.cacheKey(bundle_addr);
     BundleCacheEntry &entry =
         bundleCache_[(bundle_addr / isa::bundleBytes) & bundleCacheMask_];
     const Bundle *bundle;
-    if (bundle_addr == entry.addr && code_version == entry.version) {
+    if (bundle_addr == entry.addr && code_key == entry.key) {
         bundle = entry.bundle;
         if (++entry.hits == config_.superblockHotThreshold &&
             execTierEnabled_) {
@@ -485,7 +485,7 @@ Cpu::step()
         bundle = code_.fetchFast(bundle_addr);
         panic_if(!bundle, "fetch outside image: 0x%llx",
                  static_cast<unsigned long long>(bundle_addr));
-        entry = {bundle_addr, code_version, bundle, 1};
+        entry = {bundle_addr, code_key, bundle, 1};
         if (config_.superblockHotThreshold == 1 && execTierEnabled_)
             buildSuperblockAt(bundle_addr);
     }
@@ -519,16 +519,45 @@ Cpu::run(Cycle max_cycles)
 
     if (execTierEnabled_) {
         // Superblock dispatch: a valid block at pc executes flattened
-        // until a side exit, event service, or budget/version check
-        // fails; everything else (including hotness training and
-        // formation) goes through the interpreter step.  step() stays
-        // exactly one bundle either way, so direct step() drivers see
-        // pure interpreter behaviour.
+        // (chaining into further blocks) until a side exit, event
+        // service, or budget/generation check fails; everything else
+        // (including hotness training and formation) goes through the
+        // interpreter step.  step() stays exactly one bundle either
+        // way, so direct step() drivers see pure interpreter behaviour.
+        //
+        // Oracle accounting: the retired-instruction delta across one
+        // execSuperblock call covers the whole chained excursion, so a
+        // cheap "glue" entry block that chains into heavy loops is
+        // valued by the work it leads to, not just its own bundles.
+        // The counters and the demotion verdict are host-side only.
+        const std::uint32_t window = config_.superblockDemoteWindow;
+        const std::uint64_t min_retired =
+            config_.superblockMinRetiredPerDispatch;
         while (!halted_ && cycle_ < max_cycles) {
-            Superblock *sb = superblocks_->lookup(isa::bundleAddr(pc_),
-                                                  code_.version());
+            Superblock *sb =
+                superblocks_->lookup(isa::bundleAddr(pc_), code_);
             if (sb) {
-                execSuperblock(sb, max_cycles);
+                ++superblocks_->stats().dispatches;
+                if (window) {
+                    std::uint64_t before = counters_.retiredInsns;
+                    execSuperblock(sb, max_cycles);
+                    // sb stayed alive through the call: blocks die only
+                    // at lookup/insert/demote, and an in-flight entry
+                    // block is never stale at a chain lookup (mutations
+                    // force an event exit first).
+                    sb->workRetired += counters_.retiredInsns - before;
+                    if (++sb->windowDispatches >= window) {
+                        if (sb->workRetired <
+                            min_retired * sb->windowDispatches) {
+                            superblocks_->demote(sb, code_);
+                        } else {
+                            sb->workRetired = 0;
+                            sb->windowDispatches = 0;
+                        }
+                    }
+                } else {
+                    execSuperblock(sb, max_cycles);
+                }
                 continue;
             }
             step();

@@ -72,20 +72,65 @@ struct CpuConfig
     std::uint32_t dearLatencyThreshold = 8;
     ExecTier execTier = ExecTier::DirectThreaded;
     /**
-     * Decoded-bundle cache entries (power of two).  Four covers the
-     * bundle working set of tight loops; the superblock cache shares
-     * this sizing policy (same knob, same keying) since both track the
-     * bundles of the current hot region.
+     * Decoded-bundle cache entries (power of two).  Must cover the
+     * bundle working set of the hot region or the direct-mapped
+     * training counters thrash and superblocks never form: 4 entries
+     * only ever promoted loops of up to 4 bundles, which starved
+     * ADORE-patched pool traces (init + prefetch bundles push the hot
+     * loop past 4).  64 matches superblockMaxBundles.  The superblock
+     * cache shares this sizing policy (same knob, same keying) since
+     * both track the bundles of the current hot region.  Host-only:
+     * sizing cannot affect simulated metrics.
      */
-    std::uint32_t bundleCacheEntries = 4;
+    std::uint32_t bundleCacheEntries = 64;
     /**
-     * Executions of one bundle address (at an unchanged image version)
-     * that trigger superblock formation: the threshold-th execution
-     * builds.  0 disables formation entirely.
+     * Executions of one bundle address (at an unchanged region cache
+     * key) that trigger superblock formation: the threshold-th
+     * execution builds.  0 disables formation entirely.
      */
     std::uint32_t superblockHotThreshold = 16;
     /** Maximum bundles stitched into one superblock. */
     std::uint32_t superblockMaxBundles = 64;
+    /**
+     * Build-time peephole fusion of adjacent uop pairs (compare+branch,
+     * address-gen+load, load+use) and the loop-tail patterns into
+     * combined handlers.  Pure host optimization — the fused handlers
+     * are exact concatenations of the unfused ones, pinned bit-identical
+     * across the registry by tests/test_tier_toggle.cc.
+     */
+    bool superblockFusion = true;
+    /**
+     * Also fuse the load-carrying pairs (address-gen+load, load+use)
+     * when superblockFusion is on.  Default-off: on the reference host
+     * executing the combined load handlers measures as a net host-side
+     * loss (mcf_o2 84.3 -> 76.7 sim-MIPS), while compare+branch and
+     * loop-tail fusion measure as a win.  The handlers stay built and
+     * bit-identity-pinned either way (the tier-toggle sweep's fusion-on
+     * variants enable every pattern).
+     */
+    bool superblockFuseLoads = false;
+    /**
+     * Chain block exits straight into the target block's uops instead
+     * of returning to the run() dispatch loop, keeping the hoisted
+     * executor state live across the transition.  Host-only.
+     */
+    bool superblockChaining = true;
+    /**
+     * Promotion profitability oracle: every this-many run()-level
+     * dispatches of a block, demote it if it averaged fewer than
+     * superblockMinRetiredPerDispatch retired instructions per dispatch
+     * (the block's excursions are too short to amortize entry costs).
+     * 0 disables demotion.
+     */
+    std::uint32_t superblockDemoteWindow = 64;
+    /** Demotion threshold: see superblockDemoteWindow. */
+    std::uint32_t superblockMinRetiredPerDispatch = 8;
+    /**
+     * Churn blacklist: a head whose blocks get invalidated this many
+     * times (ADORE repatching the same region over and over) is barred
+     * from further promotion.  0 disables.
+     */
+    std::uint32_t superblockMaxInvalidations = 64;
 };
 
 class Cpu
@@ -516,19 +561,21 @@ class Cpu
     std::uint32_t l1dLineShift_;
     std::uint32_t l2LineShift_;
     /**
-     * Small direct-mapped decoded-bundle cache keyed on (address, image
-     * version).  CpuConfig::bundleCacheEntries sizes it; the default
-     * four entries cover the bundle working set of tight loops (a
-     * one-entry cache thrashes the moment a loop spans two bundles).
-     * Any writeBundle/patch/append bumps the image version and thus
-     * invalidates every entry.  The hit counter is the execution tier's
-     * hotness signal: when an entry's hits reach
+     * Small direct-mapped decoded-bundle cache keyed on (address,
+     * CodeImage::cacheKey).  CpuConfig::bundleCacheEntries sizes it;
+     * the default four entries cover the bundle working set of tight
+     * loops (a one-entry cache thrashes the moment a loop spans two
+     * bundles).  The region-keyed cacheKey means only mutations
+     * touching an entry's own region (or reallocating its owning
+     * segment) invalidate it — an ADORE patch elsewhere leaves the
+     * entry, and its hotness training, intact.  The hit counter is the
+     * execution tier's hotness signal: when an entry's hits reach
      * superblockHotThreshold, the address is superblock-worthy.
      */
     struct BundleCacheEntry
     {
         Addr addr = ~Addr{0};
-        std::uint64_t version = 0;
+        std::uint64_t key = 0;
         const Bundle *bundle = nullptr;
         std::uint32_t hits = 0;
     };

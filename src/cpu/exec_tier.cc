@@ -15,8 +15,15 @@
  * Exit discipline: the executor leaves the block whenever the event
  * watermark fires (after servicing it exactly as step() does).  All
  * runtime code-image mutations happen inside periodic hooks, so a
- * block's uops can never go stale mid-flight; the image version is
+ * block's uops can never go stale mid-flight; the span generations are
  * still revalidated on every inline back-edge as cheap insurance.
+ *
+ * Chaining safety rests on the same discipline: region generations can
+ * only change inside a hook, a hook only runs at an event service, and
+ * an event service forces an exit before any chain attempt — so at a
+ * chain seam the *current* block is provably still valid, and only the
+ * *target* needs revalidating (two region-counter loads) before the
+ * jump.  Stale targets are dropped and unlinked on the spot.
  */
 
 #include <vector>
@@ -73,6 +80,47 @@ isCmp(Opcode op)
            op == Opcode::CmpEq || op == Opcode::CmpNe;
 }
 
+/**
+ * Build-time peephole: can the adjacent same-bundle pair (a, b) run as
+ * one combined handler?  Every pair kind's handler is the exact
+ * concatenation of the two plain handlers, so fusion is legal for any
+ * adjacent non-branch-terminated pair — the set below just names the
+ * combinations hot enough to deserve a handler: compare feeding a side
+ * exit, address generation feeding a load, and a load feeding its
+ * induction/use step.
+ */
+bool
+fusePair(const Uop &a, const Uop &b, bool fuse_loads, UopKind &fused)
+{
+    if (b.kind == UopKind::Br) {
+        switch (a.kind) {
+          case UopKind::CmpLt: fused = UopKind::CmpLtBr; return true;
+          case UopKind::CmpLe: fused = UopKind::CmpLeBr; return true;
+          case UopKind::CmpEq: fused = UopKind::CmpEqBr; return true;
+          case UopKind::CmpNe: fused = UopKind::CmpNeBr; return true;
+          default: return false;
+        }
+    }
+    if (!fuse_loads)
+        return false;
+    if (b.kind == UopKind::Ld) {
+        if (a.kind == UopKind::Addi) {
+            fused = UopKind::AddiLd;
+            return true;
+        }
+        if (a.kind == UopKind::Shladd) {
+            fused = UopKind::ShladdLd;
+            return true;
+        }
+        return false;
+    }
+    if (a.kind == UopKind::Ld && b.kind == UopKind::Addi) {
+        fused = UopKind::LdAddi;
+        return true;
+    }
+    return false;
+}
+
 UopKind
 uopKindFor(Opcode op)
 {
@@ -122,8 +170,12 @@ Cpu::buildSuperblockAt(Addr head)
         config_.superblockHotThreshold == 0) {
         return;
     }
-    std::uint64_t version = code_.version();
-    if (superblocks_->probe(head, version))
+    if (superblocks_->probe(head, code_))
+        return;
+    // Profitability oracle: heads demoted for retiring too little work
+    // per dispatch (at this code generation) or churned past the
+    // invalidation limit are not worth rebuilding.
+    if (!superblocks_->promotionAllowed(head, code_))
         return;
 
     // Region selection: extend along the fall-through path.  A
@@ -160,8 +212,8 @@ Cpu::buildSuperblockAt(Addr head)
 
     auto sb = std::make_unique<Superblock>();
     sb->head = head;
-    sb->version = version;
-    sb->patchEpoch = code_.patchEpoch();
+    sb->spanEnd = body.back().addr;
+    sb->genSum = code_.spanGeneration(head, sb->spanEnd);
     sb->loopBack = loop_back;
     sb->bundles = static_cast<std::uint32_t>(body.size());
     sb->uops.reserve(body.size() * (Bundle::numSlots + 2));
@@ -171,7 +223,9 @@ Cpu::buildSuperblockAt(Addr head)
         if (labels)
             uop.handler = labels[static_cast<std::size_t>(uop.kind)];
     };
+    const bool fusion = config_.superblockFusion;
 
+    std::vector<Uop> tmp;  // one bundle's instruction uops, pre-merge
     for (std::size_t i = 0; i < body.size(); ++i) {
         const Bundle &bundle = *body[i].bundle;
         Addr baddr = body[i].addr;
@@ -188,18 +242,53 @@ Cpu::buildSuperblockAt(Addr head)
         for (int slot = 0; slot < n; ++slot)
             if (bundle.slot(slot).op == Opcode::Halt)
                 has_halt = true;
-        bool fuse_br = last && !has_halt && n >= 1 &&
+        bool fuse_br = fusion && last && !has_halt && n >= 1 &&
                        bundle.slot(n - 1).op == Opcode::Br;
         bool fuse_cmp = fuse_br && n >= 2 && isCmp(bundle.slot(n - 2).op);
+
+        // Emit this bundle's plain instruction uops into tmp, then
+        // peephole-merge adjacent pairs (same bundle by construction).
+        int plain_slots = n - (fuse_cmp ? 2 : fuse_br ? 1 : 0);
+        tmp.clear();
+        for (int slot = 0; slot < plain_slots; ++slot) {
+            Uop uop;
+            uop.kind = uopKindFor(bundle.slot(slot).op);
+            uop.insn = bundle.slot(slot);
+            uop.insnPc = isa::insnAddr(baddr, slot);
+            uop.bundleAddr = baddr;
+            tmp.push_back(uop);
+        }
+        if (fusion && tmp.size() >= 2) {
+            const bool fuse_loads = config_.superblockFuseLoads;
+            std::size_t w = 0;
+            for (std::size_t rd = 0; rd < tmp.size(); ++rd) {
+                UopKind fused;
+                if (rd + 1 < tmp.size() &&
+                    fusePair(tmp[rd], tmp[rd + 1], fuse_loads, fused)) {
+                    Uop pair = tmp[rd];
+                    pair.kind = fused;
+                    pair.insn2 = tmp[rd + 1].insn;
+                    pair.insnPc2 = tmp[rd + 1].insnPc;
+                    tmp[w++] = pair;
+                    ++rd;
+                    ++superblocks_->stats().fusedPairs;
+                } else {
+                    tmp[w++] = tmp[rd];
+                }
+            }
+            tmp.resize(w);
+        }
+        if (fuse_cmp)
+            ++superblocks_->stats().fusedPairs;
 
         // Index of this bundle's epilogue uop (BundleEnd* or the seam
         // into the next bundle): taken branches and halt jump straight
         // there, skipping the trailing slots exactly like the
         // interpreter's per-slot break.  With a fused branch the final
         // uop carries its own epilogue and the index is never consumed.
+        // Computed after the merge pass, which changes the uop count.
         std::uint32_t end_idx = static_cast<std::uint32_t>(
-            sb->uops.size() + (i == 0 ? 1 : 0) +
-            static_cast<std::size_t>(n) - (fuse_cmp ? 2 : fuse_br ? 1 : 0));
+            sb->uops.size() + (i == 0 ? 1 : 0) + tmp.size());
 
         if (i == 0) {
             Uop start;
@@ -211,13 +300,7 @@ Cpu::buildSuperblockAt(Addr head)
             sb->uops.push_back(start);
         }
 
-        int plain_slots = n - (fuse_cmp ? 2 : fuse_br ? 1 : 0);
-        for (int slot = 0; slot < plain_slots; ++slot) {
-            Uop uop;
-            uop.kind = uopKindFor(bundle.slot(slot).op);
-            uop.insn = bundle.slot(slot);
-            uop.insnPc = isa::insnAddr(baddr, slot);
-            uop.bundleAddr = baddr;
+        for (Uop &uop : tmp) {
             uop.endIdx = end_idx;
             bind(uop);
             sb->uops.push_back(uop);
@@ -445,22 +528,48 @@ Cpu::buildSuperblockAt(Addr head)
         branch_taken = false;                                           \
     } while (0)
 
+/** Chain seam: the block is done but execution continues at next_pc —
+ *  if a valid block is cached there, jump straight to its uops without
+ *  returning to the run() loop, keeping the hoisted locals and the
+ *  pending-ready watermark live.  Falls through to a plain exit when
+ *  chaining is off, an exit is forced (halt/event/budget), or no valid
+ *  target exists.  Safe because generations cannot have changed since
+ *  this block's dispatch (mutations force an event exit first), so only
+ *  the *target* needs revalidating — sbChainTarget does that. */
+#define SB_TRY_CHAIN()                                                  \
+    do {                                                                \
+        if (chain_on && !halted_ && !event_exit && cyc < max_cycles) {  \
+            Superblock *nb = sbChainTarget(next_pc);                    \
+            if (nb) {                                                   \
+                cur = nb;                                               \
+                base = nb->uops.data();                                 \
+                sb_head = nb->head;                                     \
+                SB_GOTO(0);                                             \
+            }                                                           \
+        }                                                               \
+        SB_SYNC_OUT();                                                  \
+        return nullptr;                                                 \
+    } while (0)
+
 /** Final-bundle epilogue + inline back-edge: the loop-form block
  *  restarts at uop[0] when its branch redirected to the head and
- *  nothing (halt, event service, cycle budget, image version) demands
- *  an exit. */
+ *  nothing (halt, event service, cycle budget) demands an exit.  No
+ *  generation recheck is needed on the back-edge: image mutation only
+ *  happens inside hooks, hooks only run at event service, and event
+ *  service sets event_exit — so reaching the loop-back with
+ *  event_exit == false proves the span is exactly as validated at
+ *  dispatch (lookup / sbChainTarget).  Any other continuation is a
+ *  chain candidate. */
 #define SB_LAST_TAIL()                                                  \
     do {                                                                \
         bool event_exit = false;                                        \
         SB_BUNDLE_EPILOGUE();                                           \
         if (!halted_ && !event_exit && branch_taken &&                  \
-            next_pc == sb_head && cyc < max_cycles &&                   \
-            code_.version() == sb_version) {                            \
+            next_pc == sb_head && cyc < max_cycles) {                   \
             ++superblocks_->stats().loopTrips;                          \
             SB_LOOP_TOP();                                              \
         }                                                               \
-        SB_SYNC_OUT();                                                  \
-        return nullptr;                                                 \
+        SB_TRY_CHAIN();                                                 \
     } while (0)
 
 /** The plain-Br body of execBranch: direction prediction, penalty /
@@ -491,6 +600,79 @@ Cpu::buildSuperblockAt(Addr head)
         }                                                               \
     } while (0)
 
+/*
+ * Shared instruction bodies for the fused-pair handlers.  Each is the
+ * full execInsn-mirroring body of one plain handler (predication,
+ * source waits, writeback, retire) parameterized on which of the uop's
+ * two instruction copies it reads — so a pair handler is literally the
+ * two plain bodies back to back with one dispatch saved, and the plain
+ * handlers use the same macros, keeping the copies impossible to drift.
+ */
+#define SB_LD_BODY(ldinsn, ldpc)                                        \
+    do {                                                                \
+        const Insn &insn = (ldinsn);                                    \
+        if (p_[insn.qp]) {                                              \
+            sbWaitForSources(insn);                                     \
+            Addr ea = static_cast<Addr>(r_[insn.rs1]);                  \
+            cycle_ = cyc; /* loadInt reads cycle_ */                    \
+            MemAccessResult res = loadInt(ea);                          \
+            std::uint64_t raw = memory_.read(ea, insn.size);            \
+            /* Deliberate divergence from execInsn: no pointer-chase    \
+             * host lookahead (see the Ld handler note below). */       \
+            sbWriteIntReg(insn.rd, static_cast<std::int64_t>(raw),      \
+                          cyc + res.latency);                           \
+            SB_POSTINC();                                               \
+            dear_.observeLoad((ldpc), ea, res.latency, cyc);            \
+            if (res.latency >= config_.dearLatencyThreshold)            \
+                ++counters_.dcacheLoadMisses;                           \
+        }                                                               \
+        ++retired;                                                      \
+    } while (0)
+
+#define SB_ADDI_BODY(aiinsn)                                            \
+    do {                                                                \
+        const Insn &insn = (aiinsn);                                    \
+        if (p_[insn.qp]) {                                              \
+            sbWaitForSources(insn);                                     \
+            sbWriteIntReg(insn.rd,                                      \
+                          wrap(static_cast<std::uint64_t>(insn.imm) +   \
+                               uw(r_[insn.rs1])),                       \
+                          cyc);                                         \
+        }                                                               \
+        ++retired;                                                      \
+    } while (0)
+
+#define SB_SHLADD_BODY(sainsn)                                          \
+    do {                                                                \
+        const Insn &insn = (sainsn);                                    \
+        if (p_[insn.qp]) {                                              \
+            sbWaitForSources(insn);                                     \
+            sbWriteIntReg(insn.rd,                                      \
+                          wrap((uw(r_[insn.rs1]) << insn.count) +       \
+                               uw(r_[insn.rs2])),                       \
+                          cyc);                                         \
+        }                                                               \
+        ++retired;                                                      \
+    } while (0)
+
+/** The fused `cmp ; br` pair at an interior side exit: the compare
+ *  body, then the branch reading the just-written predicate, then the
+ *  normal branch tail (taken -> bundle epilogue via endIdx). */
+#define SB_CMP_BR_CASE(k, cmp_expr)                                     \
+    SB_CASE(k)                                                          \
+    {                                                                   \
+        const Insn &insn = u->insn;                                     \
+        if (p_[insn.qp]) {                                              \
+            sbWaitForSources(insn);                                     \
+            bool res = (cmp_expr);                                      \
+            if (insn.pd != 0)                                           \
+                p_[insn.pd] = res;                                      \
+        }                                                               \
+        ++retired;                                                      \
+        SB_BR_CORE(u->insn2, u->insnPc2);                               \
+        SB_BRANCH_TAIL();                                               \
+    }
+
 ADORE_FLATTEN const void *const *
 Cpu::execSuperblock(Superblock *sb, Cycle max_cycles)
 {
@@ -509,11 +691,14 @@ Cpu::execSuperblock(Superblock *sb, Cycle max_cycles)
         return nullptr;
 #endif
 
-    const Uop *base = sb->uops.data();
+    // Block-identity state, mutable because chaining retargets it:
+    // `cur` is the block whose uops are executing (run() counts the
+    // dispatch; chained entries count under stats().chained).
+    Superblock *cur = sb;
+    const Uop *base = cur->uops.data();
     const Uop *u = base;
-    const Addr sb_head = sb->head;
-    const std::uint64_t sb_version = sb->version;
-    ++superblocks_->stats().dispatches;
+    Addr sb_head = cur->head;
+    const bool chain_on = config_.superblockChaining;
 
     // Hot member state hoisted into locals (see the SB_SYNC_OUT comment).
     Cycle cyc;
@@ -619,6 +804,34 @@ Cpu::execSuperblock(Superblock *sb, Cycle max_cycles)
         fp_written |= static_cast<std::uint16_t>(1u << fd);
     };
 
+    /*
+     * Resolve a chain target for SB_TRY_CHAIN: first the current
+     * block's cached links, then a cache lookup that records a new
+     * link.  Targets are revalidated against their span generations on
+     * every follow; a stale cached target is dropped and unlinked on
+     * the spot (never `cur` — cur is valid, see SB_TRY_CHAIN).
+     */
+    auto sbChainTarget = [&](Addr target) -> Superblock * {
+        for (Superblock::ChainLink &l : cur->chains) {
+            if (l.to && l.target == target) {
+                if (code_.spanGeneration(l.to->head, l.to->spanEnd) ==
+                    l.to->genSum) {
+                    ++superblocks_->stats().chained;
+                    return l.to;
+                }
+                if (l.to != cur)
+                    superblocks_->invalidateBlock(l.to);
+                return nullptr;
+            }
+        }
+        Superblock *to = superblocks_->lookup(target, code_);
+        if (!to)
+            return nullptr;
+        superblocks_->link(cur, target, to);
+        ++superblocks_->stats().chained;
+        return to;
+    };
+
 #if ADORE_SB_THREADED
     goto *u->handler;
 #else
@@ -636,10 +849,13 @@ dispatch:
     {
         // Interior bundle boundary: this bundle's epilogue, then —
         // unless something demands an exit — the next bundle's
-        // prologue, all in one dispatch.
+        // prologue, all in one dispatch.  A taken side exit is a chain
+        // candidate: the branch target may head another cached block.
         bool event_exit = false;
         SB_BUNDLE_EPILOGUE();
         if (halted_ || branch_taken || event_exit || cyc >= max_cycles) {
+            if (branch_taken)
+                SB_TRY_CHAIN();
             SB_SYNC_OUT();
             return nullptr;
         }
@@ -668,16 +884,17 @@ dispatch:
                 sbWriteIntReg(insn.rd,
                               wrap(uw(r_[insn.rs1]) - uw(r_[insn.rs2])),
                               cyc))
-    SB_ALU_CASE(Addi,
-                sbWriteIntReg(insn.rd,
-                              wrap(static_cast<std::uint64_t>(insn.imm) +
-                                   uw(r_[insn.rs1])),
-                              cyc))
-    SB_ALU_CASE(Shladd,
-                sbWriteIntReg(insn.rd,
-                              wrap((uw(r_[insn.rs1]) << insn.count) +
-                                   uw(r_[insn.rs2])),
-                              cyc))
+    SB_CASE(Addi)
+    {
+        SB_ADDI_BODY(u->insn);
+        SB_NEXT();
+    }
+
+    SB_CASE(Shladd)
+    {
+        SB_SHLADD_BODY(u->insn);
+        SB_NEXT();
+    }
     SB_ALU_CASE(Mov, sbWriteIntReg(insn.rd, r_[insn.rs1], cyc))
     SB_ALU_CASE(Movi, sbWriteIntReg(insn.rd, insn.imm, cyc))
     SB_ALU_CASE(And,
@@ -711,29 +928,15 @@ dispatch:
 
     SB_CASE(Ld)
     {
-        const Insn &insn = u->insn;
-        if (p_[insn.qp]) {
-            sbWaitForSources(insn);
-            Addr ea = static_cast<Addr>(r_[insn.rs1]);
-            cycle_ = cyc;  // loadInt reads cycle_ (line-buffer readiness)
-            MemAccessResult res = loadInt(ea);
-            std::uint64_t raw = memory_.read(ea, insn.size);
-            // Deliberate divergence from execInsn: no pointer-chase
-            // host lookahead (hostPrefetchWalk/hostPrefetch on the
-            // loaded value).  It has no simulated effect, and in this
-            // tier the line buffer plus warm host caches already cover
-            // the hot footprint — measured on jit_hot_loop, mcf_o2_adore
-            // and mcf_pointer_chase_hot, the unconditional lookahead is
-            // a net host-side loss here (it stays in the interpreter,
-            // where it wins).
-            sbWriteIntReg(insn.rd, static_cast<std::int64_t>(raw),
-                          cyc + res.latency);
-            SB_POSTINC();
-            dear_.observeLoad(u->insnPc, ea, res.latency, cyc);
-            if (res.latency >= config_.dearLatencyThreshold)
-                ++counters_.dcacheLoadMisses;
-        }
-        ++retired;
+        // SB_LD_BODY's deliberate divergence from execInsn: no
+        // pointer-chase host lookahead (hostPrefetchWalk/hostPrefetch
+        // on the loaded value).  It has no simulated effect, and in
+        // this tier the line buffer plus warm host caches already cover
+        // the hot footprint — measured on jit_hot_loop, mcf_o2_adore
+        // and mcf_pointer_chase_hot, the unconditional lookahead is a
+        // net host-side loss here (it stays in the interpreter, where
+        // it wins).
+        SB_LD_BODY(u->insn, u->insnPc);
         SB_NEXT();
     }
 
@@ -933,6 +1136,32 @@ dispatch:
     SB_CMP_BR_LAST_CASE(CmpEqBrLast, r_[insn.rs1] == r_[insn.rs2])
     SB_CMP_BR_LAST_CASE(CmpNeBrLast, r_[insn.rs1] != r_[insn.rs2])
 #undef SB_CMP_BR_LAST_CASE
+
+    SB_CMP_BR_CASE(CmpLtBr, r_[insn.rs1] < r_[insn.rs2])
+    SB_CMP_BR_CASE(CmpLeBr, r_[insn.rs1] <= r_[insn.rs2])
+    SB_CMP_BR_CASE(CmpEqBr, r_[insn.rs1] == r_[insn.rs2])
+    SB_CMP_BR_CASE(CmpNeBr, r_[insn.rs1] != r_[insn.rs2])
+
+    SB_CASE(AddiLd)
+    {
+        SB_ADDI_BODY(u->insn);
+        SB_LD_BODY(u->insn2, u->insnPc2);
+        SB_NEXT();
+    }
+
+    SB_CASE(ShladdLd)
+    {
+        SB_SHLADD_BODY(u->insn);
+        SB_LD_BODY(u->insn2, u->insnPc2);
+        SB_NEXT();
+    }
+
+    SB_CASE(LdAddi)
+    {
+        SB_LD_BODY(u->insn, u->insnPc);
+        SB_ADDI_BODY(u->insn2);
+        SB_NEXT();
+    }
 
 #if !ADORE_SB_THREADED
     }

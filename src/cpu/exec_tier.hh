@@ -21,24 +21,35 @@
  * decision-event streams are bit-identical with the tier on or off
  * (tests/test_tier_toggle.cc).
  *
- * Invalidation reuses the CodeImage version machinery: a superblock
- * records the image version it was built from, and any append, trace
- * allocation, patch, or unpatch bumps the version, so stale blocks die
- * at the next lookup exactly as decoded-bundle-cache entries do.  A
+ * Lifecycle (region-keyed, DESIGN.md §12): a superblock records the
+ * sum of the CodeImage per-region generation counters over its bundle
+ * span at build time; a lookup revalidates that sum, so only mutations
+ * that touched the block's own 1 KiB regions kill it — an ADORE patch
+ * to one loop head no longer flushes every other region's blocks.  A
  * block is never executing while the image mutates: all runtime image
  * mutations happen inside periodic hooks, and the executor exits the
  * block whenever the event watermark fires.
+ *
+ * Blocks whose exit lands on another cached block's head are *chained*:
+ * the executor jumps straight to the target's uops (revalidating the
+ * target's span generations first) without returning to the run() loop,
+ * keeping the register-hoisted state and the pending-ready watermark
+ * live across the transition.  Links carry unlink-on-invalidate
+ * bookkeeping (each block knows its incoming linkers) so a dead block
+ * never leaves a dangling chain pointer behind.
  */
 
 #ifndef ADORE_CPU_EXEC_TIER_HH
 #define ADORE_CPU_EXEC_TIER_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "isa/bundle.hh"
 #include "isa/insn.hh"
+#include "program/code_image.hh"
 
 namespace adore
 {
@@ -57,14 +68,21 @@ namespace adore
  * Instruction kinds map 1:1 onto opcodes (LdS shares Ld: identical
  * execution semantics).
  *
- * Fused branch kinds exist purely to cut dispatches on the hot path;
- * each is the exact concatenation of its constituent handlers, so they
- * change host cost only, never simulated behaviour:
+ * Fused kinds exist purely to cut dispatches on the hot path; each is
+ * the exact concatenation of its constituent handlers, so they change
+ * host cost only, never simulated behaviour:
  *  - BrLast        = a final-slot Br in the region's last bundle +
  *                    BundleEndLast (the loop back-edge)
  *  - Cmp**BrLast   = a compare immediately preceding that Br in the
  *                    same bundle + BrLast (the canonical `cmp ; br`
  *                    loop tail)
+ *  - Cmp**Br       = the same `cmp ; br` pair anywhere else in the
+ *                    region (interior side exits)
+ *  - AddiLd/ShladdLd = address generation feeding a load (the two
+ *                    addressing idioms the compiler emits)
+ *  - LdAddi        = a load followed by an ALU use/induction step
+ * The pair kinds are produced by the build-time peephole pass, gated
+ * by CpuConfig::superblockFusion.
  */
 #define ADORE_SB_UOP_KINDS(X)                                           \
     X(BundleStart)                                                      \
@@ -105,7 +123,14 @@ namespace adore
     X(CmpLtBrLast)                                                      \
     X(CmpLeBrLast)                                                      \
     X(CmpEqBrLast)                                                      \
-    X(CmpNeBrLast)
+    X(CmpNeBrLast)                                                      \
+    X(CmpLtBr)                                                          \
+    X(CmpLeBr)                                                          \
+    X(CmpEqBr)                                                          \
+    X(CmpNeBr)                                                          \
+    X(AddiLd)                                                           \
+    X(ShladdLd)                                                         \
+    X(LdAddi)
 
 enum class UopKind : std::uint8_t
 {
@@ -134,9 +159,9 @@ struct Uop
     const void *handler = nullptr;
     UopKind kind = UopKind::Nop;
     Insn insn;             ///< decoded instruction, masks predecoded
-    Insn insn2;            ///< Cmp**BrLast: the fused branch
+    Insn insn2;            ///< fused pairs: the second instruction
     Addr insnPc = 0;       ///< bundle addr | slot (DEAR/BTB/predictor pc)
-    Addr insnPc2 = 0;      ///< Cmp**BrLast: the fused branch's pc
+    Addr insnPc2 = 0;      ///< fused pairs: the second instruction's pc
     Addr bundleAddr = 0;   ///< owning (executed) bundle address
     /** BundleSeam: address of the bundle the seam starts (the epilogue
      *  side uses bundleAddr, the prologue side this). */
@@ -154,17 +179,50 @@ struct Uop
  * A superblock: single-entry, multi-exit run of decoded bundles
  * starting at `head`, flattened into micro-ops.  `loopBack` marks the
  * loop form — the last bundle's branch targets the head, and the
- * executor loops to uop[0] in place (after revalidating the image
- * version) instead of exiting.
+ * executor loops to uop[0] in place (after revalidating the span
+ * generations) instead of exiting.
+ *
+ * Validity is region-keyed: `genSum` snapshots
+ * CodeImage::spanGeneration(head, spanEnd) at build time, and the block
+ * is valid iff that sum is unchanged — at most two region-counter loads
+ * for a max-size block.
  */
 struct Superblock
 {
     Addr head = 0;
-    std::uint64_t version = 0;     ///< CodeImage::version() at build
-    std::uint64_t patchEpoch = 0;  ///< CodeImage::patchEpoch() at build
+    Addr spanEnd = 0;          ///< last stitched bundle's address
+    std::uint64_t genSum = 0;  ///< spanGeneration(head, spanEnd) at build
     bool loopBack = false;
     std::uint32_t bundles = 0;
     std::vector<Uop> uops;
+
+    /**
+     * Chain links: block exits resolved to another cached block.  A
+     * link is followed only after revalidating the target's span
+     * generations; `incoming` lists every block holding a link to this
+     * one, so invalidation can null those links before the block dies
+     * (SuperblockCache::unlinkBlock).  Four entries cover the exits a
+     * region can produce (fall-through, loop exit, a couple of side
+     * exits); overflow replaces round-robin.
+     */
+    struct ChainLink
+    {
+        Addr target = 0;
+        Superblock *to = nullptr;
+    };
+    std::array<ChainLink, 4> chains{};
+    std::uint32_t nextChain = 0;
+    std::vector<Superblock *> incoming;
+
+    /** @name Promotion-oracle accounting (host-side, run()-maintained)
+     *  Simulated instructions retired per run()-level dispatch,
+     *  windowed: a block whose excursions (including everything it
+     *  chains into) retire too little work per entry is paying more in
+     *  dispatch overhead than it saves and gets demoted. */
+    /// @{
+    std::uint64_t workRetired = 0;
+    std::uint32_t windowDispatches = 0;
+    /// @}
 };
 
 /** Host-side tier accounting (no simulated-timing meaning). */
@@ -175,33 +233,52 @@ struct SuperblockStats
     std::uint64_t invalidated = 0;  ///< stale blocks dropped at lookup
     std::uint64_t dispatches = 0;   ///< run()-loop entries into a block
     std::uint64_t loopTrips = 0;    ///< inline back-edge loops taken
+    std::uint64_t chained = 0;      ///< block-to-block direct transitions
+    std::uint64_t demoted = 0;      ///< blocks removed by the oracle
+    std::uint64_t fusedPairs = 0;   ///< instruction pairs fused at build
 };
 
 /**
  * Direct-mapped superblock cache keyed on head bundle address, sized by
  * the same CpuConfig knob as the decoded-bundle cache (they cover the
  * same working set: the bundles of the current hot region).  A lookup
- * whose slot holds a block built from an older image version drops the
- * block — the exact invalidation rule of the decoded-bundle cache.
+ * whose slot holds a block with a stale span-generation sum drops the
+ * block (after unlinking it from the chain graph) and charges the
+ * head's churn counter in the promotion table.
+ *
+ * The promotion table is the profitability oracle's memory: a
+ * direct-mapped side table recording, per head, how many times its
+ * blocks were invalidated (churn — repeated ADORE repatching of the
+ * same region) and whether the head was demoted for retiring too little
+ * work per dispatch.  Demotion self-heals when the head's region
+ * generation changes (the code is different, so the old judgement is
+ * void); churn blacklisting is sticky — generation changes are exactly
+ * what it measures.
  */
 class SuperblockCache
 {
   public:
-    /** @p entries must be a power of two (Cpu validates the config). */
-    explicit SuperblockCache(std::size_t entries)
-        : slots_(entries), mask_(entries - 1)
+    /** @p entries must be a power of two (Cpu validates the config).
+     *  @p max_invalidations blacklists a head after that many stale
+     *  drops (0 disables churn blacklisting). */
+    explicit SuperblockCache(std::size_t entries,
+                             std::uint32_t max_invalidations)
+        : slots_(entries), mask_(entries - 1),
+          maxInvalidations_(max_invalidations)
     {
     }
 
+    /** The valid block headed at @p head, or null.  Drops (and
+     *  unlinks) a stale occupant, charging its churn counter. */
     Superblock *
-    lookup(Addr head, std::uint64_t version)
+    lookup(Addr head, const CodeImage &code)
     {
         std::unique_ptr<Superblock> &slot = slotFor(head);
         if (!slot || slot->head != head)
             return nullptr;
-        if (slot->version != version) {
-            slot.reset();
-            ++stats_.invalidated;
+        if (code.spanGeneration(slot->head, slot->spanEnd) !=
+            slot->genSum) {
+            dropStale(slot);
             return nullptr;
         }
         return slot.get();
@@ -209,13 +286,16 @@ class SuperblockCache
 
     /** Side-effect-free probe (tests): no stale-block eviction. */
     const Superblock *
-    probe(Addr head, std::uint64_t version) const
+    probe(Addr head, const CodeImage &code) const
     {
         const std::unique_ptr<Superblock> &slot =
             slots_[static_cast<std::size_t>(head / isa::bundleBytes) &
                    mask_];
-        if (slot && slot->head == head && slot->version == version)
+        if (slot && slot->head == head &&
+            code.spanGeneration(slot->head, slot->spanEnd) ==
+                slot->genSum) {
             return slot.get();
+        }
         return nullptr;
     }
 
@@ -223,10 +303,82 @@ class SuperblockCache
     insert(std::unique_ptr<Superblock> sb)
     {
         std::unique_ptr<Superblock> &slot = slotFor(sb->head);
-        if (slot)
+        if (slot) {
+            unlinkBlock(slot.get());
             ++stats_.replaced;
+        }
         slot = std::move(sb);
         ++stats_.built;
+    }
+
+    /**
+     * Drop @p sb (known stale: an executor chain link whose target
+     * failed revalidation).  The caller guarantees @p sb is not the
+     * block currently executing.
+     */
+    void
+    invalidateBlock(Superblock *sb)
+    {
+        std::unique_ptr<Superblock> &slot = slotFor(sb->head);
+        if (slot.get() == sb)
+            dropStale(slot);
+    }
+
+    /**
+     * Record a chain link from @p from to @p to (the block whose head
+     * is @p target), with reverse bookkeeping for unlink-on-invalidate.
+     */
+    void
+    link(Superblock *from, Addr target, Superblock *to)
+    {
+        Superblock::ChainLink &l =
+            from->chains[from->nextChain++ % from->chains.size()];
+        if (l.to)
+            eraseIncoming(l.to, from);
+        l.target = target;
+        l.to = to;
+        to->incoming.push_back(from);
+    }
+
+    /**
+     * Oracle consult at promotion time: false when the head is
+     * blacklisted — demoted at the current region generation, or past
+     * the churn limit.  A demoted entry whose region generation moved
+     * is cleared (the code changed; re-judge it).
+     */
+    bool
+    promotionAllowed(Addr head, const CodeImage &code)
+    {
+        PromoteEntry &e = promoteFor(head);
+        if (e.head != head)
+            return true;
+        if (e.demoted) {
+            if (code.regionGeneration(head) == e.gen)
+                return false;
+            e = PromoteEntry{};
+            return true;
+        }
+        return maxInvalidations_ == 0 ||
+               e.invalidations < maxInvalidations_;
+    }
+
+    /**
+     * Oracle verdict: @p sb retires too little work per dispatch.
+     * Blacklist its head at the current region generation and remove
+     * the block.  The caller must not touch @p sb afterwards.
+     */
+    void
+    demote(Superblock *sb, const CodeImage &code)
+    {
+        PromoteEntry &e = promoteFor(sb->head);
+        if (e.head != sb->head)
+            e = PromoteEntry{};
+        e.head = sb->head;
+        e.demoted = true;
+        e.gen = code.regionGeneration(sb->head);
+        unlinkBlock(sb);
+        slotFor(sb->head).reset();
+        ++stats_.demoted;
     }
 
     std::size_t entries() const { return slots_.size(); }
@@ -235,6 +387,14 @@ class SuperblockCache
     const SuperblockStats &stats() const { return stats_; }
 
   private:
+    struct PromoteEntry
+    {
+        Addr head = ~Addr{0};
+        std::uint64_t gen = 0;          ///< region gen when demoted
+        std::uint32_t invalidations = 0;
+        bool demoted = false;
+    };
+
     std::unique_ptr<Superblock> &
     slotFor(Addr head)
     {
@@ -242,8 +402,67 @@ class SuperblockCache
                       mask_];
     }
 
+    PromoteEntry &
+    promoteFor(Addr head)
+    {
+        return promote_[static_cast<std::size_t>(head / isa::bundleBytes) %
+                        promote_.size()];
+    }
+
+    void
+    eraseIncoming(Superblock *to, Superblock *from)
+    {
+        for (std::size_t i = 0; i < to->incoming.size(); ++i) {
+            if (to->incoming[i] == from) {
+                to->incoming[i] = to->incoming.back();
+                to->incoming.pop_back();
+                return;
+            }
+        }
+    }
+
+    /**
+     * Detach @p b from the chain graph in both directions: forget its
+     * outgoing links (erasing it from each target's incoming list) and
+     * null every link pointing at it.  Every path that destroys a block
+     * goes through here first, so chain pointers never dangle.
+     */
+    void
+    unlinkBlock(Superblock *b)
+    {
+        for (Superblock::ChainLink &l : b->chains) {
+            if (l.to) {
+                eraseIncoming(l.to, b);
+                l = Superblock::ChainLink{};
+            }
+        }
+        for (Superblock *p : b->incoming) {
+            for (Superblock::ChainLink &l : p->chains) {
+                if (l.to == b)
+                    l = Superblock::ChainLink{};
+            }
+        }
+        b->incoming.clear();
+    }
+
+    void
+    dropStale(std::unique_ptr<Superblock> &slot)
+    {
+        PromoteEntry &e = promoteFor(slot->head);
+        if (e.head != slot->head) {
+            e = PromoteEntry{};
+            e.head = slot->head;
+        }
+        ++e.invalidations;
+        unlinkBlock(slot.get());
+        slot.reset();
+        ++stats_.invalidated;
+    }
+
     std::vector<std::unique_ptr<Superblock>> slots_;
     std::size_t mask_;
+    std::uint32_t maxInvalidations_;
+    std::array<PromoteEntry, 64> promote_{};
     SuperblockStats stats_;
 };
 

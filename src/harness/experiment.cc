@@ -117,6 +117,8 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
     out.cycles = result.cycles;
     out.retired = result.retired;
     out.execTier = cfg.machine.cpu.execTier;
+    out.superblockStats = machine.cpu().superblockStats();
+    out.regionGenBumps = machine.code().regionBumpCount();
     out.dearMisses = machine.cpu().counters().dcacheLoadMisses;
     out.cpi = out.retired ? static_cast<double>(out.cycles) /
                                 static_cast<double>(out.retired)
@@ -168,6 +170,33 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
     add("run.exec_tier",
         metrics.execTier == ExecTier::DirectThreaded ? 1.0 : 0.0,
         "execution tier (0 = interpreter, 1 = direct_threaded)");
+    add("tier.blocks_built",
+        static_cast<double>(metrics.superblockStats.built),
+        "superblocks constructed");
+    add("tier.blocks_replaced",
+        static_cast<double>(metrics.superblockStats.replaced),
+        "superblocks evicted by slot reuse");
+    add("tier.blocks_invalidated",
+        static_cast<double>(metrics.superblockStats.invalidated),
+        "stale superblocks dropped at lookup");
+    add("tier.dispatches",
+        static_cast<double>(metrics.superblockStats.dispatches),
+        "run()-loop entries into a superblock");
+    add("tier.loop_trips",
+        static_cast<double>(metrics.superblockStats.loopTrips),
+        "inline superblock back-edges taken");
+    add("tier.chained",
+        static_cast<double>(metrics.superblockStats.chained),
+        "direct block-to-block transitions (no interpreter round-trip)");
+    add("tier.blocks_demoted",
+        static_cast<double>(metrics.superblockStats.demoted),
+        "superblocks removed by the profitability oracle");
+    add("tier.fused_pairs",
+        static_cast<double>(metrics.superblockStats.fusedPairs),
+        "instruction pairs fused into combined uops at build");
+    add("tier.region_gen_bumps", static_cast<double>(metrics.regionGenBumps),
+        "CodeImage region-generation bumps over the run (all sources)");
+
     add("run.dear_misses", static_cast<double>(metrics.dearMisses),
         "DEAR-qualifying D-cache load misses");
     add("run.dear_per_1000", metrics.dearPer1000,
@@ -376,6 +405,8 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
     add("adore.traces_commit_stale",
         static_cast<double>(a.tracesCommitStale),
         "async trace commits refused: head patched meanwhile");
+    add("adore.region_gen_bumps", static_cast<double>(a.regionGenBumps),
+        "region generations bumped by runtime pool writes and patches");
 
     const SamplerStats &p = metrics.samplerStats;
     add("pmu.samples_taken", static_cast<double>(p.samplesTaken),

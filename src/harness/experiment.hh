@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "compiler/compiler.hh"
+#include "cpu/exec_tier.hh"
 #include "fault/fault_plan.hh"
 #include "harness/machine.hh"
 #include "observe/metrics_registry.hh"
@@ -63,6 +64,10 @@ struct RunMetrics
     AdoreStats adoreStats;
     SamplerStats samplerStats;      ///< PMU delivery/drop accounting
     ExecTier execTier = ExecTier::Interpreter;  ///< tier the run used
+    SuperblockStats superblockStats;  ///< tier cache lifecycle counters
+    /** Total CodeImage region-generation bumps over the run (all
+     *  sources: compile-time appends, pool writes, patch/revert). */
+    std::uint64_t regionGenBumps = 0;
     OptimizerMode optimizerMode = OptimizerMode::Synchronous;
     bool optimizerServiceUsed = false;  ///< an async worker ran
     OptimizerServiceStats optimizerStats;

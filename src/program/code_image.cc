@@ -6,6 +6,22 @@
 namespace adore
 {
 
+void
+CodeImage::bumpRegions(Addr begin, Addr last)
+{
+    std::vector<std::uint64_t> &gens =
+        begin >= poolBase ? poolGens_ : textGens_;
+    Addr base = begin >= poolBase ? poolBase : textBase;
+    std::size_t first = static_cast<std::size_t>(begin - base) >> regionShift;
+    std::size_t end = static_cast<std::size_t>(last - base) >> regionShift;
+    if (end >= gens.size())
+        gens.resize(end + 1, 0);
+    for (std::size_t r = first; r <= end; ++r) {
+        ++gens[r];
+        ++regionBumps_;
+    }
+}
+
 Addr
 CodeImage::appendText(const Bundle &bundle)
 {
@@ -14,6 +30,8 @@ CodeImage::appendText(const Bundle &bundle)
     text_.back().padWithNops();
     text_.back().predecodeAll();
     ++version_;
+    ++textLayout_;  // push_back may reallocate: cached pointers dangle
+    bumpRegions(addr, addr);
     return addr;
 }
 
@@ -36,6 +54,9 @@ CodeImage::tryAllocTrace(std::size_t bundles)
     Addr addr = poolBase + pool_.size() * isa::bundleBytes;
     pool_.resize(pool_.size() + bundles);
     ++version_;
+    ++poolLayout_;  // resize may reallocate: cached pointers dangle
+    if (bundles != 0)
+        bumpRegions(addr, addr + (bundles - 1) * isa::bundleBytes);
     return addr;
 }
 
@@ -52,6 +73,7 @@ CodeImage::writeBundle(Addr addr, const Bundle &bundle)
     else
         text_[(addr - textBase) / isa::bundleBytes] = padded;
     ++version_;
+    bumpRegions(addr, addr);
 }
 
 const Bundle &

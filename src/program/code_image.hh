@@ -35,6 +35,16 @@ class CodeImage
     /** Sentinel address: a pool allocation that was refused. */
     static constexpr Addr badAddr = ~Addr{0};
 
+    /**
+     * Region granularity for the generation counters: 64 bundles
+     * (1 KiB).  Small enough that an ADORE patch (one bundle) bumps
+     * only its own neighbourhood; large enough that a max-size
+     * superblock (superblockMaxBundles = 64) spans at most two
+     * regions, keeping spanGeneration() a two-load check.
+     */
+    static constexpr unsigned regionShift = 10;
+    static constexpr Addr regionBytes = Addr{1} << regionShift;
+
     /** Append a bundle to the text segment; returns its address. */
     Addr appendText(const Bundle &bundle);
 
@@ -83,8 +93,8 @@ class CodeImage
     /**
      * Bounds-checked single-pass fetch for the interpreter hot loop:
      * returns nullptr instead of panicking when @p addr is outside the
-     * image.  The pointer is invalidated by any image mutation — check
-     * version() before reusing a cached result.
+     * image.  The pointer is invalidated by image mutation — check
+     * cacheKey(addr) before reusing a cached result.
      */
     const Bundle *
     fetchFast(Addr addr) const
@@ -104,9 +114,90 @@ class CodeImage
     /**
      * Monotonic mutation counter: bumped by every operation that adds,
      * overwrites, or moves bundles (appendText, allocTrace, writeBundle,
-     * patch, unpatch).  The Cpu's decoded-bundle cache keys on it.
+     * patch, unpatch).  Legacy global counter — the Cpu's caches now
+     * key on the per-region machinery below (cacheKey /
+     * spanGeneration), which this file keeps consistent with.
      */
     std::uint64_t version() const { return version_; }
+
+    /**
+     * Per-region generation counter (DESIGN.md §12).  Every mutation
+     * bumps only the 1 KiB regions its address range touches: an
+     * appendText bumps the region the new bundle lands in, a trace
+     * allocation bumps the regions the reservation covers, and a
+     * writeBundle (the patch/unpatch primitive) bumps exactly the
+     * patched bundle's region.  Addresses outside the image read as
+     * generation 0, so a region's generation is well-defined before
+     * anything is ever written there.
+     */
+    std::uint64_t
+    regionGeneration(Addr addr) const
+    {
+        if (addr >= poolBase) {
+            std::size_t r =
+                static_cast<std::size_t>(addr - poolBase) >> regionShift;
+            return r < poolGens_.size() ? poolGens_[r] : 0;
+        }
+        if (addr < textBase)
+            return 0;
+        std::size_t r =
+            static_cast<std::size_t>(addr - textBase) >> regionShift;
+        return r < textGens_.size() ? textGens_[r] : 0;
+    }
+
+    /**
+     * Sum of the generations of every region overlapping the inclusive
+     * bundle-address span [@p begin, @p last].  Monotonic: any mutation
+     * that can change a byte in the span strictly increases the sum, so
+     * "spanGeneration unchanged" proves "span content unchanged".  A
+     * superblock records this at build time and revalidates against it
+     * (at most two regions for a max-size block).
+     */
+    std::uint64_t
+    spanGeneration(Addr begin, Addr last) const
+    {
+        std::uint64_t sum = 0;
+        for (Addr a = begin & ~(regionBytes - 1); a <= last;
+             a += regionBytes)
+            sum += regionGeneration(a);
+        return sum;
+    }
+
+    /**
+     * Invalidation key for caches holding a `const Bundle *` into this
+     * image (the Cpu's decoded-bundle cache).  Two hazards must both
+     * key it: in-place content changes (caught by the region
+     * generation) and vector reallocation that dangles the pointer
+     * (caught by the owning segment's layout version — appendText can
+     * move every text bundle, tryAllocTrace every pool bundle).  Both
+     * terms are monotonic, so the sum is monotonic per address.
+     */
+    std::uint64_t
+    cacheKey(Addr addr) const
+    {
+        // Fused single-segment-test form of
+        // layoutVersion(addr) + regionGeneration(addr): this runs once
+        // per interpreted bundle, so the double dispatch the composed
+        // form would pay matters.  (addr < textBase underflows to a
+        // huge index and fails the bounds check, reading generation 0
+        // exactly as regionGeneration() would.)
+        if (addr >= poolBase) {
+            std::size_t r =
+                static_cast<std::size_t>(addr - poolBase) >> regionShift;
+            return poolLayout_ + (r < poolGens_.size() ? poolGens_[r] : 0);
+        }
+        std::size_t r =
+            static_cast<std::size_t>(addr - textBase) >> regionShift;
+        return textLayout_ + (r < textGens_.size() ? textGens_[r] : 0);
+    }
+
+    /**
+     * Total region-generation bumps since construction.  The runtime
+     * samples deltas of this around patch/revert batches to report how
+     * much superblock state each image mutation could have invalidated
+     * (`tier.region_gen_bumps`).
+     */
+    std::uint64_t regionBumpCount() const { return regionBumps_; }
 
     /**
      * Patch-state epoch for the concurrent optimizer service (DESIGN.md
@@ -153,10 +244,18 @@ class CodeImage
     int loopIdAt(Addr pc) const;
 
   private:
+    /** Bump the generation of every region overlapping [begin, last]. */
+    void bumpRegions(Addr begin, Addr last);
+
     std::vector<Bundle> text_;
     std::vector<Bundle> pool_;
     std::unordered_map<Addr, Bundle> savedBundles_;
     std::uint64_t version_ = 0;
+    std::vector<std::uint64_t> textGens_;  ///< per-region generations, text
+    std::vector<std::uint64_t> poolGens_;  ///< per-region generations, pool
+    std::uint64_t textLayout_ = 0;  ///< bumped when text_ may reallocate
+    std::uint64_t poolLayout_ = 0;  ///< bumped when pool_ may reallocate
+    std::uint64_t regionBumps_ = 0;
     std::atomic<std::uint64_t> patchEpoch_{0};
     std::size_t poolCapacity_ = 0;  ///< max pool bundles; 0 = unbounded
 };

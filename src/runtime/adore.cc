@@ -394,6 +394,7 @@ AdoreRuntime::writeTraceToPool(const Trace &trace,
     CodeImage &code = cpu_.code();
     std::size_t total = init_bundles.size() + trace.bundles.size() + 1;
 
+    std::uint64_t bumps_before = code.regionBumpCount();
     Addr base = code.tryAllocTrace(total);
     if (base == CodeImage::badAddr)
         return CodeImage::badAddr;
@@ -432,6 +433,7 @@ AdoreRuntime::writeTraceToPool(const Trace &trace,
                      exit_bundle);
 
     code.patch(trace.startAddr, base);
+    stats_.regionGenBumps += code.regionBumpCount() - bumps_before;
     return base;
 }
 
@@ -476,7 +478,9 @@ AdoreRuntime::unpatchHead(OptimizedBatch &batch, Addr head, bool blacklist)
 {
     if (!cpu_.code().isPatched(head))
         return false;
+    std::uint64_t bumps_before = cpu_.code().regionBumpCount();
     cpu_.code().unpatch(head);
+    stats_.regionGenBumps += cpu_.code().regionBumpCount() - bumps_before;
     ++stats_.tracesUnpatched;
     if (events_)
         events_->emit(observe::TraceRevertedEvent{head});

@@ -187,6 +187,10 @@ struct AdoreStats
     std::uint64_t tracesPatchFailed = 0;       ///< injected patch failures
     std::uint64_t phasesWatchdogCancelled = 0; ///< watchdog-cancelled phases
     std::uint64_t tracesCommitStale = 0;  ///< async commits refused stale
+    /** CodeImage region generations bumped by this runtime's pool
+     *  writes, patches and reverts — how much region-keyed superblock
+     *  and decoded-bundle state each mutation could have invalidated. */
+    std::uint64_t regionGenBumps = 0;
 };
 
 class AdoreRuntime

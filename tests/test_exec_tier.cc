@@ -6,9 +6,18 @@
  * rebuild against the patched content, self-loop back-edge execution,
  * the decoded-bundle-cache sizing knob, and sampling parity vs the
  * interpreter on mcf_o2 with ADORE attached.
+ *
+ * Region-keyed invalidation and chaining (this PR): direct unit tests
+ * of the SuperblockCache chain graph (link / unlink-on-invalidate /
+ * unlink-on-replace) and the promotion oracle (demote self-heal, churn
+ * blacklist), plus a chaos-schedule test proving a patch to region A
+ * never executes a stale uop from A and never invalidates a block in
+ * untouched region B.
  */
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "cpu/cpu.hh"
 #include "cpu/exec_tier.hh"
@@ -258,9 +267,9 @@ TEST(ExecTier, SelfLoopBackEdgeMatchesInterpreter)
 
 TEST(ExecTier, BundleCacheKnobKeepsMetricsBitIdentical)
 {
-    // The knob resizes a pure host-side cache, so 8 entries must
-    // produce exactly the metrics of the 4-entry default — on both
-    // tiers.
+    // The knob resizes a pure host-side cache, so a tiny 8-entry cache
+    // must produce exactly the metrics of the 64-entry default — on
+    // both tiers.
     for (ExecTier tier : {ExecTier::Interpreter, ExecTier::DirectThreaded}) {
         CpuConfig small;
         small.execTier = tier;
@@ -373,6 +382,279 @@ TEST(ExecTier, StraightLineRegionWithCallExit)
     // Two trained head executions added 1 each; the final run adds 1 at
     // the head, 10 in the callee, then returns to the fallthrough halt.
     EXPECT_EQ(rig.cpu.intReg(2), 2 + 1 + 10);
+}
+
+// ---------------------------------------------------------------------------
+// Chain-graph bookkeeping: SuperblockCache unit tests.  The cache and
+// Superblock are plain public types, so the link / unlink invariants
+// can be pinned without driving a whole CPU.
+// ---------------------------------------------------------------------------
+
+/** A code image with two 1 KiB regions' worth of committed nop text. */
+void
+commitNopText(CodeImage &code, int bundles)
+{
+    CodeBuffer buf;
+    for (int i = 0; i < bundles; ++i) {
+        Bundle b;
+        b.add(build::nop());
+        buf.append(b);
+    }
+    buf.commitToText(code);
+}
+
+/** A single-bundle block headed at text bundle @p idx, with a genSum
+ *  snapshotted from the image (i.e. valid right now). */
+std::unique_ptr<Superblock>
+mkBlock(const CodeImage &code, int idx)
+{
+    auto sb = std::make_unique<Superblock>();
+    sb->head = kText + static_cast<Addr>(idx) * isa::bundleBytes;
+    sb->spanEnd = sb->head;
+    sb->genSum = code.spanGeneration(sb->head, sb->spanEnd);
+    return sb;
+}
+
+Bundle
+nopBundle()
+{
+    Bundle b;
+    b.add(build::nop());
+    b.padWithNops();
+    return b;
+}
+
+TEST(ExecTier, ChainUnlinkWhenTargetGoesStale)
+{
+    CodeImage code;
+    commitNopText(code, 70);  // bundle 66 lands in the second region
+    SuperblockCache cache(8, 0);
+
+    auto a_up = mkBlock(code, 1);
+    auto b_up = mkBlock(code, 66);
+    Superblock *a = a_up.get();
+    Superblock *b = b_up.get();
+    cache.insert(std::move(a_up));
+    cache.insert(std::move(b_up));
+
+    cache.link(a, b->head, b);
+    EXPECT_EQ(a->chains[0].target, b->head);
+    EXPECT_EQ(a->chains[0].to, b);
+    ASSERT_EQ(b->incoming.size(), 1u);
+    EXPECT_EQ(b->incoming[0], a);
+
+    // Mutating b's region makes the next lookup drop b — and null a's
+    // chain link so it cannot dangle.
+    code.writeBundle(b->head, nopBundle());
+    EXPECT_EQ(cache.lookup(b->head, code), nullptr);
+    EXPECT_EQ(cache.stats().invalidated, 1u);
+    EXPECT_EQ(a->chains[0].to, nullptr);
+
+    // a lives in the untouched first region: still valid.
+    EXPECT_EQ(cache.lookup(a->head, code), a);
+}
+
+TEST(ExecTier, ChainUnlinkWhenSourceGoesStale)
+{
+    CodeImage code;
+    commitNopText(code, 70);
+    SuperblockCache cache(8, 0);
+
+    auto a_up = mkBlock(code, 1);
+    auto b_up = mkBlock(code, 66);
+    Superblock *a = a_up.get();
+    Superblock *b = b_up.get();
+    cache.insert(std::move(a_up));
+    cache.insert(std::move(b_up));
+    cache.link(a, b->head, b);
+
+    // Dropping the *source* must erase it from the target's incoming
+    // list (otherwise b would later null a pointer into freed memory).
+    code.writeBundle(a->head, nopBundle());
+    EXPECT_EQ(cache.lookup(a->head, code), nullptr);
+    EXPECT_TRUE(b->incoming.empty());
+    EXPECT_EQ(cache.lookup(b->head, code), b);
+}
+
+TEST(ExecTier, ChainUnlinkWhenTargetIsReplaced)
+{
+    CodeImage code;
+    commitNopText(code, 70);
+    SuperblockCache cache(8, 0);
+
+    auto a_up = mkBlock(code, 1);
+    auto b_up = mkBlock(code, 66);
+    Superblock *a = a_up.get();
+    Superblock *b = b_up.get();
+    cache.insert(std::move(a_up));
+    cache.insert(std::move(b_up));
+    cache.link(a, b->head, b);
+
+    // Inserting a block that maps to b's slot (66 and 58 collide in an
+    // 8-entry direct-mapped cache) evicts b; a's link must be nulled.
+    cache.insert(mkBlock(code, 58));
+    EXPECT_EQ(cache.stats().replaced, 1u);
+    EXPECT_EQ(a->chains[0].to, nullptr);
+}
+
+TEST(ExecTier, OracleDemoteUnlinksBlacklistsAndSelfHeals)
+{
+    CodeImage code;
+    commitNopText(code, 70);
+    SuperblockCache cache(8, 0);
+
+    auto a_up = mkBlock(code, 1);
+    auto b_up = mkBlock(code, 66);
+    Superblock *a = a_up.get();
+    Superblock *b = b_up.get();
+    Addr head = a->head;
+    cache.insert(std::move(a_up));
+    cache.insert(std::move(b_up));
+    cache.link(a, b->head, b);
+
+    EXPECT_TRUE(cache.promotionAllowed(head, code));
+    cache.demote(a, code);  // a is dead after this call
+    EXPECT_EQ(cache.stats().demoted, 1u);
+    EXPECT_TRUE(b->incoming.empty());
+    EXPECT_EQ(cache.lookup(head, code), nullptr);
+    EXPECT_FALSE(cache.promotionAllowed(head, code));
+
+    // Self-heal: once the head's region generation moves, the old
+    // verdict is void and the head may be promoted again.
+    code.writeBundle(head, nopBundle());
+    EXPECT_TRUE(cache.promotionAllowed(head, code));
+}
+
+TEST(ExecTier, OracleChurnBlacklistIsSticky)
+{
+    CodeImage code;
+    commitNopText(code, 70);
+    SuperblockCache cache(8, 2);  // blacklist after two stale drops
+    Addr head = kText + isa::bundleBytes;
+
+    for (int round = 0; round < 2; ++round) {
+        EXPECT_TRUE(cache.promotionAllowed(head, code));
+        cache.insert(mkBlock(code, 1));
+        code.writeBundle(head, nopBundle());
+        EXPECT_EQ(cache.lookup(head, code), nullptr);
+    }
+    EXPECT_EQ(cache.stats().invalidated, 2u);
+    EXPECT_FALSE(cache.promotionAllowed(head, code));
+
+    // Churn blacklisting measures generation churn itself, so — unlike
+    // demotion — a further generation bump does not clear it.
+    code.writeBundle(head, nopBundle());
+    EXPECT_FALSE(cache.promotionAllowed(head, code));
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-schedule region isolation: a patch to region A, landed from a
+// hook in the middle of A's hot loop, must stop A's block cold (zero
+// stale uops retired after the patch) and must leave region B's block
+// untouched (no invalidation, same object, same generation).
+// ---------------------------------------------------------------------------
+TEST(ExecTier, PatchToRegionANeverRunsStaleUopsNorTouchesRegionB)
+{
+    constexpr std::int64_t kBig = 200000;  // loop A budget (never finishes)
+    constexpr std::int64_t kIters = 3000;  // loop B trip count
+
+    CpuConfig ccfg;
+    ccfg.superblockHotThreshold = 4;
+    TierRig rig(ccfg);
+
+    // b0 (kText):  movi r1, kBig | movi r3, kIters | movi r4, 0
+    // b1 (aHead):  addi r1, -1, r1 | cmp.ne p1 = r1, r0 | br.p1 -> b1
+    // b2:          br -> bHead          (taken only if A ever finishes)
+    // b3..b66:     nop padding up to the next 1 KiB region
+    // b67 (bHead): addi r4, 1, r4 | addi r3, -1, r3
+    // b68:         cmp.ne p2 = r3, r0 | br.p2 -> bHead
+    // b69:         halt
+    const Addr a_head = kText + 1 * isa::bundleBytes;
+    const Addr b_head = kText + 67 * isa::bundleBytes;
+    // The two loops must live in different 1 KiB regions.
+    ASSERT_NE(a_head >> CodeImage::regionShift,
+              b_head >> CodeImage::regionShift);
+
+    CodeBuffer buf;
+    Bundle setup;
+    setup.add(build::movi(1, kBig));
+    setup.add(build::movi(3, kIters));
+    setup.add(build::movi(4, 0));
+    buf.append(setup);
+    Bundle loop_a;
+    loop_a.add(build::addi(1, -1, 1));
+    loop_a.add(build::cmp(Opcode::CmpNe, 1, 1, 0));
+    loop_a.add(build::br(1, a_head));
+    buf.append(loop_a);
+    Bundle bridge;
+    bridge.add(build::brAlways(b_head));
+    buf.append(bridge);
+    for (int i = 3; i < 67; ++i) {
+        Bundle pad;
+        pad.add(build::nop());
+        buf.append(pad);
+    }
+    Bundle loop_b;
+    loop_b.add(build::addi(4, 1, 4));
+    loop_b.add(build::addi(3, -1, 3));
+    buf.append(loop_b);
+    Bundle tail_b;
+    tail_b.add(build::cmp(Opcode::CmpNe, 2, 3, 0));
+    tail_b.add(build::br(2, b_head));
+    buf.append(tail_b);
+    Bundle stop;
+    stop.add(build::halt());
+    buf.append(stop);
+    buf.commitToText(rig.code);
+
+    // Pre-train B so its block exists before the run begins.
+    stepAt(rig.cpu, b_head, 4);
+    const Superblock *sb_b = rig.cpu.superblockAt(b_head);
+    ASSERT_NE(sb_b, nullptr);
+    EXPECT_TRUE(sb_b->loopBack);
+    EXPECT_EQ(sb_b->bundles, 2u);
+
+    const std::uint64_t gen_a_before = rig.code.regionGeneration(a_head);
+    const std::uint64_t gen_b_before = rig.code.regionGeneration(b_head);
+
+    // Mid-run chaos: once loop A has retired >1000 trips from its
+    // superblock, a periodic hook patches A's head to jump to B —
+    // exactly the shape of an ADORE trace patch landing under the
+    // executing block's feet.
+    bool patched = false;
+    std::int64_t r1_at_patch = -1;
+    rig.cpu.addPeriodicHook(128, [&](Cycle) {
+        std::int64_t r1 = rig.cpu.intReg(1);
+        if (!patched && r1 > 0 && r1 < kBig - 1000) {
+            patched = true;
+            r1_at_patch = r1;
+            rig.code.patch(a_head, b_head);
+        }
+    });
+
+    rig.cpu.setPc(kText);
+    auto result = rig.cpu.run(~Cycle{0});
+
+    ASSERT_TRUE(patched);
+    EXPECT_TRUE(result.halted);
+
+    // Zero stale uops: not one more A-loop instruction retired after
+    // the patch landed (r1 is A's only induction variable).
+    EXPECT_GT(rig.cpu.intReg(1), 0);
+    EXPECT_EQ(rig.cpu.intReg(1), r1_at_patch);
+
+    // B ran to completion after the redirect...
+    EXPECT_EQ(rig.cpu.intReg(4), kIters);
+    EXPECT_EQ(rig.cpu.intReg(3), 0);
+
+    // ...through the very same pre-trained block: the patch to region A
+    // invalidated exactly one block (A's), left B's generation alone,
+    // and bumped A's.
+    EXPECT_EQ(rig.cpu.superblockAt(b_head), sb_b);
+    EXPECT_EQ(rig.cpu.superblockStats().invalidated, 1u);
+    EXPECT_EQ(rig.cpu.superblockStats().demoted, 0u);
+    EXPECT_EQ(rig.code.regionGeneration(b_head), gen_b_before);
+    EXPECT_GT(rig.code.regionGeneration(a_head), gen_a_before);
 }
 
 } // namespace

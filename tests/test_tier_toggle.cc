@@ -8,11 +8,13 @@
  * execTier=Interpreter — cycles, every cache counter, every ADORE
  * decision stat, the sampler's delivery/drop accounting, and the
  * *rendered decision-event stream* element by element.  The sweep
- * covers the full workload registry in four variants: ADORE off
+ * covers the full workload registry in six variants: ADORE off
  * (fault-free), ADORE synchronous (fault-free), ADORE synchronous
- * under the full chaos schedule, and ADORE barrier mode under chaos —
+ * under the full chaos schedule, ADORE barrier mode under chaos —
  * i.e. ADORE on/off x zero-rate/chaos x the two deterministic
- * optimizer modes.
+ * optimizer modes — plus uop fusion pinned off and pinned to every
+ * pattern (including the default-off load pairs), so each fused
+ * handler family is held to the same contract as the plain handlers.
  *
  * FreeRunning is deliberately *not* a bit-identity variant: its commit
  * timing is nondeterministic between reruns by design (DESIGN.md §11),
@@ -48,6 +50,8 @@ struct Variant
     bool adore = false;
     OptimizerMode mode = OptimizerMode::Synchronous;
     bool chaos = false;
+    bool fusionOff = false;   ///< pin superblockFusion = false
+    bool fuseLoads = false;   ///< pin superblockFuseLoads = true
 };
 
 TierRun
@@ -58,6 +62,8 @@ runWith(const hir::Program &prog, ExecTier tier, const Variant &v)
     cfg.compile.softwarePipelining = false;
     cfg.compile.reserveAdoreRegs = true;
     cfg.machine.cpu.execTier = tier;
+    cfg.machine.cpu.superblockFusion = !v.fusionOff;
+    cfg.machine.cpu.superblockFuseLoads = v.fuseLoads;
     cfg.adore = v.adore;
     cfg.maxCycles = 3'000'000ULL;
     cfg.quietCycleLimit = true;
@@ -127,6 +133,7 @@ expectSameAdoreStats(const AdoreStats &a, const AdoreStats &b)
     EXPECT_EQ(a.tracesPatchFailed, b.tracesPatchFailed);
     EXPECT_EQ(a.phasesWatchdogCancelled, b.phasesWatchdogCancelled);
     EXPECT_EQ(a.tracesCommitStale, b.tracesCommitStale);
+    EXPECT_EQ(a.regionGenBumps, b.regionGenBumps);
 }
 
 void
@@ -218,6 +225,25 @@ TEST_P(TierToggle, AdoreSyncBitIdenticalUnderChaos)
 TEST_P(TierToggle, AdoreBarrierBitIdenticalUnderChaos)
 {
     compareTiers(GetParam(), {true, OptimizerMode::AsyncBarrier, true});
+}
+
+/** Fusion pinned off: the unfused uop stream must match the
+ *  interpreter just like the default (fused) one does. */
+TEST_P(TierToggle, AdoreSyncFusionOffBitIdentical)
+{
+    Variant v{true, OptimizerMode::Synchronous, false};
+    v.fusionOff = true;
+    compareTiers(GetParam(), v);
+}
+
+/** Every fusion pattern enabled, including the default-off load pairs
+ *  (AddiLd / ShladdLd / LdAddi): keeps the load-fused handlers pinned
+ *  to the contract even though the default policy skips them. */
+TEST_P(TierToggle, AdoreSyncAllFusionBitIdentical)
+{
+    Variant v{true, OptimizerMode::Synchronous, false};
+    v.fuseLoads = true;
+    compareTiers(GetParam(), v);
 }
 
 std::vector<std::string>
