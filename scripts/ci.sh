@@ -29,6 +29,12 @@
 # surface (ExecTier + TierToggle) since stale chain links are exactly
 # the use-after-free shape ASan exists to catch.
 #
+# Hardware-prefetcher coverage (DESIGN.md §13): a --hwpf chaos smoke
+# runs the zoo plus ADORE under the fault schedule (shared-bus
+# arbitration soak), the ASan pass re-runs the Hwpf* shard with the
+# engine's raw-index tables instrumented, and the --regen-experiments
+# --check gate below also covers the generated hwpf_study block.
+#
 # Usage: scripts/ci.sh [build-dir]           (default: build-ci)
 #   ADORE_CI_SKIP_SANITIZERS=1 skips the sanitizer builds (for very
 #   slow or sanitizer-less hosts).
@@ -80,11 +86,17 @@ fi
 # CPI exceeds the margin against the no-ADORE baseline (DESIGN.md §10).
 # Runs once per execution tier: direct-threaded (the default) and the
 # interpreter, so a tier-specific crash or guardrail miss fails CI no
-# matter which tier a user has configured.
+# matter which tier a user has configured.  A third pass soaks the
+# hardware-prefetcher zoo (--hwpf): both runs of every pair get the
+# engines, so the CPI margin checks hw+ADORE against an hw-only
+# baseline and the guardrail's shared-bus arbitration runs under the
+# fault schedule (DESIGN.md §13).
 "$BUILD_DIR"/tools/adore_chaos --smoke --max-cycles 8000000 \
     --exec-tier direct
 "$BUILD_DIR"/tools/adore_chaos --smoke --max-cycles 8000000 \
     --exec-tier interpreter
+"$BUILD_DIR"/tools/adore_chaos --smoke --hwpf --max-cycles 8000000 \
+    --exec-tier direct
 
 # Docs-drift gates: EXPERIMENTS.md generated blocks must match fresh
 # measurements (simulations are deterministic, so this is stable), and
@@ -111,6 +123,13 @@ if [[ "${ADORE_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
         "$SAN_DIR"/tests/adore_tests \
             --gtest_filter='ExecTier.*:*TierToggle*'
+
+    # Hardware-prefetcher shard under ASan: the zoo's tables (RPT, DHB,
+    # hashed DPTs) and the candidate ring are all raw-index structures
+    # on the demand-miss path, exactly the shape the instrumentation
+    # exists to check.
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+        "$SAN_DIR"/tests/adore_tests --gtest_filter='Hwpf*'
 
     TSAN_DIR="${BUILD_DIR}-tsan"
     TSAN_FLAGS="-O1 -g -fsanitize=thread -fno-omit-frame-pointer"

@@ -38,6 +38,7 @@ Cpu::Cpu(CodeImage &code, CacheHierarchy &caches, MainMemory &memory,
       l1dFast_(&caches.l1dFast()),
       l2Fast_(&caches.l2Fast()),
       memFastPath_(caches.config().fastPath),
+      hwpfValueObserve_(caches.hwPrefetch() != nullptr),
       l1dHitLatency_(caches.config().l1d.hitLatency),
       l2HitLatency_(caches.config().l2.hitLatency),
       l1dLineShift_(static_cast<std::uint32_t>(
@@ -256,7 +257,7 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
       case Opcode::Ld:
       case Opcode::LdS: {
         Addr ea = static_cast<Addr>(r_[insn.rs1]);
-        MemAccessResult res = loadInt(ea);
+        MemAccessResult res = loadInt(ea, insn_pc);
         std::uint64_t raw = memory_.read(ea, insn.size);
         // Pointer-chase lookahead: a 64-bit load's value is often the
         // next node address, so warming the host cache lines its walk
@@ -265,6 +266,9 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
         if (insn.size == 8) {
             caches_.hostPrefetchWalk(raw);
             memory_.hostPrefetch(raw);
+            if (hwpfValueObserve_)
+                caches_.observeLoadedValue(insn_pc, ea, raw, res.latency,
+                                           cycle_);
         }
         write_r(insn.rd, static_cast<std::int64_t>(raw),
                 cycle_ + res.latency);
@@ -280,7 +284,7 @@ Cpu::execInsn(const Insn &insn, Addr insn_pc, Addr bundle_addr)
       }
       case Opcode::Ldf: {
         Addr ea = static_cast<Addr>(r_[insn.rs1]);
-        MemAccessResult res = loadFp(ea);
+        MemAccessResult res = loadFp(ea, insn_pc);
         double v = insn.size == 4
                        ? static_cast<double>(memory_.readF32(ea))
                        : memory_.readF64(ea);

@@ -360,7 +360,7 @@ class Cpu
      * Defined in-class so the per-load hot path inlines it.
      */
     MemAccessResult
-    loadInt(Addr ea)
+    loadInt(Addr ea, Addr pc = 0)
     {
         if (memFastPath_) {
             Addr line = ea >> l1dLineShift_;
@@ -380,7 +380,7 @@ class Cpu
             // the walk (set metadata) and of the upcoming data read.
             caches_.hostPrefetchWalk(ea);
             memory_.hostPrefetch(ea);
-            MemAccessResult res = caches_.load(ea, cycle_, false);
+            MemAccessResult res = caches_.load(ea, cycle_, false, pc);
             // Arm the buffer: the slow path always leaves the line
             // resident in L1D (hit, or miss + fill), and just made its
             // way the set's MRU, so this lookup is one probe.
@@ -389,7 +389,7 @@ class Cpu
                 e = {line, idx, caches_.generation()};
             return res;
         }
-        return caches_.load(ea, cycle_, false);
+        return caches_.load(ea, cycle_, false, pc);
     }
 
     /**
@@ -437,7 +437,7 @@ class Cpu
      * integer buffer, keyed on the L2 line number and L2 generation.
      */
     MemAccessResult
-    loadFp(Addr ea)
+    loadFp(Addr ea, Addr pc = 0)
     {
         if (memFastPath_) {
             Addr line = ea >> l2LineShift_;
@@ -453,14 +453,14 @@ class Cpu
                 ++deferredFpLoadHits_;
                 return {l2HitLatency_, MemLevel::L2};
             }
-            MemAccessResult res = caches_.load(ea, cycle_, true);
+            MemAccessResult res = caches_.load(ea, cycle_, true, pc);
             // Hit or miss, the slow path leaves the line resident in L2.
             std::uint32_t idx = l2Fast_->indexOf(ea);
             if (idx != Cache::npos)
                 e = {line, idx, l2Fast_->generation()};
             return res;
         }
-        return caches_.load(ea, cycle_, true);
+        return caches_.load(ea, cycle_, true, pc);
     }
 
     /** FP-side store: same L2 short-circuit as loadFp(). */
@@ -556,6 +556,7 @@ class Cpu
     Cache *l1dFast_;                   ///< &caches_.l1dFast()
     Cache *l2Fast_;                    ///< &caches_.l2Fast()
     bool memFastPath_;                 ///< HierarchyConfig::fastPath
+    bool hwpfValueObserve_;            ///< hw pointer-chase hook armed
     std::uint32_t l1dHitLatency_;
     std::uint32_t l2HitLatency_;
     std::uint32_t l1dLineShift_;

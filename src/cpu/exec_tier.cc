@@ -615,10 +615,13 @@ Cpu::buildSuperblockAt(Addr head)
             sbWaitForSources(insn);                                     \
             Addr ea = static_cast<Addr>(r_[insn.rs1]);                  \
             cycle_ = cyc; /* loadInt reads cycle_ */                    \
-            MemAccessResult res = loadInt(ea);                          \
+            MemAccessResult res = loadInt(ea, (ldpc));                  \
             std::uint64_t raw = memory_.read(ea, insn.size);            \
             /* Deliberate divergence from execInsn: no pointer-chase    \
              * host lookahead (see the Ld handler note below). */       \
+            if (hwpfValueObserve_ && insn.size == 8)                    \
+                caches_.observeLoadedValue((ldpc), ea, raw,             \
+                                           res.latency, cyc);           \
             sbWriteIntReg(insn.rd, static_cast<std::int64_t>(raw),      \
                           cyc + res.latency);                           \
             SB_POSTINC();                                               \
@@ -947,7 +950,7 @@ dispatch:
             sbWaitForSources(insn);
             Addr ea = static_cast<Addr>(r_[insn.rs1]);
             cycle_ = cyc;  // loadFp reads cycle_ (line-buffer readiness)
-            MemAccessResult res = loadFp(ea);
+            MemAccessResult res = loadFp(ea, u->insnPc);
             double v = insn.size == 4
                            ? static_cast<double>(memory_.readF32(ea))
                            : memory_.readF64(ea);

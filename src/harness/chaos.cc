@@ -126,6 +126,7 @@ Experiment::runChaos(const ChaosSpec &spec)
             base.maxCycles = spec.maxCycles;
             base.quietCycleLimit = true;  // bounded by budget on purpose
             base.machine.cpu.execTier = spec.execTier;
+            base.machine.hier.hwPrefetch.enabled = spec.hwPrefetch;
             base.faults = spec.faults;
             base.faults.seed = seed;
 

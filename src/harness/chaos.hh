@@ -73,6 +73,11 @@ struct ChaosSpec
      *  --exec-tier), so soaks cover the superblock tier and the pure
      *  interpreter alike. */
     ExecTier execTier = CpuConfig().execTier;
+    /** Enable the hardware-prefetcher zoo on *both* runs of every pair
+     *  (adore_chaos --hwpf): the CPI margin then compares hw+ADORE
+     *  against an hw-only baseline, exercising the guardrail's
+     *  shared-bus arbitration under the fault schedule. */
+    bool hwPrefetch = false;
 
     ChaosSpec();
 };

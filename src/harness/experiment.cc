@@ -57,6 +57,17 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
         if (li.softwarePipelined)
             swp_loops.insert(li.loopId);
 
+    // Adaptive hw-prefetch controller: created whenever the engine is
+    // present and configured adaptive, with or without ADORE (the
+    // hardware-only study arm still retunes per its own counters; it
+    // just never sees phase changes or a guardrail cap).
+    std::unique_ptr<HwPrefetchController> hwpfCtl;
+    if (cfg.machine.hier.hwPrefetch.enabled &&
+        cfg.machine.hier.hwPrefetch.adaptive) {
+        hwpfCtl = std::make_unique<HwPrefetchController>(machine.caches());
+        out.hwpfControllerUsed = true;
+    }
+
     std::unique_ptr<AdoreRuntime> adore;
     if (cfg.adore) {
         AdoreConfig acfg = cfg.adoreConfig;
@@ -69,9 +80,26 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
                 return id >= 0 && swp_loops.count(id) != 0;
             };
         }
+        acfg.hwpfController = hwpfCtl.get();
         adore = std::make_unique<AdoreRuntime>(machine.cpu(), acfg);
         adore->attach();
         out.adoreUsed = true;
+    }
+
+    if (hwpfCtl) {
+        if (adore) {
+            hwpfCtl->setGuardrails(adore->guardrails());
+            hwpfCtl->setEventTrace(adore->events());
+        } else {
+            hwpfCtl->setEventTrace(cfg.adoreConfig.events);
+        }
+        // Registered after ADORE's attach so the controller's poll sees
+        // the guardrail rung the same poll updated it.
+        HwPrefetchController *c = hwpfCtl.get();
+        machine.cpu().addPeriodicHook(
+            cfg.adoreConfig.pollPeriod > 0 ? cfg.adoreConfig.pollPeriod
+                                           : Cycle{64'000},
+            [c](Cycle now) { c->poll(now); });
     }
 
     // Optional CPI / DEAR time series (Figs. 8 and 9).
@@ -146,6 +174,12 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
             out.guardrailStats = adore->guardrails()->stats();
         }
     }
+    if (const HwPrefetchEngine *hw = machine.caches().hwPrefetch()) {
+        out.hwPrefetchUsed = true;
+        out.hwpfStats = hw->stats();
+    }
+    if (hwpfCtl)
+        out.hwpfControllerStats = hwpfCtl->stats();
     if (faults)
         out.faultStats = faults->stats();
     return out;
@@ -333,6 +367,71 @@ Experiment::collectMetrics(observe::MetricsRegistry &registry,
         add("guardrail.watchdog_fires",
             static_cast<double>(g.watchdogFires),
             "optimizer phases cancelled by the watchdog");
+        if (metrics.hwPrefetchUsed) {
+            add("guardrail.hwpf_damped",
+                static_cast<double>(g.hwPrefetchDamped),
+                "hw-prefetch throttle rung steps to damped");
+            add("guardrail.hwpf_disabled",
+                static_cast<double>(g.hwPrefetchDisabled),
+                "hw-prefetch throttle rung steps to disabled");
+            add("guardrail.hwpf_restored",
+                static_cast<double>(g.hwPrefetchRestored),
+                "hw-prefetch throttle rung recoveries");
+        }
+    }
+
+    // Gated on hwPrefetchUsed so runs without the engine keep a
+    // byte-identical metric set (the bit-identity and golden tests
+    // compare whole JSON blobs).
+    if (metrics.hwPrefetchUsed) {
+        const HwPrefetchStats &h = metrics.hwpfStats;
+        add("hwpf.issued", static_cast<double>(h.issued()),
+            "hardware prefetches issued to the bus (all prefetchers)");
+        add("hwpf.dropped", static_cast<double>(h.dropped()),
+            "hardware prefetches throttled (shared prefetch queue full)");
+        add("hwpf.useless", static_cast<double>(h.useless()),
+            "hardware prefetches whose line was already resident");
+        struct Pf
+        {
+            const char *name;
+            const HwPrefetcherStats *stats;
+        };
+        const Pf pfs[] = {{"stride", &h.stride},
+                          {"vldp", &h.vldp},
+                          {"pointer", &h.pointer}};
+        for (const Pf &pf : pfs) {
+            std::string p = std::string("hwpf.") + pf.name;
+            const HwPrefetcherStats &s = *pf.stats;
+            add(p + "_trained", static_cast<double>(s.trained),
+                "prefetcher table-update events");
+            add(p + "_predictions", static_cast<double>(s.predictions),
+                "candidate lines predicted");
+            add(p + "_issued", static_cast<double>(s.issued),
+                "candidates issued to the bus");
+            add(p + "_dropped", static_cast<double>(s.dropped),
+                "candidates throttled");
+            add(p + "_useless", static_cast<double>(s.useless),
+                "candidates already resident");
+        }
+        if (metrics.hwpfControllerUsed) {
+            const HwPrefetchControllerStats &c =
+                metrics.hwpfControllerStats;
+            add("hwpf.controller_polls", static_cast<double>(c.polls),
+                "adaptive-controller polls");
+            add("hwpf.phase_retunes",
+                static_cast<double>(c.phaseRetunes),
+                "controller resets on phase change");
+            add("hwpf.degree_ups", static_cast<double>(c.degreeUps),
+                "controller degree increases");
+            add("hwpf.degree_downs", static_cast<double>(c.degreeDowns),
+                "controller degree decreases");
+            add("hwpf.disables",
+                static_cast<double>(c.prefetcherDisables),
+                "prefetchers turned off by the controller");
+            add("hwpf.guardrail_caps",
+                static_cast<double>(c.guardrailCaps),
+                "polls newly capped by the guardrail rung");
+        }
     }
 
     add("adore.used", metrics.adoreUsed ? 1.0 : 0.0,

@@ -19,6 +19,7 @@
 #include "harness/machine.hh"
 #include "observe/metrics_registry.hh"
 #include "runtime/adore.hh"
+#include "runtime/hwpf_controller.hh"
 #include "runtime/optimizer_service.hh"
 #include "support/stats.hh"
 
@@ -75,6 +76,10 @@ struct RunMetrics
     fault::FaultStats faultStats;   ///< per-channel injection counts
     bool guardrailsUsed = false;    ///< guardrails were enabled
     GuardrailStats guardrailStats;
+    bool hwPrefetchUsed = false;    ///< hw-prefetch engine constructed
+    HwPrefetchStats hwpfStats;      ///< per-prefetcher counters
+    bool hwpfControllerUsed = false;
+    HwPrefetchControllerStats hwpfControllerStats;
     HierarchyStats memStats;
     CacheStats l1iStats;
     CacheStats l1dStats;

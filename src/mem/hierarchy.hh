@@ -24,10 +24,12 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "fault/fault_plan.hh"
 #include "mem/cache.hh"
+#include "mem/hw_prefetch.hh"
 
 namespace adore
 {
@@ -60,6 +62,12 @@ struct HierarchyConfig
      * and for debugging.
      */
     bool fastPath = true;
+    /**
+     * Hardware-prefetcher zoo (DESIGN.md §13).  Off by default; the off
+     * configuration constructs no engine and is bit-identical to the
+     * pre-hwpf hierarchy (tests/test_hwpf.cc holds this to account).
+     */
+    HwPrefetchConfig hwPrefetch;
 };
 
 struct HierarchyStats
@@ -92,18 +100,25 @@ class CacheHierarchy
     // (no cross-TU call on the load/store/ifetch hot paths).
 
     /**
-     * Demand data load.  @p fp loads bypass L1D.
+     * Demand data load.  @p fp loads bypass L1D.  @p pc is the load's
+     * instruction address — the hardware prefetchers train on it; 0 is
+     * fine when no engine is attached.
      * @return latency until the loaded value is ready and the servicing
      *         level.
      */
     MemAccessResult
-    load(Addr addr, Cycle now, bool fp)
+    load(Addr addr, Cycle now, bool fp, Addr pc = 0)
     {
         ++stats_.loads;
 
         if (!fp) {
             auto l1res = l1d_.access(addr, now);
             if (l1res.hit) {
+                // Train on in-flight hits only: ready hits are absorbed
+                // by the Cpu line buffer under fastPath, so observing
+                // them here would break the fastPath bit-identity.
+                if (hwpf_ && l1res.readyAt > now)
+                    hwpfObserveDemand(pc, addr, now);
                 Cycle ready = std::max(now + config_.l1d.hitLatency,
                                        l1res.readyAt);
                 return {static_cast<std::uint32_t>(ready - now),
@@ -134,6 +149,12 @@ class CacheHierarchy
 
         if (!fp)
             l1d_.fill(addr, ready, false);
+
+        // Integer side: any L1D miss trains.  FP side (no L1D): only L2
+        // misses and in-flight L2 hits — ready L2 hits are absorbed by
+        // the Cpu's FP line buffer under fastPath.
+        if (hwpf_ && (!fp || !l2res.hit || l2res.readyAt > now))
+            hwpfObserveDemand(pc, addr, now);
 
         return {static_cast<std::uint32_t>(ready - now), level};
     }
@@ -359,7 +380,29 @@ class CacheHierarchy
      */
     void setFaultPlan(fault::FaultPlan *plan) { faults_ = plan; }
 
+    /**
+     * Pointer-chase hook: report the value of an 8-byte integer load so
+     * the hardware pointer-chase prefetcher can chase it.  No-op without
+     * an engine; below the trigger latency the engine has no side
+     * effects, which keeps the fastPath bit-identity (line-buffer hits
+     * are always below it).
+     */
+    void observeLoadedValue(Addr pc, Addr ea, std::uint64_t value,
+                            std::uint32_t latency, Cycle now);
+
+    /** Hardware-prefetch engine, or nullptr when hwPrefetch is off. */
+    HwPrefetchEngine *hwPrefetch() { return hwpf_.get(); }
+    const HwPrefetchEngine *hwPrefetch() const { return hwpf_.get(); }
+
   private:
+    /** Train the hw prefetchers on one demand event, then issue any
+     *  candidates through the shared prefetch bus budget. */
+    void hwpfObserveDemand(Addr pc, Addr addr, Cycle now);
+
+    /** Drain the engine's candidate buffer onto the bus, charging the
+     *  same throttle budget as software prefetch(). */
+    void issueHwCandidates(Cycle now);
+
     /**
      * Resolve a miss below L2: probe L3, then memory; schedule fills.
      * @return absolute cycle at which the line's data is available.
@@ -439,6 +482,8 @@ class CacheHierarchy
     std::array<InFlightMemo, 8> prefetchMshr_{};
     /** Dedup for below-L2 resolution: keyed on L3 line number. */
     std::array<InFlightMemo, 4> l3Memo_{};
+    /** Hardware-prefetcher zoo; null unless hwPrefetch.enabled. */
+    std::unique_ptr<HwPrefetchEngine> hwpf_;
 };
 
 } // namespace adore

@@ -75,6 +75,10 @@ struct KindNameVisitor
     {
         return "OptimizerQueue";
     }
+    const char *operator()(const HwPrefetchRetuneEvent &) const
+    {
+        return "HwPrefetchRetune";
+    }
 };
 
 struct LineVisitor
@@ -159,6 +163,11 @@ struct LineVisitor
         return fmt("optimizer queue dropped %" PRIu64
                    " batch(es) at depth %" PRIu64,
                    e.dropped, e.depth);
+    }
+    std::string operator()(const HwPrefetchRetuneEvent &e) const
+    {
+        return fmt("hwpf %s: %s degree=%" PRIu64, e.action, e.prefetcher,
+                   e.degree);
     }
 };
 

@@ -157,12 +157,21 @@ struct OptimizerQueueEvent
     std::uint64_t depth = 0;    ///< queue occupancy when the drop fired
 };
 
+/** The adaptive hw-prefetch controller retuned a prefetcher. */
+struct HwPrefetchRetuneEvent
+{
+    const char *action = "";      ///< "phase-retune" | "degree-up" | ...
+    const char *prefetcher = "";  ///< "stride" | "vldp" | "pointer" | "all"
+    std::uint64_t degree = 0;     ///< degree after the action (0 = off)
+};
+
 using EventPayload =
     std::variant<SamplingBatchEvent, PhaseChangeEvent, StablePhaseEvent,
                  PhaseSkippedEvent, TraceSelectedEvent, SliceClassifiedEvent,
                  DelinquentLoadEvent, PrefetchInsertedEvent,
                  TracePatchedEvent, TraceRevertedEvent, GuardrailEvent,
-                 FaultInjectedEvent, OptimizerQueueEvent>;
+                 FaultInjectedEvent, OptimizerQueueEvent,
+                 HwPrefetchRetuneEvent>;
 
 struct Event
 {

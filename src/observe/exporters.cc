@@ -109,6 +109,12 @@ struct ArgsVisitor
         return fmt("{\"dropped\": %" PRIu64 ", \"depth\": %" PRIu64 "}",
                    e.dropped, e.depth);
     }
+    std::string operator()(const HwPrefetchRetuneEvent &e) const
+    {
+        return std::string("{\"action\": \"") + e.action +
+               "\", \"prefetcher\": \"" + e.prefetcher +
+               fmt("\", \"degree\": %" PRIu64 "}", e.degree);
+    }
 };
 
 } // namespace

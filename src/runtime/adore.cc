@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "isa/builder.hh"
+#include "runtime/hwpf_controller.hh"
 #include "runtime/optimizer_service.hh"
 #include "runtime/slicer.hh"
 #include "support/logging.hh"
@@ -166,6 +167,8 @@ AdoreRuntime::consumeWindows(Cycle now)
             ++stats_.phaseChanges;
             if (guardrails_)
                 guardrails_->notePhaseChange();
+            if (config_.hwpfController)
+                config_.hwpfController->notePhaseChange();
             break;
           case PhaseDetector::Event::StablePhase: {
             ++stats_.phasesDetected;
@@ -238,14 +241,26 @@ AdoreRuntime::endPollGuardrails()
     std::uint64_t dropped = mem.prefetchesDropped - lastPrefetchesDropped_;
     lastPrefetchesIssued_ = mem.prefetchesIssued;
     lastPrefetchesDropped_ = mem.prefetchesDropped;
-    finishPollGuardrails(issued, dropped);
+    std::uint64_t hwIssued = 0;
+    std::uint64_t hwDropped = 0;
+    if (const HwPrefetchEngine *hw = cpu_.caches().hwPrefetch()) {
+        const HwPrefetchStats &hs = hw->stats();
+        hwIssued = hs.issued() - lastHwIssued_;
+        hwDropped = hs.dropped() - lastHwDropped_;
+        lastHwIssued_ = hs.issued();
+        lastHwDropped_ = hs.dropped();
+    }
+    finishPollGuardrails(issued, dropped, hwIssued, hwDropped);
 }
 
 void
 AdoreRuntime::finishPollGuardrails(std::uint64_t issued_delta,
-                                   std::uint64_t dropped_delta)
+                                   std::uint64_t dropped_delta,
+                                   std::uint64_t hw_issued_delta,
+                                   std::uint64_t hw_dropped_delta)
 {
-    guardrails_->noteMemPressure(issued_delta, dropped_delta);
+    guardrails_->noteMemPressure(issued_delta, dropped_delta,
+                                 hw_issued_delta, hw_dropped_delta);
     guardrails_->endPoll();
 
     // Apply sampling-rate backoff.  The poll runs inside a Cpu periodic

@@ -40,6 +40,7 @@ namespace adore
 {
 
 class OptimizerService;
+class HwPrefetchController;
 
 /**
  * Where the optimizer poll body runs (DESIGN.md §11).
@@ -128,6 +129,14 @@ struct AdoreConfig
     observe::EventTrace *events = nullptr;
     /** Optimizer threading mode (see OptimizerMode). */
     OptimizerMode mode = OptimizerMode::Synchronous;
+    /**
+     * Adaptive hardware-prefetch controller (not owned; may be null).
+     * When set, the runtime forwards phase-change notifications so the
+     * controller can retune per phase, and the guardrails fold the hw
+     * prefetchers' issue/drop deltas into the shared-bus throttle
+     * arbitration.  The harness owns the controller and its poll hook.
+     */
+    HwPrefetchController *hwpfController = nullptr;
     /**
      * Bounded sample-batch queue capacity (async modes).  A full queue
      * means the optimizer fell behind: the batch is dropped at the
@@ -334,7 +343,9 @@ class AdoreRuntime
      *  deltas, advance the state machines, retime the sampler (directly
      *  or via the service mailbox in free-running mode). */
     void finishPollGuardrails(std::uint64_t issued_delta,
-                              std::uint64_t dropped_delta);
+                              std::uint64_t dropped_delta,
+                              std::uint64_t hw_issued_delta = 0,
+                              std::uint64_t hw_dropped_delta = 0);
 
     /** Emit per-channel FaultInjectedEvents for this poll's deltas.
      *  @p fs is the stats view to diff against the last poll — the
@@ -364,6 +375,8 @@ class AdoreRuntime
     Cycle baseSamplingInterval_ = 0;  ///< pre-backoff sampling interval
     std::uint64_t lastPrefetchesIssued_ = 0;
     std::uint64_t lastPrefetchesDropped_ = 0;
+    std::uint64_t lastHwIssued_ = 0;
+    std::uint64_t lastHwDropped_ = 0;
     fault::FaultStats lastFaultStats_;  ///< per-poll delta reference
 };
 

@@ -46,6 +46,7 @@
 #ifndef ADORE_RUNTIME_GUARDRAILS_HH
 #define ADORE_RUNTIME_GUARDRAILS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -106,6 +107,9 @@ struct GuardrailStats
     std::uint64_t prefetchDamped = 0;
     std::uint64_t prefetchDisabled = 0;
     std::uint64_t prefetchRestored = 0; ///< throttle step-downs
+    std::uint64_t hwPrefetchDamped = 0;   ///< hw throttle Normal -> Damped
+    std::uint64_t hwPrefetchDisabled = 0; ///< hw throttle -> Disabled
+    std::uint64_t hwPrefetchRestored = 0; ///< hw throttle step-ups
     std::uint64_t poolExhaustedRejects = 0;
     std::uint64_t patchFailures = 0;
     std::uint64_t watchdogFires = 0;    ///< stalled optimizations cancelled
@@ -139,9 +143,21 @@ class Guardrails
     /** The phase detector reported a phase change this poll. */
     void notePhaseChange();
 
-    /** Prefetch issue/drop deltas observed since the previous poll. */
+    /**
+     * Prefetch issue/drop deltas observed since the previous poll —
+     * software (lfetch) and, when the hardware-prefetcher zoo is on,
+     * hardware.  The throttle decision runs on the *combined* drop rate
+     * (both share the bus and prefetchQueueDepth), with a fixed
+     * arbitration order: hardware yields first.  While hw prefetch is
+     * active and not yet Disabled, a pressured poll steps the hw rung
+     * down one notch and leaves the software machine untouched; only
+     * once hw is out of the way do the software transitions run.  With
+     * zero hw deltas the behavior is exactly the pre-hwpf machine.
+     */
     void noteMemPressure(std::uint64_t issued_delta,
-                         std::uint64_t dropped_delta);
+                         std::uint64_t dropped_delta,
+                         std::uint64_t hw_issued_delta = 0,
+                         std::uint64_t hw_dropped_delta = 0);
 
     /** A trace head was reverted: schedule backoff or blacklist. */
     void noteTraceReverted(Addr head);
@@ -177,6 +193,21 @@ class Guardrails
     int prefetchLoadCap(int configured) const;
 
     Throttle throttle() const { return throttle_; }
+
+    /**
+     * Hardware-prefetch throttle rung the arbitration currently imposes.
+     * Atomic because the hw-prefetch controller reads it from the main
+     * thread while the free-running optimizer worker owns the guardrail
+     * state machines; relaxed is fine — it is a monotone-ish hint the
+     * controller re-reads every poll.
+     */
+    Throttle
+    hwThrottle() const
+    {
+        return static_cast<Throttle>(
+            hwThrottle_.load(std::memory_order_relaxed));
+    }
+
     const GuardrailStats &stats() const { return stats_; }
     const GuardrailConfig &config() const { return config_; }
     std::uint64_t pollIndex() const { return pollIndex_; }
@@ -206,6 +237,13 @@ class Guardrails
     Throttle throttle_ = Throttle::Normal;
     bool memCalmThisPoll_ = true;
     std::uint32_t throttleCalmPolls_ = 0;
+
+    // Hardware-prefetch throttle (the "hardware yields first" rung).
+    // Recovery is last: hw steps back up only on calm polls while the
+    // software throttle is already back to Normal.
+    std::atomic<std::uint8_t> hwThrottle_{
+        static_cast<std::uint8_t>(Throttle::Normal)};
+    std::uint32_t hwCalmPolls_ = 0;
 };
 
 /** Stable name for a throttle state ("normal" | "damped" | "disabled"). */

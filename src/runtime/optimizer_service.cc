@@ -197,7 +197,9 @@ OptimizerService::processTick(const TickMsg &tick)
     }
     if (rt_.guardrails_) {
         rt_.finishPollGuardrails(tick.prefetchIssuedDelta,
-                                 tick.prefetchDroppedDelta);
+                                 tick.prefetchDroppedDelta,
+                                 tick.hwIssuedDelta,
+                                 tick.hwDroppedDelta);
     }
     ++ticksProcessed_;
 }
@@ -430,6 +432,18 @@ OptimizerService::poll(Cycle now)
     lastPrefDropped_ = mem.prefetchesDropped;
     tick.prefetchIssuedDelta = pendingIssuedDelta_;
     tick.prefetchDroppedDelta = pendingDroppedDelta_;
+    if (const HwPrefetchEngine *hw = rt_.cpu_.caches().hwPrefetch()) {
+        // The engine is main-thread-owned; snapshot its issue/drop
+        // counters here so the worker's guardrail arbitration never
+        // reads them live.
+        const HwPrefetchStats &hs = hw->stats();
+        pendingHwIssuedDelta_ += hs.issued() - lastHwIssued_;
+        pendingHwDroppedDelta_ += hs.dropped() - lastHwDropped_;
+        lastHwIssued_ = hs.issued();
+        lastHwDropped_ = hs.dropped();
+        tick.hwIssuedDelta = pendingHwIssuedDelta_;
+        tick.hwDroppedDelta = pendingHwDroppedDelta_;
+    }
     if (rt_.config_.faultPlan) {
         // Copy only the main-owned channels field by field: the worker
         // updates its own channels (patch/stall) concurrently and the
@@ -447,6 +461,8 @@ OptimizerService::poll(Cycle now)
     if (tickQueue_.tryPush(std::move(tick))) {
         pendingIssuedDelta_ = 0;
         pendingDroppedDelta_ = 0;
+        pendingHwIssuedDelta_ = 0;
+        pendingHwDroppedDelta_ = 0;
     } else {
         ++ticksDropped_;  // deltas carry over to the next tick
     }

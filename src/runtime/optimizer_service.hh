@@ -76,6 +76,10 @@ struct TickMsg
     Cycle now = 0;
     std::uint64_t prefetchIssuedDelta = 0;
     std::uint64_t prefetchDroppedDelta = 0;
+    /** Hardware-prefetcher issue/drop deltas, snapshotted on the main
+     *  thread (the engine is main-owned) for the guardrail arbitration. */
+    std::uint64_t hwIssuedDelta = 0;
+    std::uint64_t hwDroppedDelta = 0;
     /** Snapshot of the *main-owned* fault channels (PMU + memory);
      *  the worker-owned channels are zero here and merged live. */
     bool haveFaults = false;
@@ -305,6 +309,10 @@ class OptimizerService
     std::uint64_t pendingDroppedDelta_ = 0;
     std::uint64_t lastPrefIssued_ = 0;
     std::uint64_t lastPrefDropped_ = 0;
+    std::uint64_t pendingHwIssuedDelta_ = 0;
+    std::uint64_t pendingHwDroppedDelta_ = 0;
+    std::uint64_t lastHwIssued_ = 0;
+    std::uint64_t lastHwDropped_ = 0;
     std::uint64_t appliedDoubleWindows_ = 0;
 
     // Worker-thread-owned bookkeeping.

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Hardware-prefetcher zoo tests (DESIGN.md §13): the stride FSM, VLDP
+ * delta-history matching, pointer-chase triggering, the runtime-adaptive
+ * controller's decision table and phase-change retune, and the master
+ * toggle's bit-identity guarantee (hwPrefetch.enabled=false must be
+ * byte-identical to a build that never heard of hardware prefetching,
+ * whatever the other zoo knobs say).
+ *
+ * Every suite name starts with "Hwpf" so CI can shard these under
+ * sanitizers with --gtest_filter='Hwpf*'.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "mem/hierarchy.hh"
+#include "mem/hw_prefetch.hh"
+#include "runtime/hwpf_controller.hh"
+#include "support/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace adore;
+
+constexpr std::uint32_t kLine = 128;  // L2 line: the engine's granule
+
+HwPrefetchConfig
+onlyStride()
+{
+    HwPrefetchConfig cfg;
+    cfg.enabled = true;
+    cfg.vldp = false;
+    cfg.pointer = false;
+    return cfg;
+}
+
+HwPrefetchConfig
+onlyVldp()
+{
+    HwPrefetchConfig cfg;
+    cfg.enabled = true;
+    cfg.stride = false;
+    cfg.pointer = false;
+    return cfg;
+}
+
+HwPrefetchConfig
+onlyPointer()
+{
+    HwPrefetchConfig cfg;
+    cfg.enabled = true;
+    cfg.stride = false;
+    cfg.vldp = false;
+    return cfg;
+}
+
+// --------------------------------------------------------------------
+// Stride FSM (reference prediction table)
+// --------------------------------------------------------------------
+
+TEST(HwpfStrideFsm, InitTransientSteadyThenPrefetches)
+{
+    HwPrefetchEngine eng(onlyStride(), kLine);
+    const Addr pc = 0x4000;
+    using S = HwPrefetchEngine::StrideState;
+
+    eng.observeDemand(pc, 0x10000);  // allocate
+    EXPECT_EQ(eng.strideStateOf(pc), S::Init);
+    EXPECT_EQ(eng.candidateCount(), 0u);
+
+    eng.observeDemand(pc, 0x10100);  // stride 0x100 learned
+    EXPECT_EQ(eng.strideStateOf(pc), S::Transient);
+    EXPECT_EQ(eng.candidateCount(), 0u);
+
+    eng.observeDemand(pc, 0x10200);  // stride confirmed
+    EXPECT_EQ(eng.strideStateOf(pc), S::Steady);
+    // Degree 2: the next two strided lines.
+    ASSERT_EQ(eng.candidateCount(), 2u);
+    EXPECT_EQ(eng.candidate(0).addr, 0x10300u);
+    EXPECT_EQ(eng.candidate(1).addr, 0x10400u);
+    EXPECT_EQ(eng.candidate(0).source, HwPrefetchEngine::Source::Stride);
+    EXPECT_EQ(eng.stats().stride.predictions, 2u);
+    eng.clearCandidates();
+
+    // A same-address repeat (in-flight hit) must not disturb the FSM.
+    eng.observeDemand(pc, 0x10200);
+    EXPECT_EQ(eng.strideStateOf(pc), S::Steady);
+}
+
+TEST(HwpfStrideFsm, IrregularStreamDemotesToNoPred)
+{
+    HwPrefetchEngine eng(onlyStride(), kLine);
+    const Addr pc = 0x4000;
+    using S = HwPrefetchEngine::StrideState;
+
+    eng.observeDemand(pc, 0x10000);
+    eng.observeDemand(pc, 0x10100);
+    eng.observeDemand(pc, 0x10200);
+    ASSERT_EQ(eng.strideStateOf(pc), S::Steady);
+    eng.clearCandidates();
+
+    eng.observeDemand(pc, 0x20000);  // wrong delta: re-confirm
+    EXPECT_EQ(eng.strideStateOf(pc), S::Init);
+    eng.observeDemand(pc, 0x20300);  // wrong again: new stride on watch
+    EXPECT_EQ(eng.strideStateOf(pc), S::Transient);
+    eng.observeDemand(pc, 0x20a00);  // third distinct delta: give up
+    EXPECT_EQ(eng.strideStateOf(pc), S::NoPred);
+    // NoPred never predicts.
+    EXPECT_EQ(eng.candidateCount(), 0u);
+
+    // Two consistent deltas climb back out: NoPred -> Transient ->
+    // Steady.
+    eng.observeDemand(pc, 0x21100);  // matches the 0x700 stride
+    EXPECT_EQ(eng.strideStateOf(pc), S::Transient);
+    eng.observeDemand(pc, 0x21800);
+    EXPECT_EQ(eng.strideStateOf(pc), S::Steady);
+}
+
+// --------------------------------------------------------------------
+// VLDP delta-history matching
+// --------------------------------------------------------------------
+
+TEST(HwpfVldp, ConstantDeltaChainPredictsDegreeDeep)
+{
+    HwPrefetchEngine eng(onlyVldp(), kLine);
+    const Addr base = 0x40000;  // page-aligned
+
+    eng.observeDemand(0, base);              // page allocated
+    eng.observeDemand(0, base + 1 * kLine);  // delta +1 in history
+    EXPECT_EQ(eng.candidateCount(), 0u);     // DPT still empty
+
+    // Second +1 delta trains DPT[len=1] {[+1] -> +1}; prediction then
+    // walks the chain vldpDegree (2) deep from line 2.
+    eng.observeDemand(0, base + 2 * kLine);
+    ASSERT_EQ(eng.candidateCount(), 2u);
+    EXPECT_EQ(eng.candidate(0).addr, base + 3 * kLine);
+    EXPECT_EQ(eng.candidate(1).addr, base + 4 * kLine);
+    EXPECT_EQ(eng.candidate(0).source, HwPrefetchEngine::Source::Vldp);
+    EXPECT_EQ(eng.stats().vldp.predictions, 2u);
+}
+
+TEST(HwpfVldp, LongerHistoryWinsOverShorter)
+{
+    HwPrefetchConfig cfg = onlyVldp();
+    cfg.vldpDegree = 1;  // one prediction per trigger: easy to inspect
+    HwPrefetchEngine eng(cfg, kLine);
+    const Addr base = 0x80000;
+
+    // Alternating +1/+2 pattern: lines 0,1,3,4,6,7,9.  The len-1 table
+    // is ambiguous ([+1] is followed by +2, [+2] by +1) but the longer
+    // histories disambiguate, so predictions must follow the
+    // alternation, not a constant stride.
+    const std::int64_t lines[] = {0, 1, 3, 4, 6, 7, 9};
+    for (std::int64_t ln : lines) {
+        eng.clearCandidates();
+        eng.observeDemand(0, base + static_cast<Addr>(ln) * kLine);
+    }
+    // Last access was line 9 via delta +2; the alternation says +1.
+    ASSERT_EQ(eng.candidateCount(), 1u);
+    EXPECT_EQ(eng.candidate(0).addr, base + 10 * kLine);
+
+    eng.clearCandidates();
+    eng.observeDemand(0, base + 10 * kLine);  // +1; alternation says +2
+    ASSERT_EQ(eng.candidateCount(), 1u);
+    EXPECT_EQ(eng.candidate(0).addr, base + 12 * kLine);
+}
+
+// --------------------------------------------------------------------
+// Pointer-chase (next line of loaded value)
+// --------------------------------------------------------------------
+
+TEST(HwpfPointer, DelinquentLoadValueChased)
+{
+    HwPrefetchEngine eng(onlyPointer(), kLine);
+    // Establish the plausibility envelope from demand misses.
+    eng.observeDemand(0x4000, 0x50000);
+    eng.observeDemand(0x4000, 0x58000);
+
+    const std::uint32_t slow = 20;  // >= pointerTriggerLatency (14)
+
+    // Fast loads never chase: below the trigger latency the call must
+    // have zero side effects (fastPath bit-identity depends on it).
+    eng.observeLoadedValue(0x4000, 0x50000, 0x54000, 10);
+    EXPECT_EQ(eng.candidateCount(), 0u);
+    EXPECT_EQ(eng.stats().pointer.trained, 0u);
+
+    // Unaligned value: not a plausible pointer.
+    eng.observeLoadedValue(0x4000, 0x50000, 0x54001, slow);
+    EXPECT_EQ(eng.candidateCount(), 0u);
+
+    // Outside the observed-address envelope: not plausible.
+    eng.observeLoadedValue(0x4000, 0x50000, 0x90000, slow);
+    EXPECT_EQ(eng.candidateCount(), 0u);
+
+    // Same line as the load itself: chasing it prefetches nothing new.
+    eng.observeLoadedValue(0x4000, 0x54000, 0x54040, slow);
+    EXPECT_EQ(eng.candidateCount(), 0u);
+
+    // A slow, aligned, in-envelope, cross-line value is chased.
+    eng.observeLoadedValue(0x4000, 0x50000, 0x54000, slow);
+    ASSERT_EQ(eng.candidateCount(), 1u);  // pointerDegree = 1
+    EXPECT_EQ(eng.candidate(0).addr, 0x54000u);
+    EXPECT_EQ(eng.candidate(0).source,
+              HwPrefetchEngine::Source::Pointer);
+    EXPECT_EQ(eng.stats().pointer.trained, 1u);
+}
+
+// --------------------------------------------------------------------
+// Runtime-adaptive controller
+// --------------------------------------------------------------------
+
+TEST(HwpfController, PhaseChangeResetsTuningToConfig)
+{
+    HierarchyConfig hcfg;
+    hcfg.hwPrefetch.enabled = true;
+    CacheHierarchy caches(hcfg);
+    HwPrefetchEngine *eng = caches.hwPrefetch();
+    ASSERT_NE(eng, nullptr);
+
+    HwPrefetchController ctl(caches);
+    using Source = HwPrefetchEngine::Source;
+
+    // In-phase drift via the decision table: two saturated-drop polls
+    // walk the stride prefetcher from degree 2 to off.
+    for (int i = 0; i < 32; ++i)
+        eng->noteDropped(Source::Stride);
+    ctl.poll(64'000);
+    for (int i = 0; i < 32; ++i)
+        eng->noteDropped(Source::Stride);
+    ctl.poll(128'000);
+    EXPECT_EQ(ctl.stats().phaseRetunes, 0u);
+    EXPECT_FALSE(eng->tuning().strideOn);
+
+    ctl.notePhaseChange();
+    ctl.poll(192'000);  // new phase: fresh audition for everyone
+    EXPECT_EQ(ctl.stats().phaseRetunes, 1u);
+    EXPECT_TRUE(eng->tuning().strideOn);
+    EXPECT_EQ(eng->tuning().strideDegree,
+              hcfg.hwPrefetch.strideDegree);
+    EXPECT_EQ(ctl.stats().polls, 3u);
+}
+
+TEST(HwpfController, DropRateWalksDegreeDownThenDisables)
+{
+    HierarchyConfig hcfg;
+    hcfg.hwPrefetch.enabled = true;
+    CacheHierarchy caches(hcfg);
+    HwPrefetchEngine *eng = caches.hwPrefetch();
+    ASSERT_NE(eng, nullptr);
+
+    HwPrefetchController ctl(caches);
+    using Source = HwPrefetchEngine::Source;
+
+    // Poll 1: every stride candidate this window was throttled.  Drop
+    // rate 1.0 at degree 2 costs one degree step.
+    for (int i = 0; i < 32; ++i)
+        eng->noteDropped(Source::Stride);
+    ctl.poll(64'000);
+    EXPECT_EQ(ctl.stats().degreeDowns, 1u);
+    EXPECT_EQ(eng->tuning().strideDegree, 1u);
+    EXPECT_TRUE(eng->tuning().strideOn);
+
+    // Poll 2: still saturating at degree 1 -> turned off entirely.
+    for (int i = 0; i < 32; ++i)
+        eng->noteDropped(Source::Stride);
+    ctl.poll(128'000);
+    EXPECT_EQ(ctl.stats().prefetcherDisables, 1u);
+    EXPECT_FALSE(eng->tuning().strideOn);
+
+    // The other prefetchers had no events and were left alone.
+    EXPECT_TRUE(eng->tuning().vldpOn);
+    EXPECT_TRUE(eng->tuning().pointerOn);
+}
+
+TEST(HwpfController, AccurateLowPressurePrefetcherGrows)
+{
+    HierarchyConfig hcfg;
+    hcfg.hwPrefetch.enabled = true;
+    CacheHierarchy caches(hcfg);
+    HwPrefetchEngine *eng = caches.hwPrefetch();
+    ASSERT_NE(eng, nullptr);
+
+    HwPrefetchController ctl(caches);
+    using Source = HwPrefetchEngine::Source;
+
+    for (int i = 0; i < 32; ++i)
+        eng->noteIssued(Source::Vldp);
+    ctl.poll(64'000);
+    EXPECT_EQ(ctl.stats().degreeUps, 1u);
+    EXPECT_EQ(eng->tuning().vldpDegree,
+              hcfg.hwPrefetch.vldpDegree + 1);
+
+    // Growth is capped at maxDegree.
+    for (std::uint32_t p = 0; p < hcfg.hwPrefetch.maxDegree; ++p) {
+        for (int i = 0; i < 32; ++i)
+            eng->noteIssued(Source::Vldp);
+        ctl.poll(64'000 * (p + 2));
+    }
+    EXPECT_EQ(eng->tuning().vldpDegree, hcfg.hwPrefetch.maxDegree);
+}
+
+// --------------------------------------------------------------------
+// End-to-end: the zoo issues prefetches, and off is bit-identical
+// --------------------------------------------------------------------
+
+RunConfig
+restrictedO2()
+{
+    RunConfig cfg;
+    cfg.compile.level = OptLevel::O2;
+    cfg.compile.softwarePipelining = false;
+    cfg.compile.reserveAdoreRegs = true;
+    cfg.maxCycles = 2'000'000ULL;
+    cfg.quietCycleLimit = true;
+    return cfg;
+}
+
+TEST(HwpfEndToEnd, EnabledEngineIssuesThroughSharedBus)
+{
+    setVerbose(false);
+    hir::Program prog = workloads::make("art");
+    RunConfig cfg = restrictedO2();
+    cfg.machine.hier.hwPrefetch.enabled = true;
+    RunMetrics m = Experiment::run(prog, cfg);
+
+    EXPECT_TRUE(m.hwPrefetchUsed);
+    EXPECT_GT(m.hwpfStats.stride.trained, 0u);
+    EXPECT_GT(m.hwpfStats.issued(), 0u);
+    // The controller rode along (adaptive defaults on) and polled.
+    EXPECT_TRUE(m.hwpfControllerUsed);
+    EXPECT_GT(m.hwpfControllerStats.polls, 0u);
+    // Issued hardware prefetches land as L2/L3 prefetch fills.
+    EXPECT_GT(m.l2Stats.prefetchFills + m.l3Stats.prefetchFills, 0u);
+}
+
+class HwpfToggle : public ::testing::TestWithParam<std::string>
+{
+};
+
+/**
+ * hwPrefetch.enabled=false must be byte-identical to the default
+ * configuration even when every other zoo knob is perturbed — the whole
+ * subsystem must vanish behind the master switch (the acceptance
+ * criterion CI's golden-metrics gate leans on).
+ */
+TEST_P(HwpfToggle, DisabledZooIsByteIdentical)
+{
+    setVerbose(false);
+    hir::Program prog = workloads::make(GetParam());
+
+    RunConfig plain = restrictedO2();
+    plain.adore = true;
+    plain.adoreConfig = Experiment::defaultAdoreConfig();
+
+    RunConfig perturbed = plain;
+    HwPrefetchConfig &z = perturbed.machine.hier.hwPrefetch;
+    ASSERT_FALSE(z.enabled);
+    z.stride = false;
+    z.strideDegree = 7;
+    z.vldpPages = 8;
+    z.pointerTriggerLatency = 1;
+    z.adaptive = false;
+
+    RunMetrics a = Experiment::run(prog, plain);
+    RunMetrics b = Experiment::run(prog, perturbed);
+    EXPECT_FALSE(a.hwPrefetchUsed);
+    EXPECT_FALSE(b.hwPrefetchUsed);
+    EXPECT_EQ(Experiment::metricsJson(a), Experiment::metricsJson(b));
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const workloads::WorkloadInfo &info : workloads::allWorkloads())
+        names.push_back(info.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Hwpf, HwpfToggle, ::testing::ValuesIn(allNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

@@ -19,6 +19,10 @@
  *   adore_chaos --exec-tier TIER         execution tier for every run:
  *                                        "interpreter" or "direct"
  *                                        (default: the CpuConfig default)
+ *   adore_chaos --hwpf                   hardware-prefetcher zoo on both
+ *                                        runs of every pair (the CPI
+ *                                        margin then checks hw+ADORE
+ *                                        against an hw-only baseline)
  *
  * Each (workload, seed) pair runs twice — a no-ADORE baseline and an
  * ADORE+guardrails run — under the same deterministic fault schedule.
@@ -46,7 +50,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--smoke | --soak] [--workloads a,b,c] "
                  "[--seeds N] [--margin X] [--max-cycles N] [--jobs N] "
-                 "[--threads] [--exec-tier interpreter|direct]\n",
+                 "[--threads] [--exec-tier interpreter|direct] [--hwpf]\n",
                  argv0);
     return 2;
 }
@@ -113,6 +117,8 @@ main(int argc, char **argv)
                 std::strtoul(value("--jobs"), nullptr, 10));
         } else if (arg == "--threads") {
             spec.freeRunning = true;
+        } else if (arg == "--hwpf") {
+            spec.hwPrefetch = true;
         } else if (arg == "--exec-tier") {
             std::string tier = value("--exec-tier");
             if (tier == "interpreter") {
