@@ -98,6 +98,16 @@ fi
 "$BUILD_DIR"/tools/adore_chaos --smoke --hwpf --max-cycles 8000000 \
     --exec-tier direct
 
+# Fuzz smoke (DESIGN.md §14): 50 fixed-seed generated programs through
+# the full differential arm matrix — bit-identity across the promised
+# toggles, self-consistency everywhere, guardrail CPI margin on the
+# chaos pair, quietCycleLimit watchdog on every run.  Programs are
+# deterministic functions of their seeds, so this gate is stable; a
+# failure prints a JSON summary naming program/seed/arm.  The committed
+# corpus reproducer must also still parse and hold its invariants.
+"$BUILD_DIR"/tools/adore_fuzz --smoke
+"$BUILD_DIR"/tools/adore_fuzz --replay corpus/gen_7.kernel
+
 # Docs-drift gates: EXPERIMENTS.md generated blocks must match fresh
 # measurements (simulations are deterministic, so this is stable), and
 # every relative markdown link must resolve.
@@ -130,6 +140,14 @@ if [[ "${ADORE_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     # exists to check.
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
         "$SAN_DIR"/tests/adore_tests --gtest_filter='Hwpf*'
+
+    # Generator/shrinker shard under ASan+UBSan: the generator walks
+    # index vectors it also rewrites (dropUnreachable's remaps) and the
+    # shrinker erases from containers mid-iteration candidates are
+    # built from — off-by-one index math here is exactly what the
+    # sanitizers exist to prove absent.
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+        "$SAN_DIR"/tests/adore_tests --gtest_filter='Generator*:Fuzz*'
 
     TSAN_DIR="${BUILD_DIR}-tsan"
     TSAN_FLAGS="-O1 -g -fsanitize=thread -fno-omit-frame-pointer"

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/invariants.hh"
 #include "workloads/workloads.hh"
 
 namespace adore
@@ -40,65 +41,55 @@ fmt(const char *format, Args... args)
 }
 
 void
-require(ChaosReport &report, const ChaosRunResult &r, bool ok,
-        const std::string &what)
+require(ChaosReport &report, const ChaosRunResult &r, const char *arm,
+        bool ok, const std::string &what)
 {
     if (!ok)
-        report.violations.push_back({r.workload, r.seed, what});
+        report.violations.push_back({r.workload, r.seed, arm, what});
 }
 
-/** Invariant 2: one run's metrics must be internally consistent. */
+/** Invariant 2 (shared with the fuzz harness): one run's metrics must
+ *  be internally consistent. */
 void
 checkSelfConsistent(ChaosReport &report, const ChaosRunResult &r,
                     const RunMetrics &m, const char *which)
 {
-    std::string p = std::string(which) + ": ";
-    require(report, r, m.retired > 0, p + "no instructions retired");
-    if (m.retired > 0) {
-        double cpi = static_cast<double>(m.cycles) /
-                     static_cast<double>(m.retired);
-        require(report, r, m.cpi == cpi,
-                p + "cpi is not cycles/retired");
+    std::vector<std::string> problems;
+    invariants::checkSelfConsistent(m, "", problems);
+    for (std::string &what : problems)
+        report.violations.push_back(
+            {r.workload, r.seed, which, std::move(what)});
+}
+
+/** Minimal JSON string escaping (quotes, backslashes, control bytes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += fmt("\\u%04x", c);
+        } else {
+            out += c;
+        }
     }
-    // Issued / dropped / useless are disjoint outcomes of a prefetch
-    // request, so no subset relation holds between them; the cache
-    // counters do have one.
-    const CacheStats *levels[] = {&m.l1iStats, &m.l1dStats, &m.l2Stats,
-                                  &m.l3Stats};
-    for (const CacheStats *s : levels) {
-        require(report, r, s->hits + s->misses <= s->accesses,
-                p + "cache hits+misses exceed accesses");
-    }
-    const AdoreStats &a = m.adoreStats;
-    require(report, r, a.tracesUnpatched <= a.tracesPatched,
-            p + "more traces unpatched than patched");
-    require(report, r, a.phasesReverted <= a.phasesOptimized,
-            p + "more batches reverted than optimized");
-    // A phase can generate prefetches whose commit then fails (patch
-    // fault / pool exhaustion), so phasesPrefetched is bounded by the
-    // phases that entered the optimizer, not by phasesOptimized.
-    require(report, r, a.phasesOptimized <= a.phasesDetected,
-            p + "more phases optimized than detected");
-    require(report, r, a.phasesPrefetched <= a.phasesDetected,
-            p + "more phases prefetched than detected");
-    if (m.guardrailsUsed) {
-        const GuardrailStats &g = m.guardrailStats;
-        require(report, r, g.patchFailures == a.tracesPatchFailed,
-                p + "guardrail patch failures disagree with runtime");
-        require(report, r,
-                g.poolExhaustedRejects == a.tracesRejectedPoolFull,
-                p + "guardrail pool rejects disagree with runtime");
-        require(report, r, g.watchdogFires == a.phasesWatchdogCancelled,
-                p + "guardrail watchdog fires disagree with runtime");
-    }
-    if (m.faultsUsed) {
-        require(report, r,
-                m.faultStats.patchesFailed >= a.tracesPatchFailed,
-                p + "runtime saw more patch failures than injected");
-    }
+    return out;
 }
 
 } // namespace
+
+std::string
+violationJson(const ChaosViolation &v)
+{
+    return fmt("{\"workload\":\"%s\",\"seed\":%llu,\"arm\":\"%s\","
+               "\"what\":\"%s\"}",
+               jsonEscape(v.workload).c_str(),
+               static_cast<unsigned long long>(v.seed),
+               jsonEscape(v.arm).c_str(), jsonEscape(v.what).c_str());
+}
 
 ChaosReport
 Experiment::runChaos(const ChaosSpec &spec)
@@ -158,14 +149,14 @@ Experiment::runChaos(const ChaosSpec &spec)
 
             checkSelfConsistent(report, r, r.baseline, "baseline");
             checkSelfConsistent(report, r, r.chaotic, "chaotic");
-            require(report, r, r.chaotic.adoreUsed,
-                    "chaotic: ADORE was not attached");
-            require(report, r, r.chaotic.guardrailsUsed,
-                    "chaotic: guardrails were not enabled");
-            if (r.baseline.cpi > 0.0) {
-                require(report, r,
-                        r.chaotic.cpi <=
-                            r.baseline.cpi * spec.cpiMargin,
+            require(report, r, "chaotic", r.chaotic.adoreUsed,
+                    "ADORE was not attached");
+            require(report, r, "chaotic", r.chaotic.guardrailsUsed,
+                    "guardrails were not enabled");
+            CpiMarginVerdict margin = checkCpiMargin(
+                r.baseline.cpi, r.chaotic.cpi, spec.cpiMargin);
+            if (margin.applicable) {
+                require(report, r, "pair", margin.ok,
                         fmt("cpi margin exceeded: %.3f > %.3f * %.2f",
                             r.chaotic.cpi, r.baseline.cpi,
                             spec.cpiMargin));
@@ -184,7 +175,7 @@ Experiment::runChaos(const ChaosSpec &spec)
             fires += r.chaotic.guardrailStats.watchdogFires;
         if (fires == 0) {
             report.violations.push_back(
-                {"<sweep>", 0,
+                {"<sweep>", 0, "<sweep>",
                  "optimizer stalls injected but the watchdog never "
                  "fired"});
         }
@@ -221,11 +212,27 @@ ChaosReport::table() const
         out += fmt("\n%zu runs, %zu violations:\n", runs.size(),
                    violations.size());
         for (const ChaosViolation &v : violations) {
-            out += fmt("  %s seed=%llu: %s\n", v.workload.c_str(),
+            out += fmt("  %s seed=%llu [%s]: %s\n", v.workload.c_str(),
                        static_cast<unsigned long long>(v.seed),
-                       v.what.c_str());
+                       v.arm.c_str(), v.what.c_str());
         }
     }
+    return out;
+}
+
+std::string
+ChaosReport::json(const std::string &tool) const
+{
+    std::string out = fmt("{\"tool\":\"%s\",\"runs\":%zu,\"ok\":%s,"
+                          "\"violations\":[",
+                          tool.c_str(), runs.size(),
+                          ok() ? "true" : "false");
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+        if (i)
+            out += ",";
+        out += violationJson(violations[i]);
+    }
+    out += "]}";
     return out;
 }
 

@@ -105,8 +105,16 @@ struct ChaosViolation
 {
     std::string workload;
     std::uint64_t seed = 0;
+    /** Which run (configuration arm) of the pair tripped it:
+     *  "baseline", "chaotic", "pair" (cross-run checks like the CPI
+     *  margin), or "<sweep>" for sweep-level invariants. */
+    std::string arm;
     std::string what;
 };
+
+/** One violation as a JSON object ({"workload":..,"seed":..,"arm":..,
+ *  "what":..}) — shared by adore_chaos and adore_fuzz failure output. */
+std::string violationJson(const ChaosViolation &v);
 
 struct ChaosReport
 {
@@ -117,6 +125,13 @@ struct ChaosReport
 
     /** Human-readable sweep table + violation list. */
     std::string table() const;
+
+    /**
+     * Machine-readable summary for CI and scripts (printed by
+     * adore_chaos on every exit): {"tool":<tool>,"runs":N,
+     * "violations":[{workload,seed,arm,what}...]}.
+     */
+    std::string json(const std::string &tool) const;
 };
 
 } // namespace adore

@@ -1,0 +1,169 @@
+#include "harness/invariants.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace adore::invariants
+{
+
+namespace
+{
+
+template <typename... Args>
+std::string
+fmt(const char *format, Args... args)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), format, args...);
+    return buf;
+}
+
+struct Checker
+{
+    const std::string &prefix;
+    std::vector<std::string> &out;
+
+    void
+    require(bool ok, const std::string &what)
+    {
+        if (!ok)
+            out.push_back(prefix + what);
+    }
+};
+
+struct Differ
+{
+    std::vector<std::string> &out;
+
+    void
+    field(const char *name, std::uint64_t a, std::uint64_t b)
+    {
+        if (a != b)
+            out.push_back(fmt("%s: %" PRIu64 " != %" PRIu64, name, a, b));
+    }
+};
+
+void
+diffCacheStats(Differ &d, const char *level, const CacheStats &a,
+               const CacheStats &b)
+{
+    auto f = [&](const char *name, std::uint64_t x, std::uint64_t y) {
+        d.field((std::string(level) + "." + name).c_str(), x, y);
+    };
+    f("accesses", a.accesses, b.accesses);
+    f("hits", a.hits, b.hits);
+    f("misses", a.misses, b.misses);
+    f("inFlightHits", a.inFlightHits, b.inFlightHits);
+    f("prefetchFills", a.prefetchFills, b.prefetchFills);
+    f("demandFills", a.demandFills, b.demandFills);
+    f("evictions", a.evictions, b.evictions);
+}
+
+} // namespace
+
+void
+checkSelfConsistent(const RunMetrics &m, const std::string &prefix,
+                    std::vector<std::string> &out)
+{
+    Checker c{prefix, out};
+    c.require(m.retired > 0, "no instructions retired");
+    if (m.retired > 0) {
+        double cpi = static_cast<double>(m.cycles) /
+                     static_cast<double>(m.retired);
+        c.require(m.cpi == cpi, "cpi is not cycles/retired");
+    }
+    // Issued / dropped / useless are disjoint outcomes of a prefetch
+    // request, so no subset relation holds between them; the cache
+    // counters do have one.
+    const CacheStats *levels[] = {&m.l1iStats, &m.l1dStats, &m.l2Stats,
+                                  &m.l3Stats};
+    for (const CacheStats *s : levels) {
+        c.require(s->hits + s->misses <= s->accesses,
+                  "cache hits+misses exceed accesses");
+    }
+    const AdoreStats &a = m.adoreStats;
+    c.require(a.tracesUnpatched <= a.tracesPatched,
+              "more traces unpatched than patched");
+    c.require(a.phasesReverted <= a.phasesOptimized,
+              "more batches reverted than optimized");
+    // A phase can generate prefetches whose commit then fails (patch
+    // fault / pool exhaustion), so phasesPrefetched is bounded by the
+    // phases that entered the optimizer, not by phasesOptimized.
+    c.require(a.phasesOptimized <= a.phasesDetected,
+              "more phases optimized than detected");
+    c.require(a.phasesPrefetched <= a.phasesDetected,
+              "more phases prefetched than detected");
+    if (m.guardrailsUsed) {
+        const GuardrailStats &g = m.guardrailStats;
+        c.require(g.patchFailures == a.tracesPatchFailed,
+                  "guardrail patch failures disagree with runtime");
+        c.require(g.poolExhaustedRejects == a.tracesRejectedPoolFull,
+                  "guardrail pool rejects disagree with runtime");
+        c.require(g.watchdogFires == a.phasesWatchdogCancelled,
+                  "guardrail watchdog fires disagree with runtime");
+    }
+    if (m.faultsUsed) {
+        c.require(m.faultStats.patchesFailed >= a.tracesPatchFailed,
+                  "runtime saw more patch failures than injected");
+    }
+}
+
+void
+diffIdentity(const RunMetrics &a, const RunMetrics &b, bool compare_adore,
+             std::vector<std::string> &out)
+{
+    Differ d{out};
+    d.field("halted", a.halted ? 1 : 0, b.halted ? 1 : 0);
+    d.field("cycles", a.cycles, b.cycles);
+    d.field("retired", a.retired, b.retired);
+    d.field("dearMisses", a.dearMisses, b.dearMisses);
+
+    const HierarchyStats &ma = a.memStats, &mb = b.memStats;
+    d.field("mem.loads", ma.loads, mb.loads);
+    d.field("mem.stores", ma.stores, mb.stores);
+    d.field("mem.prefetchesIssued", ma.prefetchesIssued,
+            mb.prefetchesIssued);
+    d.field("mem.prefetchesDropped", ma.prefetchesDropped,
+            mb.prefetchesDropped);
+    d.field("mem.prefetchesUseless", ma.prefetchesUseless,
+            mb.prefetchesUseless);
+    d.field("mem.ifetches", ma.ifetches, mb.ifetches);
+    d.field("mem.ifetchMisses", ma.ifetchMisses, mb.ifetchMisses);
+
+    diffCacheStats(d, "l1i", a.l1iStats, b.l1iStats);
+    diffCacheStats(d, "l1d", a.l1dStats, b.l1dStats);
+    diffCacheStats(d, "l2", a.l2Stats, b.l2Stats);
+    diffCacheStats(d, "l3", a.l3Stats, b.l3Stats);
+
+    if (compare_adore) {
+        const AdoreStats &sa = a.adoreStats, &sb = b.adoreStats;
+        d.field("adore.windowsProcessed", sa.windowsProcessed,
+                sb.windowsProcessed);
+        d.field("adore.phasesDetected", sa.phasesDetected,
+                sb.phasesDetected);
+        d.field("adore.phaseChanges", sa.phaseChanges, sb.phaseChanges);
+        d.field("adore.phasesOptimized", sa.phasesOptimized,
+                sb.phasesOptimized);
+        d.field("adore.phasesPrefetched", sa.phasesPrefetched,
+                sb.phasesPrefetched);
+        d.field("adore.tracesSelected", sa.tracesSelected,
+                sb.tracesSelected);
+        d.field("adore.tracesPatched", sa.tracesPatched,
+                sb.tracesPatched);
+        d.field("adore.directPrefetches", sa.directPrefetches,
+                sb.directPrefetches);
+        d.field("adore.indirectPrefetches", sa.indirectPrefetches,
+                sb.indirectPrefetches);
+        d.field("adore.pointerPrefetches", sa.pointerPrefetches,
+                sb.pointerPrefetches);
+        d.field("adore.bundlesInserted", sa.bundlesInserted,
+                sb.bundlesInserted);
+        d.field("adore.phasesReverted", sa.phasesReverted,
+                sb.phasesReverted);
+        d.field("adore.tracesUnpatched", sa.tracesUnpatched,
+                sb.tracesUnpatched);
+        d.field("regionGenBumps", a.regionGenBumps, b.regionGenBumps);
+    }
+}
+
+} // namespace adore::invariants

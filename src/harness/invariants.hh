@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Run-metric invariants shared by the chaos soak (harness/chaos.cc) and
+ * the property-based fuzz harness (harness/fuzz.cc).
+ *
+ * Both harnesses make the same two kinds of claims about a finished
+ * simulation:
+ *
+ *  - *self-consistency*: one run's metric set must be internally
+ *    coherent (CPI is exactly cycles/retired, cache counters nest,
+ *    runtime and guardrail counters agree, ...);
+ *  - *bit-identity*: two runs differing only in a toggle that promises
+ *    identity (fastPath, execution tier, Synchronous vs AsyncBarrier)
+ *    must agree on every simulated counter.
+ *
+ * Checks append one-line diagnostics instead of asserting, so callers
+ * can collect violations across a sweep and report them together.
+ */
+
+#ifndef ADORE_HARNESS_INVARIANTS_HH
+#define ADORE_HARNESS_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace adore::invariants
+{
+
+/**
+ * Append a "<prefix><problem>" line to @p out for every internal
+ * inconsistency in @p m: CPI not cycles/retired, zero retired
+ * instructions, cache hits+misses above accesses, revert/patch stat
+ * ordering, and (when used) guardrail counters disagreeing with the
+ * runtime's or fault-injection accounting.
+ */
+void checkSelfConsistent(const RunMetrics &m, const std::string &prefix,
+                         std::vector<std::string> &out);
+
+/**
+ * Append a "<field>: <a> != <b>" line to @p out for every simulated
+ * counter on which @p a and @p b differ: halt state, cycles, retired,
+ * DEAR misses, the hierarchy totals, and every per-level cache counter.
+ * With @p compare_adore set the full ADORE decision-stat block is
+ * compared too (for pairs where both runs attach the runtime).
+ */
+void diffIdentity(const RunMetrics &a, const RunMetrics &b,
+                  bool compare_adore, std::vector<std::string> &out);
+
+} // namespace adore::invariants
+
+#endif // ADORE_HARNESS_INVARIANTS_HH

@@ -278,4 +278,16 @@ throttleName(Guardrails::Throttle t)
     return "?";
 }
 
+CpiMarginVerdict
+checkCpiMargin(double baseline_cpi, double guarded_cpi, double margin)
+{
+    CpiMarginVerdict v;
+    if (baseline_cpi <= 0.0)
+        return v;  // inapplicable: nothing retired in the baseline
+    v.applicable = true;
+    v.ratio = guarded_cpi / baseline_cpi;
+    v.ok = guarded_cpi <= baseline_cpi * margin;
+    return v;
+}
+
 } // namespace adore

@@ -249,6 +249,25 @@ class Guardrails
 /** Stable name for a throttle state ("normal" | "damped" | "disabled"). */
 const char *throttleName(Guardrails::Throttle t);
 
+/** Verdict of the after-the-fact CPI-margin gate. */
+struct CpiMarginVerdict
+{
+    bool applicable = false;  ///< the baseline CPI was measurable
+    bool ok = true;
+    double ratio = 0.0;       ///< guarded / baseline (0 when n/a)
+};
+
+/**
+ * The invariant the guardrails exist to uphold, evaluated post-run: a
+ * guardrailed run's CPI must stay within @p margin times the
+ * unoptimized baseline's.  Shared by the chaos soak (harness/chaos.cc)
+ * and the fuzz harness (harness/fuzz.cc) so both gates agree on the
+ * edge cases — an unmeasurable baseline (no retired instructions)
+ * makes the check inapplicable rather than vacuously passing.
+ */
+CpiMarginVerdict checkCpiMargin(double baseline_cpi, double guarded_cpi,
+                                double margin);
+
 } // namespace adore
 
 #endif // ADORE_RUNTIME_GUARDRAILS_HH

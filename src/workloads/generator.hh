@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Property-based workload generator (DESIGN.md §14).
+ *
+ * generate() expands a seed into a random — but fully deterministic —
+ * HIR program built from the same grammar the 17 hand-written workloads
+ * use: counted loop nests over direct / indirect / fp-converted array
+ * references and pointer chases, with controllable miss concentration,
+ * working-set size, and phase structure.  The same seed always yields a
+ * byte-identical program (renderProgram() is the canonical witness), so
+ * every fuzz failure replays from its (seed, config) pair alone.
+ *
+ * validateProgram() is the shared sanity gate: the workload registry
+ * runs it at registration time, the generator asserts it on every
+ * output, and the shrinker uses it to discard candidate reductions
+ * that leave the grammar (src/harness/fuzz.hh).
+ *
+ * renderProgram()/parseProgram() give a line-based textual kernel
+ * format that round-trips exactly — it is what the fuzz corpus stores
+ * (corpus/<name>.kernel) and what `adore_fuzz --replay` reads back.
+ */
+
+#ifndef ADORE_WORKLOADS_GENERATOR_HH
+#define ADORE_WORKLOADS_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compiler/hir.hh"
+
+namespace adore::workloads
+{
+
+/**
+ * Knobs for one generated program.  Everything is bounded so any seed
+ * yields a program that passes validateProgram() and finishes well
+ * inside a ~20M-cycle budget (unless @ref endless is set).
+ */
+struct GeneratorConfig
+{
+    std::uint64_t seed = 1;
+
+    // ---- structure ------------------------------------------------
+    int minLoops = 1;
+    int maxLoops = 5;
+    int maxLoopsPerPhase = 2;   ///< applu-style multi-loop phases
+    int maxRefsPerLoop = 3;
+    int maxChasesPerLoop = 1;
+
+    // ---- work budget ----------------------------------------------
+    /** Approximate total inner iterations across the whole program;
+     *  phase repeats are derated to hit this. */
+    std::uint64_t targetIterations = 48'000;
+    std::uint64_t minTrip = 64;
+    std::uint64_t maxTrip = 8'192;
+
+    // ---- working set ----------------------------------------------
+    /** Cap on total declared data bytes (arrays + lists). */
+    std::uint64_t maxWorkingSetBytes = 6ULL << 20;
+    /** Byte range for the miss-heavy ("large") stream arrays. */
+    std::uint64_t largeArrayMinBytes = 512ULL << 10;
+    std::uint64_t largeArrayMaxBytes = 2ULL << 20;
+    /** Byte range for cache-resident ("small") arrays. */
+    std::uint64_t smallArrayMinBytes = 8ULL << 10;
+    std::uint64_t smallArrayMaxBytes = 64ULL << 10;
+
+    // ---- reference-pattern mix ------------------------------------
+    unsigned weightDirect = 5;
+    unsigned weightIndirect = 3;
+    unsigned weightPointer = 2;
+    unsigned weightFpConverted = 1;
+    /** Probability a direct/indirect target is a miss-heavy large
+     *  array rather than a cache-resident one. */
+    double missConcentration = 0.7;
+    double storeFraction = 0.2;
+    double callFraction = 0.1;      ///< gap-style call in the hot loop
+    double scatterFraction = 0.1;   ///< vortex-style scattered hot code
+
+    /**
+     * Deliberately non-terminating (for the hang-protection tests and
+     * the fuzz watchdog path): phase repeats are inflated so the
+     * program cannot finish inside any realistic cycle budget and the
+     * RunConfig::maxCycles watchdog must cut it off.
+     */
+    bool endless = false;
+};
+
+/** Expand @p cfg into a program named `gen_<seed>`.  Deterministic:
+ *  equal configs yield byte-identical programs.  The result always
+ *  passes validateProgram() (a failure is a generator bug). */
+hir::Program generate(const GeneratorConfig &cfg);
+
+/**
+ * Structural sanity check shared by the registry, the generator, and
+ * the shrinker.  @return "" when @p prog is sound, else a one-line
+ * diagnostic.  Checks: non-empty name/sequence, array and list bounds
+ * (element sizes, counts, index ranges, node layout), reference and
+ * chase indices, loops appearing at most once across the sequence
+ * (the code generator emits each loop exactly once), per-loop integer
+ * register demand within the code generator's pool, and the total
+ * working set under @p max_data_bytes.
+ */
+std::string validateProgram(const hir::Program &prog,
+                            std::uint64_t max_data_bytes = 64ULL << 20);
+
+/** Worst-case integer registers the code generator hard-allocates for
+ *  @p loop (cursors, index temporaries, chase pointers, O3 prefetch
+ *  cursors, accumulator, filler) plus one pooled value register —
+ *  the allocations that panic when the r4..r26 pool runs dry.  Value
+ *  destinations beyond the first reuse registers cyclically and never
+ *  panic (see codegen.cc). */
+int estimateIntRegs(const hir::Program &prog, const hir::Loop &loop);
+
+/** Canonical line-based text form of @p prog: the corpus kernel
+ *  format.  Equal programs render byte-identically. */
+std::string renderProgram(const hir::Program &prog);
+
+/** Parse renderProgram() output. @return false and set @p err on a
+ *  malformed kernel. */
+bool parseProgram(const std::string &text, hir::Program &out,
+                  std::string &err);
+
+/** Drop arrays, lists, and loops not reachable from the phase
+ *  sequence, remapping all indices (shrinker canonicalization). */
+hir::Program dropUnreachable(const hir::Program &prog);
+
+/**
+ * All single-step reductions of @p prog, most aggressive first: drop a
+ * phase, drop a loop from a multi-loop phase, halve a repeat or trip,
+ * drop a reference / chase, strip calls and scattering and filler ops,
+ * halve an array or list.  Every candidate is canonicalized through
+ * dropUnreachable(); candidates that fail validateProgram() are not
+ * returned.
+ */
+std::vector<hir::Program> shrinkSteps(const hir::Program &prog);
+
+} // namespace adore::workloads
+
+#endif // ADORE_WORKLOADS_GENERATOR_HH

@@ -1,45 +1,90 @@
 #include "workloads/workloads.hh"
 
 #include "support/logging.hh"
+#include "workloads/generator.hh"
 
 namespace adore::workloads
 {
 
+std::string
+Registry::tryAdd(const WorkloadInfo &info)
+{
+    if (info.name.empty())
+        return "workload has an empty name";
+    if (info.build == nullptr)
+        return "workload '" + info.name + "' has no build function";
+    if (find(info.name) != nullptr)
+        return "duplicate workload name '" + info.name + "'";
+    hir::Program prog = info.build();
+    if (prog.name != info.name) {
+        return "workload '" + info.name + "' builds a program named '" +
+               prog.name + "'";
+    }
+    std::string err = validateProgram(prog);
+    if (!err.empty())
+        return "workload '" + info.name + "': " + err;
+    table_.push_back(info);
+    return "";
+}
+
+void
+Registry::add(const WorkloadInfo &info)
+{
+    std::string err = tryAdd(info);
+    if (!err.empty())
+        fatal("workload registration failed: %s", err.c_str());
+}
+
+const WorkloadInfo *
+Registry::find(const std::string &name) const
+{
+    for (const WorkloadInfo &w : table_)
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+const Registry &
+registry()
+{
+    static const Registry table = [] {
+        Registry r;
+        // Paper Fig. 7 order: integer, then FP.
+        r.add({"bzip2", false, makeBzip2});
+        r.add({"gzip", false, makeGzip});
+        r.add({"mcf", false, makeMcf});
+        r.add({"vpr", false, makeVpr});
+        r.add({"parser", false, makeParser});
+        r.add({"gap", false, makeGap});
+        r.add({"vortex", false, makeVortex});
+        r.add({"gcc", false, makeGcc});
+        r.add({"ammp", true, makeAmmp});
+        r.add({"art", true, makeArt});
+        r.add({"applu", true, makeApplu});
+        r.add({"equake", true, makeEquake});
+        r.add({"facerec", true, makeFacerec});
+        r.add({"fma3d", true, makeFma3d});
+        r.add({"lucas", true, makeLucas});
+        r.add({"mesa", true, makeMesa});
+        r.add({"swim", true, makeSwim});
+        return r;
+    }();
+    return table;
+}
+
 const std::vector<WorkloadInfo> &
 allWorkloads()
 {
-    static const std::vector<WorkloadInfo> table = {
-        {"bzip2", false}, {"gzip", false},   {"mcf", false},
-        {"vpr", false},   {"parser", false}, {"gap", false},
-        {"vortex", false}, {"gcc", false},   {"ammp", true},
-        {"art", true},    {"applu", true},   {"equake", true},
-        {"facerec", true}, {"fma3d", true},  {"lucas", true},
-        {"mesa", true},   {"swim", true},
-    };
-    return table;
+    return registry().all();
 }
 
 hir::Program
 make(const std::string &name)
 {
-    if (name == "bzip2") return makeBzip2();
-    if (name == "gzip") return makeGzip();
-    if (name == "mcf") return makeMcf();
-    if (name == "vpr") return makeVpr();
-    if (name == "parser") return makeParser();
-    if (name == "gap") return makeGap();
-    if (name == "vortex") return makeVortex();
-    if (name == "gcc") return makeGcc();
-    if (name == "ammp") return makeAmmp();
-    if (name == "art") return makeArt();
-    if (name == "applu") return makeApplu();
-    if (name == "equake") return makeEquake();
-    if (name == "facerec") return makeFacerec();
-    if (name == "fma3d") return makeFma3d();
-    if (name == "lucas") return makeLucas();
-    if (name == "mesa") return makeMesa();
-    if (name == "swim") return makeSwim();
-    fatal("unknown workload '%s'", name.c_str());
+    const WorkloadInfo *info = registry().find(name);
+    if (info == nullptr)
+        fatal("unknown workload '%s'", name.c_str());
+    return info->build();
 }
 
 } // namespace adore::workloads

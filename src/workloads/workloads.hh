@@ -3,6 +3,14 @@
  * Registry of the 17 synthetic SPEC2000-named workloads used in the
  * paper's evaluation (Section 4.1: nine SPECfp2000 and eight
  * SPECint2000 benchmarks with reference inputs).
+ *
+ * Every entry is validated at registration time: scenario names must
+ * be unique and the built program must pass the structural sanity
+ * checks shared with the fuzz generator
+ * (workloads::validateProgram) — element sizes, index-array bounds,
+ * list node layouts, loop/phase wiring, and the code generator's
+ * register budget.  A hand-written kernel that drifts out of bounds
+ * fails fast at first use instead of panicking mid-simulation.
  */
 
 #ifndef ADORE_WORKLOADS_WORKLOADS_HH
@@ -19,13 +27,46 @@ namespace adore::workloads
 struct WorkloadInfo
 {
     std::string name;
-    bool fp;  ///< SPECfp2000 (vs SPECint2000)
+    bool fp = false;  ///< SPECfp2000 (vs SPECint2000)
+    hir::Program (*build)() = nullptr;
 };
+
+/**
+ * Validating workload table.  tryAdd() is the testable core; the
+ * process-wide registry() wraps it in fatal() so a bad entry can never
+ * be looked up.
+ */
+class Registry
+{
+  public:
+    /**
+     * Validate @p info and append it: the name must be non-empty and
+     * unique, build must be set, and the built program must pass
+     * validateProgram() and carry the registered name.
+     * @return "" on success, else a one-line diagnostic (the entry is
+     * not added).
+     */
+    std::string tryAdd(const WorkloadInfo &info);
+
+    /** tryAdd() or die — registration bugs are not recoverable. */
+    void add(const WorkloadInfo &info);
+
+    const std::vector<WorkloadInfo> &all() const { return table_; }
+
+    /** @return the entry named @p name, or nullptr. */
+    const WorkloadInfo *find(const std::string &name) const;
+
+  private:
+    std::vector<WorkloadInfo> table_;
+};
+
+/** The process-wide registry, built and validated on first use. */
+const Registry &registry();
 
 /** All workloads in the paper's Fig. 7 order (integer, then FP). */
 const std::vector<WorkloadInfo> &allWorkloads();
 
-/** Build the named workload's HIR program. */
+/** Build the named workload's HIR program (fatal on unknown names). */
 hir::Program make(const std::string &name);
 
 hir::Program makeBzip2();

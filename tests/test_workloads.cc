@@ -8,12 +8,116 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.hh"
+#include "workloads/generator.hh"
 #include "workloads/workloads.hh"
 
 namespace adore
 {
 namespace
 {
+
+/** A minimal valid build function for registry tests. */
+hir::Program
+buildTiny()
+{
+    hir::Program prog;
+    prog.name = "tiny";
+    hir::ArrayDecl a;
+    a.name = "a0";
+    a.count = 4096;
+    a.init = hir::DataInit::RandomInt;
+    int arr = prog.addArray(a);
+    hir::Loop loop;
+    loop.name = "loop0";
+    loop.trip = 256;
+    hir::ArrayRef ref;
+    ref.array = arr;
+    loop.body.refs.push_back(ref);
+    int id = prog.addLoop(std::move(loop));
+    hir::Phase phase;
+    phase.loops = {id};
+    prog.sequence.push_back(phase);
+    return prog;
+}
+
+/** Same shape, but with an element size the ISA cannot load. */
+hir::Program
+buildBadElem()
+{
+    hir::Program prog = buildTiny();
+    prog.name = "bad-elem";
+    prog.arrays[0].elemBytes = 3;
+    return prog;
+}
+
+/** Register-pool overflow: more indirect refs than r4..r26 can hold. */
+hir::Program
+buildRegisterHog()
+{
+    hir::Program prog = buildTiny();
+    prog.name = "register-hog";
+    for (int i = 0; i < 6; ++i) {
+        hir::ArrayDecl idx;
+        idx.name = "idx" + std::to_string(i);
+        idx.count = 256;
+        idx.init = hir::DataInit::Index;
+        idx.indexRange = 4096;
+        hir::ArrayRef ref;
+        ref.array = 0;
+        ref.indexArray = prog.addArray(idx);
+        prog.loops[0].body.refs.push_back(ref);
+    }
+    return prog;
+}
+
+TEST(Registry, RejectsDuplicateNames)
+{
+    workloads::Registry r;
+    EXPECT_EQ(r.tryAdd({"tiny", false, buildTiny}), "");
+    std::string err = r.tryAdd({"tiny", false, buildTiny});
+    EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+    EXPECT_EQ(r.all().size(), 1u);  // the duplicate was not added
+}
+
+TEST(Registry, RejectsBadBounds)
+{
+    workloads::Registry r;
+    std::string err = r.tryAdd({"bad-elem", false, buildBadElem});
+    EXPECT_NE(err.find("element size"), std::string::npos) << err;
+
+    err = r.tryAdd({"register-hog", false, buildRegisterHog});
+    EXPECT_NE(err.find("integer registers"), std::string::npos) << err;
+
+    // A mis-registered name (program says otherwise) is also rejected.
+    err = r.tryAdd({"not-tiny", false, buildTiny});
+    EXPECT_NE(err.find("named"), std::string::npos) << err;
+
+    err = r.tryAdd({"", false, buildTiny});
+    EXPECT_NE(err.find("empty name"), std::string::npos) << err;
+
+    err = r.tryAdd({"null-build", false, nullptr});
+    EXPECT_NE(err.find("build function"), std::string::npos) << err;
+
+    EXPECT_TRUE(r.all().empty());
+}
+
+TEST(Registry, EveryBuiltinEntryPassesValidation)
+{
+    // The process-wide registry validates on first use; re-running the
+    // checks here pins the contract (and names the offender on drift).
+    for (const auto &w : workloads::allWorkloads()) {
+        hir::Program prog = workloads::make(w.name);
+        EXPECT_EQ(workloads::validateProgram(prog), "") << w.name;
+    }
+}
+
+TEST(Registry, FindResolvesKnownAndUnknownNames)
+{
+    const workloads::Registry &r = workloads::registry();
+    ASSERT_NE(r.find("mcf"), nullptr);
+    EXPECT_EQ(r.find("mcf")->name, "mcf");
+    EXPECT_EQ(r.find("no-such-workload"), nullptr);
+}
 
 TEST(Workloads, RegistryHas17InPaperOrder)
 {

@@ -26,8 +26,10 @@
  *
  * Each (workload, seed) pair runs twice — a no-ADORE baseline and an
  * ADORE+guardrails run — under the same deterministic fault schedule.
- * Prints the sweep table and exits nonzero when any invariant (metrics
- * self-consistency, CPI margin) is violated.
+ * Prints the sweep table followed by one machine-readable JSON summary
+ * line (naming workload/seed/arm for every violation), and exits
+ * nonzero when any invariant (metrics self-consistency, CPI margin)
+ * is violated.
  */
 
 #include <cstdio>
@@ -143,5 +145,6 @@ main(int argc, char **argv)
     std::printf("exec tier: %s\n", execTierName(spec.execTier));
     ChaosReport report = Experiment::runChaos(spec);
     std::fputs(report.table().c_str(), stdout);
+    std::printf("%s\n", report.json("adore_chaos").c_str());
     return report.ok() ? 0 : 1;
 }
