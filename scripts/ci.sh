@@ -35,6 +35,15 @@
 # engine's raw-index tables instrumented, and the --regen-experiments
 # --check gate below also covers the generated hwpf_study block.
 #
+# Serving coverage (DESIGN.md §15): a fixed-seed 500-job adored soak
+# with every service fault channel armed plus a mid-soak SIGTERM proves
+# zero lost jobs and a clean drain against a one-shot oracle, a stdin
+# protocol smoke covers the line-JSON surface, the ASan pass re-runs
+# the Json/ResultCache/ServiceFault/Prom/Serve shard (untrusted-input
+# parsing and cache splicing under instrumentation), and the TSan pass
+# runs the ThreadPool/Serve shard plus a short fault soak so the
+# drain-vs-submit and monitor-cancel races stay under the detector.
+#
 # Usage: scripts/ci.sh [build-dir]           (default: build-ci)
 #   ADORE_CI_SKIP_SANITIZERS=1 skips the sanitizer builds (for very
 #   slow or sanitizer-less hosts).
@@ -108,6 +117,31 @@ fi
 "$BUILD_DIR"/tools/adore_fuzz --smoke
 "$BUILD_DIR"/tools/adore_fuzz --replay corpus/gen_7.kernel
 
+# Serving soak (DESIGN.md §15): 500 fixed-seed jobs through the adored
+# daemon with every service-layer fault channel armed (queue stalls,
+# worker aborts, cache corruption-on-read) plus a SIGTERM raised at the
+# halfway mark.  The selftest then replays every unique job config
+# through one-shot Experiment::run and fails unless each job either
+# completed bit-identical to the oracle or dead-lettered with a
+# machine-readable failure record — zero lost jobs, clean drain, exit 0.
+"$BUILD_DIR"/tools/adored --selftest-soak 500 --service-faults \
+    --seed 42 --sigterm-self
+# Protocol smoke: drive the stdin/stdout server through a submit →
+# wait → duplicate-submit (cache hit) → drain round trip and check the
+# daemon answers every line and exits 0 on drain.
+SERVE_OUT="$(printf '%s\n' \
+    '{"op":"ping"}' \
+    '{"op":"submit","workload":"gzip","opt":"o2"}' \
+    '{"op":"wait","id":1}' \
+    '{"op":"submit","workload":"gzip","opt":"o2"}' \
+    '{"op":"wait","id":2}' \
+    '{"op":"drain"}' \
+    | "$BUILD_DIR"/tools/adored)"
+echo "$SERVE_OUT" | grep -q '"op": *"ping"'
+echo "$SERVE_OUT" | grep -q '"state": *"done"'
+echo "$SERVE_OUT" | grep -q '"cache_hit": *true'
+echo "$SERVE_OUT" | grep -q '"drained": *true'
+
 # Docs-drift gates: EXPERIMENTS.md generated blocks must match fresh
 # measurements (simulations are deterministic, so this is stable), and
 # every relative markdown link must resolve.
@@ -149,19 +183,46 @@ if [[ "${ADORE_CI_SKIP_SANITIZERS:-0}" != "1" ]]; then
     ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
         "$SAN_DIR"/tests/adore_tests --gtest_filter='Generator*:Fuzz*'
 
+    # Serving shard under ASan+UBSan (DESIGN.md §15): the JSON parser
+    # walks raw byte offsets through untrusted input, the result cache
+    # splices list nodes held by raw iterators, and the daemon hands
+    # payload buffers across worker threads — all classic
+    # heap-overflow / use-after-free shapes.  The deliberate
+    # corruption-injection tests run here too, so the checksum path is
+    # proven memory-safe even while being fed mutated payloads.
+    ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+        "$SAN_DIR"/tests/adore_tests \
+            --gtest_filter='Json*:ResultCache*:ServiceFault*:Prom*:Serve*'
+
     TSAN_DIR="${BUILD_DIR}-tsan"
     TSAN_FLAGS="-O1 -g -fsanitize=thread -fno-omit-frame-pointer"
     cmake -B "$TSAN_DIR" -S . "${GEN[@]}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-    cmake --build "$TSAN_DIR" -j "$(nproc)" --target adore_tests adore_chaos
+    cmake --build "$TSAN_DIR" -j "$(nproc)" \
+        --target adore_tests adore_chaos adored
     TSAN_OPTIONS=halt_on_error=1 \
         ctest --test-dir "$TSAN_DIR" --output-on-failure \
             -R 'AsyncToggle|OptimizerService|SpscQueue'
     TSAN_OPTIONS=halt_on_error=1 \
         "$TSAN_DIR"/tools/adore_chaos --threads --exec-tier direct \
             --workloads mcf,art,equake --seeds 3 --max-cycles 8000000
+
+    # Daemon shard under TSan (DESIGN.md §15): the drain-vs-submit race
+    # (DrainRacingSubmitNeverLosesAdmittedTask), the monitor thread
+    # raising cancel flags the workers read mid-simulation, and the
+    # shared result cache hit from every worker are the serving layer's
+    # real concurrency surface — only the race detector can prove the
+    # handoffs are properly ordered.
+    TSAN_OPTIONS=halt_on_error=1 \
+        "$TSAN_DIR"/tests/adore_tests \
+            --gtest_filter='ThreadPool*:Serve*'
+    # Short adored soak under TSan: real worker/monitor/cache traffic
+    # with the service fault channels armed, not just unit shapes.
+    TSAN_OPTIONS=halt_on_error=1 \
+        "$TSAN_DIR"/tools/adored --selftest-soak 60 --service-faults \
+            --seed 7
 fi
 
 echo "ci.sh: all checks passed"

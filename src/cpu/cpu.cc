@@ -537,7 +537,8 @@ Cpu::run(Cycle max_cycles)
         const std::uint32_t window = config_.superblockDemoteWindow;
         const std::uint64_t min_retired =
             config_.superblockMinRetiredPerDispatch;
-        while (!halted_ && cycle_ < max_cycles) {
+        while (!halted_ && cycle_ < max_cycles &&
+               !stopRequested_.load(std::memory_order_relaxed)) {
             Superblock *sb =
                 superblocks_->lookup(isa::bundleAddr(pc_), code_);
             if (sb) {
@@ -567,8 +568,10 @@ Cpu::run(Cycle max_cycles)
             step();
         }
     } else {
-        while (!halted_ && cycle_ < max_cycles)
+        while (!halted_ && cycle_ < max_cycles &&
+               !stopRequested_.load(std::memory_order_relaxed)) {
             step();
+        }
     }
 
     syncDeferredMemStats();

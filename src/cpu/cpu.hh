@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <functional>
@@ -222,6 +223,33 @@ class Cpu
 
     /** Execute one bundle. @return false once halted. */
     bool step();
+
+    /**
+     * Cooperative external stop (DESIGN.md §15): ask run() to return at
+     * the next loop-top check.  Safe to call from another thread (the
+     * daemon's deadline monitor); the flag is sticky until
+     * clearStopRequest().  Stop latency is one superblock excursion at
+     * worst, so callers wanting a bound register a periodic hook that
+     * forwards their cancel flag here (Experiment's RunConfig::cancelFlag
+     * does exactly that) — hooks force event exits at hook cadence.
+     */
+    void
+    requestStop()
+    {
+        stopRequested_.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    stopRequested() const
+    {
+        return stopRequested_.load(std::memory_order_relaxed);
+    }
+
+    void
+    clearStopRequest()
+    {
+        stopRequested_.store(false, std::memory_order_relaxed);
+    }
 
     bool halted() const { return halted_; }
     Cycle cycle() const { return cycle_; }
@@ -523,6 +551,11 @@ class Cpu
     Addr nextPc_ = 0;
     bool branchTaken_ = false;
     bool halted_ = false;
+    /** Cooperative run()-loop stop flag (requestStop). Relaxed order is
+     *  enough: the requester never reads simulation state back, and the
+     *  joining path that does (the daemon worker) synchronizes through
+     *  its own job-state mutex. */
+    std::atomic<bool> stopRequested_{false};
 
     // Interpreter fast-path state (pure caches: no timing-model effect).
     // All of it is gated on memFastPath_ (HierarchyConfig::fastPath) so

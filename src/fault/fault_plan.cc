@@ -21,6 +21,13 @@ constexpr std::uint64_t kStallChannel = 0x4b9e2d71c8a6f513ULL;
 constexpr std::uint64_t kMemChannel = 0xe21b48f79a63cd0dULL;
 constexpr std::uint64_t kBusChannel = 0x80c6f35b27d41e0fULL;
 
+// Service-layer channels (ServiceFaultPlan).  Distinct constants keep
+// the stateless hashes independent of the stream channels above and of
+// each other.
+constexpr std::uint64_t kSvcStallChannel = 0x1f7d3a95c4e86b11ULL;
+constexpr std::uint64_t kSvcAbortChannel = 0x7c28e6f1903ad513ULL;
+constexpr std::uint64_t kSvcCorruptChannel = 0xa95d102e86c4f715ULL;
+
 } // namespace
 
 Rng
@@ -170,6 +177,83 @@ FaultPlan::busSqueeze()
     }
     ++stats_.busSqueezes;
     return config_.busSqueezeCycles;
+}
+
+std::uint64_t
+ServiceFaultPlan::mix(std::uint64_t seed, std::uint64_t channel,
+                      std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    // Fold every coordinate through the splitmix64 finalizer so nearby
+    // (jobKey, attempt, occurrence) tuples land far apart.
+    std::uint64_t x = seed ^ channel;
+    for (std::uint64_t word : {a, b, c}) {
+        x += 0x9e3779b97f4a7c15ULL + word;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+    }
+    return x;
+}
+
+double
+ServiceFaultPlan::decision(std::uint64_t seed, std::uint64_t channel,
+                           std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c)
+{
+    return static_cast<double>(mix(seed, channel, a, b, c) >> 11) *
+           0x1.0p-53;
+}
+
+bool
+ServiceFaultPlan::queueStalls(std::uint64_t jobKey, std::uint32_t attempt,
+                              std::uint32_t occurrence)
+{
+    if (config_.queueStallRate <= 0 ||
+        occurrence >= config_.maxStallsPerJob) {
+        return false;
+    }
+    if (decision(config_.seed, kSvcStallChannel, jobKey, attempt,
+                 occurrence) >= config_.queueStallRate) {
+        return false;
+    }
+    queueStalls_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ServiceFaultPlan::workerAborts(std::uint64_t jobKey, std::uint32_t attempt)
+{
+    if (config_.workerAbortRate <= 0)
+        return false;
+    if (decision(config_.seed, kSvcAbortChannel, jobKey, attempt, 0) >=
+        config_.workerAbortRate) {
+        return false;
+    }
+    workerAborts_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ServiceFaultPlan::corruptCacheRead(std::uint64_t jobKey,
+                                   std::uint32_t attempt,
+                                   std::size_t payloadSize,
+                                   std::size_t &byteIndex,
+                                   std::uint8_t &xorMask)
+{
+    if (config_.cacheCorruptRate <= 0 || payloadSize == 0)
+        return false;
+    std::uint64_t h =
+        mix(config_.seed, kSvcCorruptChannel, jobKey, attempt, 1);
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 >=
+        config_.cacheCorruptRate) {
+        return false;
+    }
+    std::uint64_t h2 =
+        mix(config_.seed, kSvcCorruptChannel, jobKey, attempt, 2);
+    byteIndex = static_cast<std::size_t>(h2 % payloadSize);
+    xorMask = static_cast<std::uint8_t>((h2 >> 32) | 1);  // never zero
+    cacheCorruptions_.fetch_add(1, std::memory_order_relaxed);
+    return true;
 }
 
 } // namespace adore::fault

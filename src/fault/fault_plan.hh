@@ -32,6 +32,8 @@
 #ifndef ADORE_FAULT_FAULT_PLAN_HH
 #define ADORE_FAULT_FAULT_PLAN_HH
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "support/rng.hh"
@@ -200,6 +202,119 @@ class FaultPlan
     Rng stallRng_;
     Rng memRng_;
     Rng busRng_;
+};
+
+/**
+ * Service-layer fault channels (DESIGN.md §15): the failures the adored
+ * serving daemon injects into *itself* — queue scheduling stalls,
+ * worker aborts, and cache corruption-on-read — to prove the serving
+ * infrastructure self-heals the same way the simulated machine's
+ * guardrails do.
+ *
+ * Unlike the per-run FaultPlan channels above, these are drawn from
+ * many worker threads at once, so they are *stateless*: every decision
+ * is a pure hash of (seed, channel, job key, attempt, occurrence)
+ * rather than a draw from a mutable RNG stream.  That makes them both
+ * thread-safe without locks and deterministic *per job* regardless of
+ * how the OS interleaves workers — two soak runs with the same seed
+ * agree on exactly which (job, attempt) pairs abort, stall, or read a
+ * corrupted cache entry, even though their wall-clock schedules differ.
+ * Stats counters are relaxed atomics (they are volume gauges, not
+ * ordering points).
+ */
+struct ServiceFaultConfig
+{
+    /** Master seed: same seed ⇒ same per-job fault decisions. */
+    std::uint64_t seed = 0;
+
+    /** Probability a dequeued job is stalled (requeued unexecuted). */
+    double queueStallRate = 0.0;
+    /** Hard per-job stall bound so a job cannot livelock in the queue. */
+    std::uint32_t maxStallsPerJob = 4;
+    /** Probability a worker attempt aborts with an injected exception
+     *  before the simulation starts (exercises crash isolation). */
+    double workerAbortRate = 0.0;
+    /** Probability a result-cache read returns a corrupted payload
+     *  (one byte flipped; the cache's checksum must catch it). */
+    double cacheCorruptRate = 0.0;
+
+    bool
+    any() const
+    {
+        return queueStallRate > 0 || workerAbortRate > 0 ||
+               cacheCorruptRate > 0;
+    }
+};
+
+/** Snapshot of the service-channel injection counters. */
+struct ServiceFaultStats
+{
+    std::uint64_t queueStalls = 0;
+    std::uint64_t workerAborts = 0;
+    std::uint64_t cacheCorruptions = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return queueStalls + workerAborts + cacheCorruptions;
+    }
+};
+
+class ServiceFaultPlan
+{
+  public:
+    explicit ServiceFaultPlan(const ServiceFaultConfig &config)
+        : config_(config)
+    {
+    }
+
+    const ServiceFaultConfig &config() const { return config_; }
+
+    /**
+     * Should the @p occurrence-th dequeue of (@p jobKey, @p attempt) be
+     * stalled?  Always false once occurrence reaches maxStallsPerJob,
+     * so every job eventually runs.
+     */
+    bool queueStalls(std::uint64_t jobKey, std::uint32_t attempt,
+                     std::uint32_t occurrence);
+
+    /** Should this worker attempt abort with an injected exception? */
+    bool workerAborts(std::uint64_t jobKey, std::uint32_t attempt);
+
+    /**
+     * Should this cache read return a corrupted payload?  On true,
+     * @p byteIndex picks the byte to flip (within @p payloadSize) and
+     * @p xorMask the nonzero flip.
+     */
+    bool corruptCacheRead(std::uint64_t jobKey, std::uint32_t attempt,
+                          std::size_t payloadSize, std::size_t &byteIndex,
+                          std::uint8_t &xorMask);
+
+    ServiceFaultStats
+    stats() const
+    {
+        ServiceFaultStats s;
+        s.queueStalls = queueStalls_.load(std::memory_order_relaxed);
+        s.workerAborts = workerAborts_.load(std::memory_order_relaxed);
+        s.cacheCorruptions =
+            cacheCorruptions_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+  private:
+    /** splitmix64-style stateless mix of the decision coordinates. */
+    static std::uint64_t mix(std::uint64_t seed, std::uint64_t channel,
+                             std::uint64_t a, std::uint64_t b,
+                             std::uint64_t c);
+    /** mix() folded to a uniform double in [0, 1). */
+    static double decision(std::uint64_t seed, std::uint64_t channel,
+                           std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c);
+
+    ServiceFaultConfig config_;
+    std::atomic<std::uint64_t> queueStalls_{0};
+    std::atomic<std::uint64_t> workerAborts_{0};
+    std::atomic<std::uint64_t> cacheCorruptions_{0};
 };
 
 } // namespace adore::fault

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -134,8 +136,27 @@ Experiment::run(const hir::Program &prog, const RunConfig &cfg)
             });
     }
 
+    // Cooperative cancellation: a periodic hook forwards the external
+    // flag to the Cpu's stop request, bounding cancel latency to one
+    // hook period (hooks force superblock event exits).
+    if (cfg.cancelFlag) {
+        Cpu *cpu = &machine.cpu();
+        const std::atomic<bool> *flag = cfg.cancelFlag;
+        machine.cpu().addPeriodicHook(
+            cfg.cancelCheckPeriod > 0 ? cfg.cancelCheckPeriod
+                                      : Cycle{65'536},
+            [cpu, flag](Cycle) {
+                if (flag->load(std::memory_order_acquire))
+                    cpu->requestStop();
+            });
+    }
+
+    if (cfg.testFailpoint)
+        cfg.testFailpoint();
+
     auto result = machine.cpu().run(cfg.maxCycles);
-    if (!result.halted && !cfg.quietCycleLimit) {
+    out.stopRequested = machine.cpu().stopRequested();
+    if (!result.halted && !out.stopRequested && !cfg.quietCycleLimit) {
         warn("%s: run hit the %llu-cycle limit before Halt",
              prog.name.c_str(),
              static_cast<unsigned long long>(cfg.maxCycles));
@@ -566,15 +587,51 @@ Experiment::metricsJson(const RunMetrics &metrics)
     return registry.toJson();
 }
 
+std::vector<RunOutcome>
+Experiment::runManyChecked(const std::vector<RunSpec> &specs,
+                           unsigned jobs)
+{
+    std::vector<RunOutcome> outcomes(specs.size());
+    ThreadPool pool(jobs);
+    pool.parallelFor(specs.size(), [&](std::size_t i) {
+        RunOutcome &out = outcomes[i];
+        if (!specs[i].prog) {
+            out.error = "spec has no program";
+            return;
+        }
+        // Crash isolation: a throwing job poisons only its own slot.
+        // parallelFor would rethrow out of the batch otherwise, and the
+        // lane that threw would stop claiming indices.
+        try {
+            out.metrics = run(*specs[i].prog, specs[i].cfg);
+            out.ok = true;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        } catch (...) {
+            out.error = "unknown exception";
+        }
+    });
+    return outcomes;
+}
+
 std::vector<RunMetrics>
 Experiment::runMany(const std::vector<RunSpec> &specs, unsigned jobs)
 {
+    std::vector<RunOutcome> outcomes = runManyChecked(specs, jobs);
+    std::string failures;
     std::vector<RunMetrics> results(specs.size());
-    ThreadPool pool(jobs);
-    pool.parallelFor(specs.size(), [&](std::size_t i) {
-        panic_if(!specs[i].prog, "runMany: spec %zu has no program", i);
-        results[i] = run(*specs[i].prog, specs[i].cfg);
-    });
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].ok) {
+            results[i] = std::move(outcomes[i].metrics);
+            continue;
+        }
+        failures += failures.empty() ? "runMany failures: " : "; ";
+        failures += "spec " + std::to_string(i) + " (" +
+                    (specs[i].prog ? specs[i].prog->name : "<null>") +
+                    "): " + outcomes[i].error;
+    }
+    if (!failures.empty())
+        throw std::runtime_error(failures);
     return results;
 }
 

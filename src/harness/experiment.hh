@@ -10,7 +10,10 @@
 #ifndef ADORE_HARNESS_EXPERIMENT_HH
 #define ADORE_HARNESS_EXPERIMENT_HH
 
+#include <atomic>
+#include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "compiler/compiler.hh"
@@ -50,11 +53,36 @@ struct RunConfig
      * and leave every path bit-identical to a fault-free build.
      */
     fault::FaultConfig faults{};
+    /**
+     * Cooperative cancellation (DESIGN.md §15).  When set, run()
+     * registers a periodic hook at @ref cancelCheckPeriod that forwards
+     * the flag to Cpu::requestStop(), so an external owner (the adored
+     * deadline monitor, a SIGTERM path) can abandon a simulation with
+     * bounded latency.  A cancelled run returns with halted == false
+     * and RunMetrics::stopRequested set; its metrics are partial and
+     * must not be compared against completed runs.  Registering the
+     * hook perturbs superblock event-exit cadence (tier.dispatches), so
+     * bit-identity claims only hold between runs that agree on whether
+     * a cancel hook is present — the daemon and its one-shot reference
+     * runs both register one.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
+    Cycle cancelCheckPeriod = 65'536;
+    /**
+     * Test-only failure injection: when set, called once after compile
+     * and machine setup, before the first simulated cycle.  A throwing
+     * failpoint propagates to the caller exactly like a real harness
+     * bug, which is what the crash-isolation paths (runManyChecked, the
+     * daemon's worker try/catch) are tested against.
+     */
+    std::function<void()> testFailpoint;
 };
 
 struct RunMetrics
 {
     bool halted = false;
+    /** run() returned early because RunConfig::cancelFlag was raised. */
+    bool stopRequested = false;
     Cycle cycles = 0;
     std::uint64_t retired = 0;
     std::uint64_t dearMisses = 0;
@@ -103,6 +131,18 @@ struct RunSpec
     RunConfig cfg{};
 };
 
+/**
+ * One job's outcome from Experiment::runManyChecked: either a metric
+ * set (ok) or a structured failure (error carries the exception text),
+ * so one throwing job never voids its batch-mates' results.
+ */
+struct RunOutcome
+{
+    bool ok = false;
+    RunMetrics metrics{};
+    std::string error;
+};
+
 class Experiment
 {
   public:
@@ -115,9 +155,25 @@ class Experiment
      * Every simulation is fully self-contained, so results are
      * bit-identical to calling run() in a serial loop, and results[i]
      * always corresponds to specs[i] regardless of completion order.
+     *
+     * A worker exception (a throwing workload, a null program) no
+     * longer aborts the batch: every other spec still runs to
+     * completion, and runMany then throws one std::runtime_error
+     * aggregating each failed spec's index, name, and reason.  Callers
+     * that want the per-job results even in the presence of failures
+     * use runManyChecked.
      */
     static std::vector<RunMetrics> runMany(const std::vector<RunSpec> &specs,
                                            unsigned jobs = 0);
+
+    /**
+     * Exception-isolating runMany: every spec runs regardless of what
+     * its batch-mates do, and outcomes[i] reports spec i's metrics or
+     * its failure (never both).  This is the primitive the serving
+     * daemon's crash isolation is built on.
+     */
+    static std::vector<RunOutcome>
+    runManyChecked(const std::vector<RunSpec> &specs, unsigned jobs = 0);
 
     /**
      * Training run for profile-guided static prefetching (Table 1):

@@ -1,7 +1,11 @@
 #include "observe/exporters.hh"
 
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <map>
+#include <optional>
 
 namespace adore::observe
 {
@@ -216,6 +220,106 @@ writeFile(const std::string &path, const std::string &content)
     bool ok = written == content.size();
     ok = std::fclose(f) == 0 && ok;
     return ok;
+}
+
+std::string
+prometheusName(const std::string &dotted, const std::string &prefix)
+{
+    std::string out = prefix;
+    if (!out.empty())
+        out += '_';
+    for (char c : dotted) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+namespace
+{
+
+/** Sample-value formatting shared with MetricsRegistry::toJson:
+ *  integral counters print without a fractional part. */
+std::string
+promValue(double value)
+{
+    char buf[64];
+    if (std::floor(value) == value && std::fabs(value) < 1e15)
+        std::snprintf(buf, sizeof(buf), "%.0f", value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+}
+
+/** # HELP text: backslash and newline are the format's only escapes. */
+std::string
+promHelpEscape(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+prometheusText(const std::vector<PrometheusArm> &arms,
+               const std::string &prefix)
+{
+    // Union of metric names across arms, sorted, with the first
+    // non-empty description winning the HELP line.
+    std::vector<std::string> names;
+    std::map<std::string, std::string> help;
+    for (const PrometheusArm &arm : arms) {
+        if (!arm.registry)
+            continue;
+        for (const MetricsRegistry::Metric &m : arm.registry->snapshot()) {
+            auto [it, inserted] = help.try_emplace(m.name, m.description);
+            if (inserted)
+                names.push_back(m.name);
+            else if (it->second.empty())
+                it->second = m.description;
+        }
+    }
+    std::sort(names.begin(), names.end());
+
+    std::string out;
+    for (const std::string &name : names) {
+        std::string prom = prometheusName(name, prefix);
+        const std::string &desc = help[name];
+        if (!desc.empty())
+            out += "# HELP " + prom + " " + promHelpEscape(desc) + "\n";
+        out += "# TYPE " + prom + " gauge\n";
+        for (const PrometheusArm &arm : arms) {
+            if (!arm.registry)
+                continue;
+            std::optional<double> v = arm.registry->value(name);
+            if (!v)
+                continue;
+            out += prom;
+            if (!arm.labels.empty())
+                out += "{" + arm.labels + "}";
+            out += " " + promValue(*v) + "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+prometheusText(const MetricsRegistry &registry, const std::string &prefix,
+               const std::string &labels)
+{
+    return prometheusText({{labels, &registry}}, prefix);
 }
 
 } // namespace adore::observe

@@ -12,14 +12,26 @@
  *    them.  One simulated cycle is exported as one microsecond (the
  *    format's smallest ts unit), so Perfetto's time axis reads directly
  *    in cycles.
+ *
+ *  - prometheusText(): the Prometheus text exposition format over a
+ *    MetricsRegistry — the registry's flat dotted namespace maps to
+ *    metric names by prefixing and replacing non-identifier characters
+ *    ("run.cycles" → "adore_run_cycles"), descriptions become # HELP
+ *    lines, and every metric is exported as a gauge.  The multi-arm
+ *    overload emits one sample per labelled arm under a single
+ *    HELP/TYPE header (adore_report --prom exports baseline and
+ *    optimized arms of a scenario this way; the adored daemon serves
+ *    its live registry through the same function).
  */
 
 #ifndef ADORE_OBSERVE_EXPORTERS_HH
 #define ADORE_OBSERVE_EXPORTERS_HH
 
 #include <string>
+#include <vector>
 
 #include "observe/event_trace.hh"
+#include "observe/metrics_registry.hh"
 
 namespace adore::observe
 {
@@ -43,6 +55,34 @@ std::string chromeTraceJson(const EventTrace &trace,
 
 /** Write @p content to @p path. @return false on I/O failure. */
 bool writeFile(const std::string &path, const std::string &content);
+
+/** "run.cycles" with prefix "adore" → "adore_run_cycles"; every
+ *  character outside [a-zA-Z0-9_] becomes '_', and a leading digit
+ *  gains a '_' (Prometheus metric-name grammar). */
+std::string prometheusName(const std::string &dotted,
+                           const std::string &prefix = "adore");
+
+/** One labelled sample set for the multi-arm exporter.  @p labels is
+ *  the raw label-pair list without braces (e.g.
+ *  `scenario="mcf_o2",run="baseline"`); empty = unlabelled. */
+struct PrometheusArm
+{
+    std::string labels;
+    const MetricsRegistry *registry = nullptr;
+};
+
+/**
+ * Prometheus text exposition of every arm: for each metric name (union
+ * across arms, sorted) one # HELP / # TYPE gauge header followed by one
+ * sample line per arm that carries the metric.
+ */
+std::string prometheusText(const std::vector<PrometheusArm> &arms,
+                           const std::string &prefix = "adore");
+
+/** Single-registry convenience overload. */
+std::string prometheusText(const MetricsRegistry &registry,
+                           const std::string &prefix = "adore",
+                           const std::string &labels = "");
 
 } // namespace adore::observe
 

@@ -1,0 +1,560 @@
+#include "serve/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace adore::serve::json
+{
+
+bool
+Value::asBool(bool def) const
+{
+    return kind_ == Kind::Bool ? bool_ : def;
+}
+
+double
+Value::asNumber(double def) const
+{
+    return kind_ == Kind::Number ? number_ : def;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+Value::str(const std::string &key, const std::string &def) const
+{
+    const Value *v = find(key);
+    return v && v->isString() ? v->asString() : def;
+}
+
+double
+Value::num(const std::string &key, double def) const
+{
+    const Value *v = find(key);
+    return v && v->isNumber() ? v->asNumber() : def;
+}
+
+std::uint64_t
+Value::u64(const std::string &key, std::uint64_t def) const
+{
+    const Value *v = find(key);
+    if (!v || !v->isNumber())
+        return def;
+    double n = v->asNumber();
+    if (n < 0 || n >= 1.8446744073709552e19)
+        return def;
+    return static_cast<std::uint64_t>(n);
+}
+
+bool
+Value::flag(const std::string &key, bool def) const
+{
+    const Value *v = find(key);
+    return v && v->kind() == Kind::Bool ? v->asBool() : def;
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::makeNumber(double n)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.number_ = n;
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+Value
+Value::makeObject()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+Value
+Value::makeArray()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+void
+Value::add(std::string key, Value v)
+{
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+void
+Value::push(Value v)
+{
+    items_.push_back(std::move(v));
+}
+
+std::string
+Value::render() const
+{
+    switch (kind_) {
+    case Kind::Null:
+        return "null";
+    case Kind::Bool:
+        return bool_ ? "true" : "false";
+    case Kind::Number: {
+        char buf[64];
+        if (std::floor(number_) == number_ &&
+            std::fabs(number_) < 1e15) {
+            std::snprintf(buf, sizeof(buf), "%.0f", number_);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%.17g", number_);
+        }
+        return buf;
+    }
+    case Kind::String:
+        return quote(string_);
+    case Kind::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += items_[i].render();
+        }
+        return out + "]";
+    }
+    case Kind::Object: {
+        std::string out = "{";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out += ',';
+            out += quote(members_[i].first) + ":" +
+                   members_[i].second.render();
+        }
+        return out + "}";
+    }
+    }
+    return "null";
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out + "\"";
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the raw text.  Untrusted input, so
+ *  every read is bounds-checked and recursion is depth-limited. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parseDocument(Value &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        err_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n])
+            ++n;
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("invalid literal");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+        case '{':
+            return parseObject(out, depth);
+        case '[':
+            return parseArray(out, depth);
+        case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value::makeString(std::move(s));
+            return true;
+        }
+        case 't':
+            if (!literal("true"))
+                return false;
+            out = Value::makeBool(true);
+            return true;
+        case 'f':
+            if (!literal("false"))
+                return false;
+            out = Value::makeBool(false);
+            return true;
+        case 'n':
+            if (!literal("null"))
+                return false;
+            out = Value::makeNull();
+            return true;
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(Value &out, int depth)
+    {
+        ++pos_;  // '{'
+        out = Value::makeObject();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            Value member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.add(std::move(key), std::move(member));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(Value &out, int depth)
+    {
+        ++pos_;  // '['
+        out = Value::makeArray();
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            Value item;
+            if (!parseValue(item, depth + 1))
+                return false;
+            out.push(std::move(item));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    hex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + static_cast<std::size_t>(i)];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A') + 10;
+            else
+                return fail("invalid \\u escape");
+            out = out * 16 + digit;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xc0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xe0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            s += static_cast<char>(0xf0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_;  // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            unsigned char c =
+                static_cast<unsigned char>(text_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;  // backslash
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                unsigned cp = 0;
+                if (!hex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: require the low half.
+                    if (pos_ + 1 >= text_.size() ||
+                        text_[pos_] != '\\' ||
+                        text_[pos_ + 1] != 'u') {
+                        return fail("unpaired surrogate");
+                    }
+                    pos_ += 2;
+                    unsigned lo = 0;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        return fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail("unpaired surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+            }
+            default:
+                return fail("invalid escape");
+            }
+        }
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (pos_ >= text_.size() ||
+            !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+            return fail("invalid number");
+        }
+        if (text_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !(text_[pos_] >= '0' && text_[pos_] <= '9'))
+                return fail("invalid fraction");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() ||
+                !(text_[pos_] >= '0' && text_[pos_] <= '9'))
+                return fail("invalid exponent");
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9')
+                ++pos_;
+        }
+        std::string word = text_.substr(start, pos_ - start);
+        out = Value::makeNumber(std::strtod(word.c_str(), nullptr));
+        return true;
+    }
+
+    const std::string &text_;
+    std::string &err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+bool
+parse(const std::string &text, Value &out, std::string &err)
+{
+    return Parser(text, err).parseDocument(out);
+}
+
+bool
+compact(const std::string &text, std::string &out)
+{
+    Value v;
+    std::string err;
+    if (!parse(text, v, err))
+        return false;
+    out = v.render();
+    return true;
+}
+
+} // namespace adore::serve::json

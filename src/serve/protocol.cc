@@ -1,0 +1,92 @@
+#include "serve/protocol.hh"
+
+#include "cpu/cpu.hh"
+
+namespace adore::serve
+{
+
+bool
+parseJobRequest(const json::Value &msg, JobRequest &out, std::string &err)
+{
+    out = JobRequest{};
+    out.workload = msg.str("workload");
+    out.kernel = msg.str("kernel");
+    if (out.workload.empty() == out.kernel.empty()) {
+        err = "exactly one of \"workload\" or \"kernel\" is required";
+        return false;
+    }
+    out.opt = msg.str("opt", "o2");
+    if (out.opt != "o2" && out.opt != "o3") {
+        err = "\"opt\" must be \"o2\" or \"o3\"";
+        return false;
+    }
+    out.softwarePipelining = msg.flag("swp", false);
+    out.adore = msg.flag("adore", false);
+    out.execTier = msg.str("exec_tier");
+    if (!out.execTier.empty() && out.execTier != "interpreter" &&
+        out.execTier != "direct_threaded") {
+        err = "\"exec_tier\" must be \"interpreter\" or "
+              "\"direct_threaded\"";
+        return false;
+    }
+    out.dataSeed = msg.u64("seed", 1);
+    out.maxCycles = msg.u64("max_cycles", 0);
+    out.maxAttempts =
+        static_cast<std::uint32_t>(msg.u64("attempts", 0));
+    out.deadlineMs = msg.u64("deadline_ms", 0);
+    return true;
+}
+
+std::string
+resolveTier(const JobRequest &req)
+{
+    if (!req.execTier.empty())
+        return req.execTier;
+    return execTierName(CpuConfig().execTier);
+}
+
+std::string
+canonicalKey(const JobRequest &req, const std::string &resolvedTier,
+             std::uint64_t resolvedMaxCycles)
+{
+    std::string key = "v1";
+    key += "|wl=" + req.workload;
+    key += "|kernel=" + req.kernel;
+    key += "|opt=" + req.opt;
+    key += "|swp=";
+    key += req.softwarePipelining ? '1' : '0';
+    key += "|adore=";
+    key += req.adore ? '1' : '0';
+    key += "|tier=" + resolvedTier;
+    key += "|seed=" + std::to_string(req.dataSeed);
+    key += "|max=" + std::to_string(resolvedMaxCycles);
+    return key;
+}
+
+RunConfig
+buildRunConfig(const JobRequest &req, const std::atomic<bool> *cancel,
+               std::uint64_t resolvedMaxCycles, Cycle cancelCheckPeriod)
+{
+    RunConfig cfg;
+    cfg.compile.level =
+        req.opt == "o3" ? OptLevel::O3 : OptLevel::O2;
+    cfg.compile.softwarePipelining = req.softwarePipelining;
+    cfg.compile.reserveAdoreRegs = req.adore;
+    cfg.compile.dataSeed = req.dataSeed;
+    cfg.adore = req.adore;
+    if (req.adore)
+        cfg.adoreConfig = Experiment::defaultAdoreConfig();
+    cfg.machine.cpu.execTier = resolveTier(req) == "direct_threaded"
+                                   ? ExecTier::DirectThreaded
+                                   : ExecTier::Interpreter;
+    cfg.maxCycles = resolvedMaxCycles;
+    // A budget-bounded serving run is a *result*, not a warning: the
+    // daemon compares it bit-for-bit against an equally bounded
+    // reference run.
+    cfg.quietCycleLimit = true;
+    cfg.cancelFlag = cancel;
+    cfg.cancelCheckPeriod = cancelCheckPeriod;
+    return cfg;
+}
+
+} // namespace adore::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Serving protocol types (DESIGN.md §15): the job description the
+ * daemon accepts, its canonical cache-key string, and the one shared
+ * RunConfig builder.
+ *
+ * buildRunConfig() is deliberately the *only* place a JobRequest turns
+ * into a RunConfig.  The daemon's workers and any out-of-band reference
+ * run (the soak's one-shot Experiment::run comparisons, the tests'
+ * bit-identity checks) must go through it, because the cancel hook it
+ * always registers perturbs superblock event-exit cadence — two runs
+ * agree bit-for-bit only when they agree on the hook's presence and
+ * period (see RunConfig::cancelFlag).
+ */
+
+#ifndef ADORE_SERVE_PROTOCOL_HH
+#define ADORE_SERVE_PROTOCOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "serve/json.hh"
+
+namespace adore::serve
+{
+
+/**
+ * One simulation job.  Exactly one of @ref workload (registry name) or
+ * @ref kernel (inline corpus-format kernel text) is set.  Everything
+ * that can change the simulation result participates in the canonical
+ * cache key; the service-level knobs (deadline, attempts) do not.
+ */
+struct JobRequest
+{
+    std::string workload;           ///< registry scenario, e.g. "mcf"
+    std::string kernel;             ///< inline kernel text (corpus format)
+    std::string opt = "o2";         ///< "o2" | "o3"
+    bool softwarePipelining = false;  ///< paper-restricted default
+    bool adore = false;             ///< attach the dynamic optimizer
+    std::string execTier;           ///< "", "interpreter", "direct_threaded"
+    std::uint64_t dataSeed = 1;
+    std::uint64_t maxCycles = 0;    ///< 0 = daemon default
+
+    // Service-level (not part of the cache key).
+    std::uint32_t maxAttempts = 0;  ///< 0 = daemon default
+    std::uint64_t deadlineMs = 0;   ///< 0 = daemon default
+};
+
+/**
+ * Fill @p out from a protocol "submit" object.  Validates the shape
+ * only (exactly one source, known opt level / tier name); whether the
+ * workload exists or the kernel parses is checked at admission.
+ * @return false with @p err set on a malformed request.
+ */
+bool parseJobRequest(const json::Value &msg, JobRequest &out,
+                     std::string &err);
+
+/**
+ * Canonical content string hashed into the 128-bit cache key:
+ * `v1|wl=...|kernel=...|opt=...|swp=...|adore=...|tier=...|seed=...|max=...`
+ * with the tier and maxCycles fields already resolved to their
+ * effective values (so "default" and an explicit equal value hit the
+ * same entry).  Versioned so a future semantic change can retire old
+ * keys wholesale.
+ */
+std::string canonicalKey(const JobRequest &req,
+                         const std::string &resolvedTier,
+                         std::uint64_t resolvedMaxCycles);
+
+/**
+ * The one RunConfig a JobRequest maps to.  @p cancel must be non-null:
+ * every serving-path run registers the cooperative cancel hook at
+ * @p cancelCheckPeriod (a reference run passes a flag that is simply
+ * never raised).  @p resolvedMaxCycles is the daemon-defaulted budget.
+ */
+RunConfig buildRunConfig(const JobRequest &req,
+                         const std::atomic<bool> *cancel,
+                         std::uint64_t resolvedMaxCycles,
+                         Cycle cancelCheckPeriod);
+
+/** Effective tier name for @p req ("interpreter"/"direct_threaded"):
+ *  the explicit field, or the build's CpuConfig default. */
+std::string resolveTier(const JobRequest &req);
+
+} // namespace adore::serve
+
+#endif // ADORE_SERVE_PROTOCOL_HH

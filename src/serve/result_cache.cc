@@ -1,0 +1,132 @@
+#include "serve/result_cache.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace adore::serve
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t
+fnv1a64Seeded(const std::string &data, std::uint64_t basis)
+{
+    std::uint64_t h = basis;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::string &data)
+{
+    return fnv1a64Seeded(data, kFnvOffset);
+}
+
+CacheKey
+CacheKey::fromCanonical(const std::string &canonical)
+{
+    CacheKey key;
+    key.hi = fnv1a64Seeded(canonical, kFnvOffset);
+    // Second pass from a different basis — the splitmix64-mixed first
+    // hash — so the two 64-bit halves are independent functions of the
+    // input (a single-pass truncation would correlate them).
+    std::uint64_t basis = key.hi;
+    basis += 0x9e3779b97f4a7c15ULL;
+    basis = (basis ^ (basis >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    basis = (basis ^ (basis >> 27)) * 0x94d049bb133111ebULL;
+    basis ^= basis >> 31;
+    key.lo = fnv1a64Seeded(canonical, basis);
+    return key;
+}
+
+std::string
+CacheKey::hex() const
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64, hi, lo);
+    return buf;
+}
+
+bool
+ResultCache::lookup(const CacheKey &key, std::string &payload,
+                    const std::function<void(std::string &)> &corruptor)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    // Copy out, let the fault channel maul the copy, then verify —
+    // the stored entry itself is only dropped when verification fails,
+    // which models a corrupted medium read (the entry is now suspect).
+    std::string candidate = it->second->payload;
+    if (corruptor)
+        corruptor(candidate);
+    if (fnv1a64(candidate) != it->second->checksum) {
+        ++stats_.corruptionsDetected;
+        ++stats_.misses;
+        lru_.erase(it->second);
+        index_.erase(it);
+        return false;
+    }
+    // Touch: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    payload = std::move(candidate);
+    ++stats_.hits;
+    return true;
+}
+
+void
+ResultCache::insert(const CacheKey &key, const std::string &payload)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->payload = payload;
+        it->second->checksum = fnv1a64(payload);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, payload, fnv1a64(payload)});
+    index_[key] = lru_.begin();
+    ++stats_.inserts;
+    evictOverCapacityLocked();
+}
+
+void
+ResultCache::evictOverCapacityLocked()
+{
+    while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+} // namespace adore::serve

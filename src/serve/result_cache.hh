@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Content-addressed result cache for the serving daemon (DESIGN.md §15).
+ *
+ * Simulations are pure functions of (workload text, compile options,
+ * run config, seeds) — the repo's whole determinism story guarantees
+ * it — so the daemon can serve a repeated job straight from cache and
+ * the payload is *bit-identical* to recomputing.  The cache key is a
+ * 128-bit content hash (two independent FNV-1a-64 passes) of a
+ * canonical string that spells out every input that can change the
+ * result; anything that doesn't affect the simulation (deadline,
+ * attempt budget) stays out of the key.
+ *
+ * Failure-first: every stored payload carries an FNV-1a-64 checksum
+ * that is re-verified on *every* read.  A corrupted entry (bit rot in a
+ * long-lived daemon, or the injected cache-corruption fault channel) is
+ * detected, counted, evicted, and reported as a miss — the job silently
+ * recomputes instead of serving poison.  Eviction is LRU under a fixed
+ * capacity.  All operations take the one mutex; payloads are returned
+ * by value so readers never hold a reference into the cache.
+ */
+
+#ifndef ADORE_SERVE_RESULT_CACHE_HH
+#define ADORE_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace adore::serve
+{
+
+/** 128-bit content hash — two independent FNV-1a-64 passes over the
+ *  canonical key string.  Collision odds at daemon scale (≤ millions of
+ *  distinct jobs) are negligible at 128 bits. */
+struct CacheKey
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool
+    operator==(const CacheKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+
+    /** Hash the canonical description of one job's inputs. */
+    static CacheKey fromCanonical(const std::string &canonical);
+
+    /** "0123456789abcdef0123456789abcdef" — stable across runs; used in
+     *  protocol responses and dead-letter records. */
+    std::string hex() const;
+};
+
+struct CacheKeyHash
+{
+    std::size_t
+    operator()(const CacheKey &k) const
+    {
+        return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+/** FNV-1a-64 over @p data — the payload checksum. */
+std::uint64_t fnv1a64(const std::string &data);
+
+/** Counters exported as serve.cache.* metrics. */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t corruptionsDetected = 0;
+};
+
+/**
+ * Checksum-verified LRU cache from CacheKey to an opaque payload (the
+ * rendered metrics JSON).  Thread-safe; every public method takes the
+ * internal mutex.
+ */
+class ResultCache
+{
+  public:
+    /** @p capacity = max resident entries (0 disables caching). */
+    explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Look up @p key.  On hit, verifies the stored checksum; a mismatch
+     * counts a corruption, evicts the entry, and reports a miss (the
+     * caller recomputes).  @p corruptor, when set, may mutate the
+     * candidate payload *before* verification — this is the injection
+     * point for the cache-corruption fault channel, which proves the
+     * checksum path end-to-end.
+     * @return true and fill @p payload on a verified hit.
+     */
+    bool lookup(const CacheKey &key, std::string &payload,
+                const std::function<void(std::string &)> &corruptor = {});
+
+    /** Insert (or refresh) @p key → @p payload, evicting LRU entries
+     *  beyond capacity.  No-op when capacity is 0. */
+    void insert(const CacheKey &key, const std::string &payload);
+
+    ResultCacheStats stats() const;
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        CacheKey key;
+        std::string payload;
+        std::uint64_t checksum = 0;
+    };
+
+    // MRU at front; map points into the list for O(1) touch/evict.
+    using Lru = std::list<Entry>;
+
+    void evictOverCapacityLocked();
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    Lru lru_;
+    std::unordered_map<CacheKey, Lru::iterator, CacheKeyHash> index_;
+    ResultCacheStats stats_;
+};
+
+} // namespace adore::serve
+
+#endif // ADORE_SERVE_RESULT_CACHE_HH

@@ -1,0 +1,302 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace adore::serve
+{
+
+namespace
+{
+
+json::Value
+errorValue(const std::string &code, const std::string &detail = "")
+{
+    json::Value v = json::Value::makeObject();
+    v.add("ok", json::Value::makeBool(false));
+    v.add("error", json::Value::makeString(code));
+    if (!detail.empty())
+        v.add("detail", json::Value::makeString(detail));
+    return v;
+}
+
+json::Value
+failuresValue(const std::vector<FailureRecord> &failures)
+{
+    json::Value arr = json::Value::makeArray();
+    for (const FailureRecord &f : failures) {
+        json::Value rec = json::Value::makeObject();
+        rec.add("attempt", json::Value::makeNumber(
+                               static_cast<double>(f.attempt)));
+        rec.add("code", json::Value::makeString(f.code));
+        rec.add("detail", json::Value::makeString(f.detail));
+        arr.push(rec);
+    }
+    return arr;
+}
+
+json::Value
+statusValue(const JobStatus &s, bool withResult)
+{
+    json::Value v = json::Value::makeObject();
+    v.add("ok", json::Value::makeBool(true));
+    v.add("id",
+          json::Value::makeNumber(static_cast<double>(s.id)));
+    v.add("state", json::Value::makeString(jobStateName(s.state)));
+    v.add("attempts", json::Value::makeNumber(
+                          static_cast<double>(s.attempts)));
+    v.add("cache_hit", json::Value::makeBool(s.cacheHit));
+    v.add("key", json::Value::makeString(s.cacheKey));
+    if (!s.failures.empty())
+        v.add("failures", failuresValue(s.failures));
+    if (withResult && s.state == JobState::Done) {
+        // The stored payload is the pretty metricsJson; compact it so
+        // the response stays a single line.
+        std::string compacted;
+        if (json::compact(s.resultJson, compacted))
+            v.add("metrics_json", json::Value::makeString(compacted));
+    }
+    return v;
+}
+
+HandleResult
+respond(const json::Value &v, bool shutdown = false)
+{
+    return HandleResult{v.render(), shutdown};
+}
+
+} // namespace
+
+HandleResult
+handleLine(Daemon &daemon, const std::string &line)
+{
+    json::Value msg;
+    std::string err;
+    if (!json::parse(line, msg, err))
+        return respond(errorValue("parse_error", err));
+    if (!msg.isObject())
+        return respond(errorValue("parse_error", "expected an object"));
+
+    std::string op = msg.str("op");
+    if (op == "ping") {
+        json::Value v = json::Value::makeObject();
+        v.add("ok", json::Value::makeBool(true));
+        v.add("op", json::Value::makeString("ping"));
+        return respond(v);
+    }
+    if (op == "submit") {
+        JobRequest req;
+        std::string perr;
+        if (!parseJobRequest(msg, req, perr))
+            return respond(errorValue("invalid_request", perr));
+        Daemon::SubmitResult res = daemon.submit(req);
+        if (!res.ok) {
+            json::Value v = errorValue(res.error, res.detail);
+            if (res.retryAfterMs) {
+                v.add("retry_after_ms",
+                      json::Value::makeNumber(
+                          static_cast<double>(res.retryAfterMs)));
+            }
+            return respond(v);
+        }
+        json::Value v = json::Value::makeObject();
+        v.add("ok", json::Value::makeBool(true));
+        v.add("id", json::Value::makeNumber(
+                        static_cast<double>(res.id)));
+        v.add("key", json::Value::makeString(res.cacheKey));
+        return respond(v);
+    }
+    if (op == "status" || op == "result" || op == "wait") {
+        const json::Value *idv = msg.find("id");
+        if (!idv || !idv->isNumber())
+            return respond(
+                errorValue("invalid_request", "\"id\" is required"));
+        std::uint64_t id = msg.u64("id");
+        if (op == "wait") {
+            std::uint64_t timeout = msg.u64("timeout_ms", 60'000);
+            daemon.wait(id, timeout);
+        }
+        std::optional<JobStatus> s = daemon.status(id);
+        if (!s)
+            return respond(errorValue("unknown_id"));
+        if (op == "result" && s->state != JobState::Done &&
+            s->state != JobState::DeadLetter) {
+            return respond(errorValue("not_ready"));
+        }
+        return respond(statusValue(*s, op != "status"));
+    }
+    if (op == "metrics") {
+        json::Value v = json::Value::makeObject();
+        v.add("ok", json::Value::makeBool(true));
+        v.add("prom",
+              json::Value::makeString(daemon.metricsPrometheus()));
+        return respond(v);
+    }
+    if (op == "dead_letters") {
+        json::Value v = json::Value::makeObject();
+        v.add("ok", json::Value::makeBool(true));
+        json::Value arr = json::Value::makeArray();
+        for (const JobStatus &s : daemon.deadLetters())
+            arr.push(statusValue(s, false));
+        v.add("dead_letters", arr);
+        return respond(v);
+    }
+    if (op == "drain" || op == "shutdown") {
+        if (op == "drain")
+            daemon.drain();
+        else
+            daemon.shutdownNow();
+        json::Value v = json::Value::makeObject();
+        v.add("ok", json::Value::makeBool(true));
+        v.add("drained", json::Value::makeBool(true));
+        return respond(v, /*shutdown=*/true);
+    }
+    return respond(errorValue("unknown_op", op));
+}
+
+namespace
+{
+
+void
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return;  // peer gone; nothing sensible left to do
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Pump one byte stream through the line protocol.  @return true when
+ * the loop should keep serving (EOF on a socket connection), false when
+ * the whole server must exit (drain/shutdown op, stop flag).
+ */
+bool
+serveStream(Daemon &daemon, int inFd, int outFd,
+            const volatile std::sig_atomic_t *stopFlag)
+{
+    std::string buffer;
+    char chunk[4096];
+    while (true) {
+        if (stopFlag && *stopFlag) {
+            daemon.drain();
+            return false;
+        }
+        struct pollfd pfd;
+        pfd.fd = inFd;
+        pfd.events = POLLIN;
+        int pr = ::poll(&pfd, 1, 100);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            daemon.drain();
+            return false;
+        }
+        if (pr == 0)
+            continue;
+        ssize_t n = ::read(inFd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            daemon.drain();
+            return false;
+        }
+        if (n == 0)
+            return true;  // EOF
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            HandleResult res = handleLine(daemon, line);
+            writeAll(outFd, res.response + "\n");
+            if (res.shutdown)
+                return false;
+        }
+    }
+}
+
+} // namespace
+
+int
+runStdinServer(Daemon &daemon, int inFd, int outFd,
+               const volatile std::sig_atomic_t *stopFlag)
+{
+    bool eof = serveStream(daemon, inFd, outFd, stopFlag);
+    if (eof) {
+        // Stdin closed without an explicit drain op: drain anyway so
+        // piped one-shot scripts always get a clean exit.
+        daemon.drain();
+    }
+    return 0;
+}
+
+int
+runSocketServer(Daemon &daemon, const std::string &path,
+                const volatile std::sig_atomic_t *stopFlag)
+{
+    int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        return 1;
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        ::close(listenFd);
+        return 1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listenFd, 8) < 0) {
+        ::close(listenFd);
+        return 1;
+    }
+
+    while (true) {
+        if (stopFlag && *stopFlag) {
+            daemon.drain();
+            break;
+        }
+        struct pollfd pfd;
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        int pr = ::poll(&pfd, 1, 100);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            daemon.drain();
+            break;
+        }
+        if (pr == 0)
+            continue;
+        int conn = ::accept(listenFd, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        bool keepServing = serveStream(daemon, conn, conn, stopFlag);
+        ::close(conn);
+        if (!keepServing)
+            break;
+    }
+    ::close(listenFd);
+    ::unlink(path.c_str());
+    return 0;
+}
+
+} // namespace adore::serve

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Protocol front ends for the adored daemon (DESIGN.md §15).
+ *
+ * One request line in, one response line out — the same handleLine()
+ * core behind both transports:
+ *
+ *  - runStdinServer(): line-delimited JSON over stdin/stdout (the mode
+ *    `adored` starts in; also what ci.sh's protocol smoke drives);
+ *  - runSocketServer(): the same protocol over an AF_UNIX stream
+ *    socket, one client connection at a time.
+ *
+ * Requests: {"op": "..."} with op one of
+ *   ping | submit | status | result | wait | metrics | dead_letters |
+ *   drain | shutdown
+ * Every response is a single-line JSON object with an "ok" member;
+ * failures carry "error" (and "retry_after_ms" for queue_full).  A
+ * malformed line gets {"ok":false,"error":"parse_error",...} — the
+ * server never dies on bad input.
+ *
+ * Both loops poll a caller-owned stop flag (wired to SIGTERM/SIGINT by
+ * tools/adored) and perform a graceful drain before returning 0, so
+ * killing the daemon mid-load loses no admitted job.
+ */
+
+#ifndef ADORE_SERVE_SERVER_HH
+#define ADORE_SERVE_SERVER_HH
+
+#include <csignal>
+#include <string>
+
+#include "serve/daemon.hh"
+
+namespace adore::serve
+{
+
+struct HandleResult
+{
+    std::string response;  ///< single-line JSON (no newline)
+    bool shutdown = false; ///< the op asked the server loop to exit
+};
+
+/** Dispatch one protocol line against @p daemon. */
+HandleResult handleLine(Daemon &daemon, const std::string &line);
+
+/**
+ * Serve the line protocol on @p inFd / @p outFd until EOF, a
+ * drain/shutdown op, or @p stopFlag becoming nonzero (then drain).
+ * @return the process exit code (0 on any clean path).
+ */
+int runStdinServer(Daemon &daemon, int inFd, int outFd,
+                   const volatile std::sig_atomic_t *stopFlag);
+
+/**
+ * Serve the line protocol on an AF_UNIX stream socket at @p path
+ * (unlinked and re-bound on entry, unlinked again on exit).  Accepts
+ * one client at a time.  Exits like runStdinServer().
+ */
+int runSocketServer(Daemon &daemon, const std::string &path,
+                    const volatile std::sig_atomic_t *stopFlag);
+
+} // namespace adore::serve
+
+#endif // ADORE_SERVE_SERVER_HH

@@ -1,7 +1,7 @@
 #include "support/thread_pool.hh"
 
-#include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace adore
 {
@@ -46,6 +46,11 @@ ThreadPool::submit(std::function<void()> task)
     std::future<void> future = packaged.get_future();
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        // Admission is decided under the queue lock, so a submit racing
+        // drain() either lands before the drain (and will be completed
+        // by it) or gets this rejection — never a silently dropped task.
+        if (draining_.load(std::memory_order_relaxed) || stop_)
+            throw std::runtime_error("ThreadPool: submit after drain");
         queue_.push(std::move(packaged));
     }
     cv_.notify_one();
@@ -64,10 +69,25 @@ ThreadPool::workerLoop()
                 return;  // stop_ set and nothing left to drain
             task = std::move(queue_.front());
             queue_.pop();
+            ++active_;
         }
         // packaged_task captures any exception in the future.
         task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            if (queue_.empty() && active_ == 0)
+                idleCv_.notify_all();
+        }
     }
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_.store(true, std::memory_order_release);
+    idleCv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 void

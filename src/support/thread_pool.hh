@@ -1,7 +1,8 @@
 /**
  * @file
  * A small fixed-size thread pool for fanning out independent
- * simulations (Experiment::runMany and the bench binaries).
+ * simulations (Experiment::runMany, the bench binaries, and the
+ * adored serving daemon's worker lanes).
  *
  * Each simulated run is completely self-contained (its own Machine,
  * caches, memory, and code image), so the pool needs no shared-state
@@ -14,11 +15,20 @@
  * set (clamped to at least 1), else std::thread::hardware_concurrency().
  * A pool of one thread runs parallelFor bodies inline on the calling
  * thread, making single-core behavior exactly the serial loop.
+ *
+ * Shutdown machinery (DESIGN.md §15): long-lived owners (the daemon)
+ * must not rely on destructor ordering to stop work.  drain() closes
+ * admission and blocks until every already-queued task finished;
+ * requestCancel() raises a cooperative flag long-running tasks poll via
+ * cancelRequested() to bail out early.  Both are safe to call from any
+ * thread, concurrently with submit() racing them (a losing submit gets
+ * a clean rejection, never a dropped task).
  */
 
 #ifndef ADORE_SUPPORT_THREAD_POOL_HH
 #define ADORE_SUPPORT_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -56,6 +66,9 @@ class ThreadPool
     /**
      * Enqueue @p task.  The returned future carries any exception the
      * task throws; a throwing task never takes down a worker.
+     * Throws std::runtime_error once drain() has been called: a task
+     * is either admitted (and will run to completion) or rejected,
+     * never silently dropped.
      */
     std::future<void> submit(std::function<void()> task);
 
@@ -72,6 +85,41 @@ class ThreadPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
+    /**
+     * Close admission and wait until the queue is empty and no task is
+     * in flight.  Every task admitted before drain() runs to
+     * completion; submit() afterwards throws.  Idempotent, callable
+     * from any thread (but not from inside a pool task — a worker
+     * waiting on itself would deadlock).  Workers stay parked until the
+     * destructor joins them, so draining twice is harmless.
+     */
+    void drain();
+
+    bool
+    draining() const
+    {
+        return draining_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Cooperative cancellation: raise a flag that long-running tasks
+     * poll via cancelRequested() to abandon work early.  The pool never
+     * interrupts a task itself — queued tasks still run (so their
+     * futures always complete); a well-behaved task observes the flag
+     * and returns promptly.  Sticky for the life of the pool.
+     */
+    void
+    requestCancel()
+    {
+        cancel_.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelRequested() const
+    {
+        return cancel_.load(std::memory_order_acquire);
+    }
+
   private:
     void workerLoop();
 
@@ -80,7 +128,13 @@ class ThreadPool
     std::queue<std::packaged_task<void()>> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;
+    /** Signalled when the queue empties and the last in-flight task
+     *  finishes (drain() waits on it). */
+    std::condition_variable idleCv_;
+    std::size_t active_ = 0;  ///< tasks currently executing
     bool stop_ = false;
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> cancel_{false};
 };
 
 } // namespace adore

@@ -8,8 +8,10 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -133,4 +135,138 @@ TEST(RunMany, SingleJobFallbackWorks)
     ASSERT_EQ(out.size(), 1u);
     EXPECT_TRUE(out[0].halted);
     EXPECT_GT(out[0].retired, 0u);
+}
+
+TEST(ThreadPool, DrainCompletesQueuedTasksThenRejectsSubmit)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i) {
+        futures.push_back(pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            ran.fetch_add(1);
+        }));
+    }
+    pool.drain();
+    // Every admitted task finished before drain() returned — a task is
+    // either admitted (and runs) or rejected, never dropped.
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_TRUE(pool.draining());
+    EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+    // Idempotent.
+    pool.drain();
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, DrainRacingSubmitNeverLosesAdmittedTask)
+{
+    // The shutdown-while-queued race (run under TSan in CI): one thread
+    // hammers submit() while another drains.  Every submit must either
+    // be admitted (and its task must run) or throw — the admitted count
+    // and the executed count must agree exactly.
+    ThreadPool pool(4);
+    std::atomic<int> admitted{0};
+    std::atomic<int> executed{0};
+    std::thread submitter([&] {
+        for (int i = 0; i < 10'000; ++i) {
+            try {
+                pool.submit([&] { executed.fetch_add(1); });
+                admitted.fetch_add(1);
+            } catch (const std::runtime_error &) {
+                break;  // drain won the race; admission is closed
+            }
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    pool.drain();
+    submitter.join();
+    pool.drain();  // cover submits admitted after the first drain lost
+    EXPECT_EQ(admitted.load(), executed.load());
+}
+
+TEST(ThreadPool, RequestCancelIsObservableFromTasks)
+{
+    ThreadPool pool(2);
+    EXPECT_FALSE(pool.cancelRequested());
+    std::atomic<int> bailed{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 4; ++i) {
+        futures.push_back(pool.submit([&] {
+            // Cooperative long-runner: poll the flag, bail when raised.
+            while (!pool.cancelRequested())
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+            bailed.fetch_add(1);
+        }));
+    }
+    pool.requestCancel();
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(bailed.load(), 4);
+    EXPECT_TRUE(pool.cancelRequested());
+}
+
+TEST(RunManyChecked, IsolatesThrowingJobFromBatchMates)
+{
+    setVerbose(false);
+    hir::Program gzip = workloads::make("gzip");
+    RunConfig good;
+    good.compile.level = OptLevel::O2;
+    RunConfig bad = good;
+    bad.testFailpoint = [] {
+        throw std::runtime_error("synthetic workload failure");
+    };
+    std::vector<RunSpec> specs = {
+        {&gzip, good},
+        {&gzip, bad},
+        {&gzip, good},
+    };
+    std::vector<RunOutcome> out = Experiment::runManyChecked(specs, 3);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_TRUE(out[0].ok);
+    EXPECT_TRUE(out[2].ok);
+    EXPECT_FALSE(out[1].ok);
+    EXPECT_NE(out[1].error.find("synthetic workload failure"),
+              std::string::npos);
+    // The failure is structured, not a poisoned metric set.
+    EXPECT_TRUE(out[0].metrics.halted);
+    EXPECT_EQ(out[0].metrics.cycles, out[2].metrics.cycles);
+}
+
+TEST(RunManyChecked, NullProgramIsAStructuredFailure)
+{
+    std::vector<RunSpec> specs(1);
+    specs[0].prog = nullptr;
+    std::vector<RunOutcome> out = Experiment::runManyChecked(specs, 1);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FALSE(out[0].ok);
+    EXPECT_FALSE(out[0].error.empty());
+}
+
+TEST(RunMany, ThrowingJobAggregatesAfterBatchCompletes)
+{
+    // Regression: a worker exception used to void the whole batch with
+    // whatever exception happened to surface first.  Now every spec
+    // still runs and runMany throws one aggregated, indexed error.
+    setVerbose(false);
+    hir::Program gzip = workloads::make("gzip");
+    RunConfig good;
+    good.compile.level = OptLevel::O2;
+    RunConfig bad = good;
+    bad.testFailpoint = [] {
+        throw std::runtime_error("injected throwing workload");
+    };
+    std::vector<RunSpec> specs = {{&gzip, good}, {&gzip, bad}};
+    try {
+        Experiment::runMany(specs, 2);
+        FAIL() << "runMany must throw when a spec fails";
+    } catch (const std::runtime_error &e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("spec 1"), std::string::npos) << what;
+        EXPECT_NE(what.find("injected throwing workload"),
+                  std::string::npos)
+            << what;
+    }
 }

@@ -6,6 +6,9 @@
  *   adore_report mcf_o2                 markdown report on stdout
  *   adore_report mcf_o2 --out R.md      ... to a file
  *   adore_report mcf_o2 --json          baseline/optimized metrics JSON
+ *   adore_report mcf_o2 --prom          Prometheus text exposition of
+ *                                       both arms (run="baseline" /
+ *                                       run="optimized" labels)
  *   adore_report mcf_o2 --trace T.json  chrome://tracing / Perfetto
  *                                       trace of the optimizer decisions
  *   adore_report mcf_o2 --log           raw decision log
@@ -38,8 +41,8 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s <scenario> [--json] [--log] [--trace FILE] "
-                 "[--out FILE]\n"
+                 "usage: %s <scenario> [--json] [--prom] [--log] "
+                 "[--trace FILE] [--out FILE]\n"
                  "       %s --list\n"
                  "       %s --regen-experiments [--check] [--file PATH]\n"
                  "scenarios are <workload>_<o2|o3>, e.g. mcf_o2 "
@@ -108,6 +111,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::string experiments_path = "EXPERIMENTS.md";
     bool json = false;
+    bool prom = false;
     bool log = false;
     bool regen = false;
     bool check = false;
@@ -126,6 +130,8 @@ main(int argc, char **argv)
             return listScenarios();
         else if (arg == "--json")
             json = true;
+        else if (arg == "--prom")
+            prom = true;
         else if (arg == "--log")
             log = true;
         else if (arg == "--trace")
@@ -180,7 +186,15 @@ main(int argc, char **argv)
     }
 
     std::string output;
-    if (json) {
+    if (prom) {
+        observe::MetricsRegistry baseline, optimized;
+        Experiment::collectMetrics(baseline, result.baseline);
+        Experiment::collectMetrics(optimized, result.optimized);
+        std::string common = "scenario=\"" + scenario + "\"";
+        output = observe::prometheusText(
+            {{common + ",run=\"baseline\"", &baseline},
+             {common + ",run=\"optimized\"", &optimized}});
+    } else if (json) {
         output = "{\n\"baseline\": " +
                  Experiment::metricsJson(result.baseline) +
                  ",\n\"optimized\": " +
